@@ -1,0 +1,217 @@
+//! Correlation analysis.
+//!
+//! §5.4 of the paper cross-correlates (supply − demand) and EWT against
+//! the surge multiplier across time shifts of ±60 minutes in 5-minute
+//! steps (Figs. 20–21), reporting the correlation coefficient and p-value
+//! at each lag. [`pearson`] and [`cross_correlation`] implement exactly
+//! that machinery.
+
+use crate::special::t_test_p_value;
+
+/// A correlation coefficient with its significance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorrResult {
+    /// Pearson's r in `[-1, 1]`.
+    pub r: f64,
+    /// Two-sided p-value from the t-distribution with n−2 df.
+    pub p_value: f64,
+    /// Number of paired samples.
+    pub n: usize,
+}
+
+/// Pearson product-moment correlation of two equal-length series.
+///
+/// Returns `r = 0, p = 1` when either series is constant or too short —
+/// the conservative "no evidence" answer the pipeline wants for degenerate
+/// windows.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> CorrResult {
+    assert_eq!(xs.len(), ys.len(), "series lengths differ");
+    let n = xs.len();
+    if n < 3 {
+        return CorrResult { r: 0.0, p_value: 1.0, n };
+    }
+    let mx = xs.iter().sum::<f64>() / n as f64;
+    let my = ys.iter().sum::<f64>() / n as f64;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for i in 0..n {
+        let dx = xs[i] - mx;
+        let dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        return CorrResult { r: 0.0, p_value: 1.0, n };
+    }
+    let r = (sxy / (sxx.sqrt() * syy.sqrt())).clamp(-1.0, 1.0);
+    let df = (n - 2) as f64;
+    let denom = (1.0 - r * r).max(1e-15);
+    let t = r * (df / denom).sqrt();
+    CorrResult { r, p_value: t_test_p_value(t, df), n }
+}
+
+/// Correlation at one time shift.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LagCorr {
+    /// Shift applied to the feature series, in samples. Positive means the
+    /// feature is taken from *after* the target (feature lags the target).
+    pub lag: i64,
+    /// Correlation at this shift.
+    pub corr: CorrResult,
+}
+
+/// Cross-correlation of `feature` against `target` over lags
+/// `-max_lag..=max_lag` (in samples). At lag `k`, `target[i]` is paired
+/// with `feature[i + k]` — matching the paper's convention where the
+/// coefficient at Δt pairs surge at `t` with feature values in
+/// `[t+Δt−5, t+Δt)`.
+pub fn cross_correlation(feature: &[f64], target: &[f64], max_lag: usize) -> Vec<LagCorr> {
+    assert_eq!(feature.len(), target.len(), "series lengths differ");
+    let n = feature.len() as i64;
+    let mut out = Vec::with_capacity(2 * max_lag + 1);
+    for lag in -(max_lag as i64)..=(max_lag as i64) {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..n {
+            let j = i + lag;
+            if j >= 0 && j < n {
+                ys.push(target[i as usize]);
+                xs.push(feature[j as usize]);
+            }
+        }
+        out.push(LagCorr { lag, corr: pearson(&xs, &ys) });
+    }
+    out
+}
+
+/// Autocorrelation function of a series at lags `1..=max_lag`:
+/// `acf[k-1] = corr(x[t], x[t+k])`. Quantifies how much memory a process
+/// has — the paper's "surges are unpredictable" claim corresponds to an
+/// ACF that decays almost immediately.
+pub fn autocorrelation(xs: &[f64], max_lag: usize) -> Vec<f64> {
+    (1..=max_lag)
+        .map(|k| {
+            if xs.len() <= k + 2 {
+                return 0.0;
+            }
+            pearson(&xs[..xs.len() - k], &xs[k..]).r
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_correlation() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x + 1.0).collect();
+        let c = pearson(&xs, &ys);
+        assert!((c.r - 1.0).abs() < 1e-12);
+        assert!(c.p_value < 1e-10);
+    }
+
+    #[test]
+    fn perfect_anticorrelation() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| -x).collect();
+        let c = pearson(&xs, &ys);
+        assert!((c.r + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_series_near_zero() {
+        // Deterministic pseudo-random pair with no relationship: two
+        // splitmix64-hashed streams with different keys.
+        fn h(i: u64, key: u64) -> f64 {
+            let mut x = i.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ key;
+            x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            ((x ^ (x >> 31)) % 1000) as f64
+        }
+        let xs: Vec<f64> = (0..2000).map(|i| h(i, 1)).collect();
+        let ys: Vec<f64> = (0..2000).map(|i| h(i, 2)).collect();
+        let c = pearson(&xs, &ys);
+        assert!(c.r.abs() < 0.06, "r={}", c.r);
+        assert!(c.p_value > 0.01, "p={}", c.p_value);
+    }
+
+    #[test]
+    fn constant_series_degenerate() {
+        let xs = vec![5.0; 10];
+        let ys: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let c = pearson(&xs, &ys);
+        assert_eq!(c.r, 0.0);
+        assert_eq!(c.p_value, 1.0);
+    }
+
+    #[test]
+    fn too_short_series() {
+        let c = pearson(&[1.0, 2.0], &[2.0, 1.0]);
+        assert_eq!(c.r, 0.0);
+        assert_eq!(c.n, 2);
+    }
+
+    #[test]
+    fn xcorr_peaks_at_true_shift() {
+        // target[i] = feature[i+3]: the target is a *delayed* copy of the
+        // feature — pairing target[i] with feature[i+3] aligns them, so the
+        // peak must be at lag +3.
+        let base: Vec<f64> = (0..300).map(|i| ((i as f64) * 0.7).sin()).collect();
+        let feature = base.clone();
+        let target: Vec<f64> = (0..300)
+            .map(|i| if i + 3 < 300 { base[i + 3] } else { 0.0 })
+            .collect();
+        let lags = cross_correlation(&feature, &target, 10);
+        let best = lags.iter().max_by(|a, b| a.corr.r.partial_cmp(&b.corr.r).unwrap()).unwrap();
+        assert_eq!(best.lag, 3, "peak at wrong lag: {:?}", best);
+        assert!(best.corr.r > 0.99);
+    }
+
+    #[test]
+    fn xcorr_is_symmetric_for_symmetric_signal() {
+        let xs: Vec<f64> = (0..200).map(|i| ((i as f64) * 0.3).cos()).collect();
+        let lags = cross_correlation(&xs, &xs, 5);
+        let zero = lags.iter().find(|l| l.lag == 0).unwrap();
+        assert!((zero.corr.r - 1.0).abs() < 1e-12);
+        for k in 1..=5i64 {
+            let plus = lags.iter().find(|l| l.lag == k).unwrap().corr.r;
+            let minus = lags.iter().find(|l| l.lag == -k).unwrap().corr.r;
+            assert!((plus - minus).abs() < 0.05, "lag ±{k}: {plus} vs {minus}");
+        }
+    }
+
+    #[test]
+    fn acf_of_persistent_vs_noise() {
+        // A slow sine is highly autocorrelated at small lags…
+        let slow: Vec<f64> = (0..500).map(|i| (i as f64 * 0.05).sin()).collect();
+        let acf = autocorrelation(&slow, 3);
+        assert!(acf[0] > 0.99, "lag-1 ACF of a slow signal: {}", acf[0]);
+        // …while a hash sequence has essentially none.
+        fn h(i: u64) -> f64 {
+            let mut x = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            ((x ^ (x >> 27)) % 1000) as f64
+        }
+        let noise: Vec<f64> = (0..2000).map(h).collect();
+        let nacf = autocorrelation(&noise, 3);
+        assert!(nacf[0].abs() < 0.08, "lag-1 ACF of noise: {}", nacf[0]);
+    }
+
+    #[test]
+    fn acf_short_series_zero() {
+        assert_eq!(autocorrelation(&[1.0, 2.0], 5), vec![0.0; 5]);
+    }
+
+    #[test]
+    fn xcorr_output_covers_all_lags() {
+        let xs = vec![1.0; 50];
+        let lags = cross_correlation(&xs, &xs, 7);
+        assert_eq!(lags.len(), 15);
+        assert_eq!(lags[0].lag, -7);
+        assert_eq!(lags[14].lag, 7);
+    }
+}

@@ -1,0 +1,147 @@
+//! Empirical cumulative distribution functions.
+//!
+//! Half the paper's figures are CDFs (EWT — Fig. 11, surge multipliers —
+//! Fig. 12, surge durations — Fig. 13, lifespans — Fig. 7, savings and
+//! walking times — Fig. 24). [`Ecdf`] stores the sorted sample and answers
+//! `P(X ≤ x)` queries, inverse quantiles and fixed-grid dumps for the
+//! experiment harness to print.
+
+use crate::stats::quantile;
+
+/// An empirical CDF over an `f64` sample.
+///
+/// ```
+/// use surgescope_analysis::Ecdf;
+/// let waits = Ecdf::new(vec![2.0, 3.0, 3.5, 4.0, 9.0]);
+/// assert_eq!(waits.at(4.0), 0.8);          // 80% of waits ≤ 4 minutes
+/// assert_eq!(waits.quantile(0.5), 3.5);    // median
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF from a sample (NaNs are rejected with a panic —
+    /// upstream code never produces them legitimately).
+    pub fn new(mut xs: Vec<f64>) -> Self {
+        assert!(xs.iter().all(|x| !x.is_nan()), "NaN in ECDF sample");
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Ecdf { sorted: xs }
+    }
+
+    /// Sample size.
+    pub fn n(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `P(X ≤ x)` — fraction of the sample at or below `x`.
+    pub fn at(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|v| *v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Inverse: the `q`-quantile of the sample.
+    pub fn quantile(&self, q: f64) -> f64 {
+        quantile(&self.sorted, q)
+    }
+
+    /// Minimum observed value (0 when empty).
+    pub fn min(&self) -> f64 {
+        self.sorted.first().copied().unwrap_or(0.0)
+    }
+
+    /// Maximum observed value (0 when empty).
+    pub fn max(&self) -> f64 {
+        self.sorted.last().copied().unwrap_or(0.0)
+    }
+
+    /// Evaluates the CDF on an evenly spaced grid of `points` values from
+    /// `lo` to `hi` inclusive — the series the experiment harness prints
+    /// for each CDF figure.
+    pub fn curve(&self, lo: f64, hi: f64, points: usize) -> Vec<(f64, f64)> {
+        assert!(points >= 2 && hi > lo, "bad grid");
+        (0..points)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (points - 1) as f64;
+                (x, self.at(x))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_probabilities() {
+        let e = Ecdf::new(vec![3.0, 1.0, 2.0, 4.0]);
+        assert_eq!(e.at(0.5), 0.0);
+        assert_eq!(e.at(1.0), 0.25);
+        assert_eq!(e.at(2.5), 0.5);
+        assert_eq!(e.at(4.0), 1.0);
+        assert_eq!(e.at(100.0), 1.0);
+    }
+
+    #[test]
+    fn handles_duplicates() {
+        let e = Ecdf::new(vec![1.0, 1.0, 1.0, 2.0]);
+        assert_eq!(e.at(1.0), 0.75);
+        assert_eq!(e.at(1.5), 0.75);
+        assert_eq!(e.at(2.0), 1.0);
+    }
+
+    #[test]
+    fn monotone_nondecreasing() {
+        let e = Ecdf::new((0..100).map(|i| ((i * 7919) % 100) as f64).collect());
+        let mut prev = 0.0;
+        for i in -5..110 {
+            let v = e.at(i as f64);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn quantile_inverse_roundtrip() {
+        let e = Ecdf::new((1..=100).map(|i| i as f64).collect());
+        let med = e.quantile(0.5);
+        assert!((med - 50.5).abs() < 1e-9);
+        assert!((e.at(med) - 0.5).abs() <= 0.01);
+        assert_eq!(e.min(), 1.0);
+        assert_eq!(e.max(), 100.0);
+    }
+
+    #[test]
+    fn curve_grid() {
+        let e = Ecdf::new(vec![0.0, 1.0]);
+        let c = e.curve(0.0, 1.0, 3);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c[0], (0.0, 0.5));
+        assert_eq!(c[1], (0.5, 0.5));
+        assert_eq!(c[2], (1.0, 1.0));
+    }
+
+    #[test]
+    fn empty_sample() {
+        let e = Ecdf::new(vec![]);
+        assert!(e.is_empty());
+        assert_eq!(e.at(1.0), 0.0);
+        assert_eq!(e.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn rejects_nan() {
+        let _ = Ecdf::new(vec![1.0, f64::NAN]);
+    }
+}

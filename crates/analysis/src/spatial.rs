@@ -1,0 +1,130 @@
+//! 2-D spatial aggregation for the heatmap figures.
+//!
+//! Figures 9–10 show, per measurement client, the average number of
+//! unique cars per day and the average EWT. [`SpatialGrid`] bins planar
+//! samples into fixed cells and reports per-cell means — the generic
+//! machinery behind those panels.
+
+/// A fixed-resolution planar grid accumulating `(sum, count)` per cell.
+#[derive(Debug, Clone)]
+pub struct SpatialGrid {
+    min_x: f64,
+    min_y: f64,
+    cell_m: f64,
+    cols: usize,
+    rows: usize,
+    sum: Vec<f64>,
+    count: Vec<u64>,
+}
+
+impl SpatialGrid {
+    /// A grid covering `[min_x, min_x + cols·cell_m) × [min_y, …)`.
+    pub fn new(min_x: f64, min_y: f64, cell_m: f64, cols: usize, rows: usize) -> Self {
+        assert!(cell_m > 0.0 && cols > 0 && rows > 0, "degenerate grid");
+        SpatialGrid {
+            min_x,
+            min_y,
+            cell_m,
+            cols,
+            rows,
+            sum: vec![0.0; cols * rows],
+            count: vec![0; cols * rows],
+        }
+    }
+
+    /// Grid dimensions `(cols, rows)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.cols, self.rows)
+    }
+
+    fn index(&self, x: f64, y: f64) -> Option<usize> {
+        let cx = ((x - self.min_x) / self.cell_m).floor();
+        let cy = ((y - self.min_y) / self.cell_m).floor();
+        if cx < 0.0 || cy < 0.0 {
+            return None;
+        }
+        let (cx, cy) = (cx as usize, cy as usize);
+        if cx >= self.cols || cy >= self.rows {
+            return None;
+        }
+        Some(cy * self.cols + cx)
+    }
+
+    /// Adds a sample at `(x, y)`; samples outside the grid are dropped.
+    pub fn add(&mut self, x: f64, y: f64, value: f64) {
+        if let Some(i) = self.index(x, y) {
+            self.sum[i] += value;
+            self.count[i] += 1;
+        }
+    }
+
+    /// Mean of the samples in the cell containing `(x, y)`.
+    pub fn mean_at(&self, x: f64, y: f64) -> Option<f64> {
+        let i = self.index(x, y)?;
+        if self.count[i] == 0 {
+            None
+        } else {
+            Some(self.sum[i] / self.count[i] as f64)
+        }
+    }
+
+    /// Per-cell means in row-major order (`None` for empty cells).
+    pub fn means(&self) -> Vec<Option<f64>> {
+        self.sum
+            .iter()
+            .zip(&self.count)
+            .map(|(s, c)| if *c == 0 { None } else { Some(s / *c as f64) })
+            .collect()
+    }
+
+    /// `(col, row, mean)` for every non-empty cell.
+    pub fn cells(&self) -> Vec<(usize, usize, f64)> {
+        self.means()
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, m)| m.map(|v| (i % self.cols, i / self.cols, v)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_and_means() {
+        let mut g = SpatialGrid::new(0.0, 0.0, 100.0, 4, 4);
+        g.add(50.0, 50.0, 2.0);
+        g.add(60.0, 40.0, 4.0);
+        g.add(150.0, 50.0, 10.0);
+        assert_eq!(g.mean_at(10.0, 10.0), Some(3.0));
+        assert_eq!(g.mean_at(199.0, 99.0), Some(10.0));
+        assert_eq!(g.mean_at(350.0, 350.0), None);
+    }
+
+    #[test]
+    fn out_of_bounds_dropped() {
+        let mut g = SpatialGrid::new(0.0, 0.0, 10.0, 2, 2);
+        g.add(-5.0, 5.0, 1.0);
+        g.add(5.0, 25.0, 1.0);
+        g.add(100.0, 5.0, 1.0);
+        assert!(g.cells().is_empty());
+    }
+
+    #[test]
+    fn cells_row_major() {
+        let mut g = SpatialGrid::new(0.0, 0.0, 1.0, 3, 2);
+        g.add(0.5, 0.5, 1.0); // (0,0)
+        g.add(2.5, 1.5, 7.0); // (2,1)
+        let cells = g.cells();
+        assert_eq!(cells, vec![(0, 0, 1.0), (2, 1, 7.0)]);
+        assert_eq!(g.shape(), (3, 2));
+    }
+
+    #[test]
+    fn negative_origin() {
+        let mut g = SpatialGrid::new(-100.0, -100.0, 50.0, 4, 4);
+        g.add(-75.0, -75.0, 3.0);
+        assert_eq!(g.mean_at(-75.0, -75.0), Some(3.0));
+    }
+}

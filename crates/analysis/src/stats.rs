@@ -1,0 +1,121 @@
+//! Descriptive statistics.
+//!
+//! The paper reports every mean with a 95% confidence interval
+//! (footnote 2: "we present the 95% confidence interval of the mean
+//! value"); [`mean_ci95`] computes exactly that.
+
+/// Arithmetic mean. Returns 0 for an empty slice (the callers treat an
+/// empty series as "no signal", never as an error).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (n−1 denominator). Zero for n < 2.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// A mean with its 95% confidence half-width, displayed `m ± h`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeanCi {
+    /// The sample mean.
+    pub mean: f64,
+    /// Half-width of the 95% CI (`1.96·s/√n`, normal approximation —
+    /// every series in this pipeline has n in the thousands).
+    pub half_width: f64,
+    /// Sample size.
+    pub n: usize,
+}
+
+impl std::fmt::Display for MeanCi {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3} ± {:.1e}", self.mean, self.half_width)
+    }
+}
+
+/// Mean with 95% confidence interval.
+pub fn mean_ci95(xs: &[f64]) -> MeanCi {
+    let m = mean(xs);
+    let s = std_dev(xs);
+    let h = if xs.is_empty() { 0.0 } else { 1.96 * s / (xs.len() as f64).sqrt() };
+    MeanCi { mean: m, half_width: h, n: xs.len() }
+}
+
+/// Quantile by linear interpolation on the sorted data (`q` in `[0, 1]`).
+pub fn quantile(sorted: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile out of range");
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "quantile input must be sorted"
+    );
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let f = pos - lo as f64;
+        sorted[lo] * (1.0 - f) + sorted[hi] * f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_sd_basic() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        // Sample SD of this classic set is ~2.138.
+        assert!((std_dev(&xs) - 2.138).abs() < 0.001);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+        assert_eq!(std_dev(&[3.0]), 0.0);
+        let ci = mean_ci95(&[]);
+        assert_eq!(ci.mean, 0.0);
+        assert_eq!(ci.half_width, 0.0);
+    }
+
+    #[test]
+    fn ci_shrinks_with_n() {
+        let a: Vec<f64> = (0..100).map(|i| (i % 10) as f64).collect();
+        let b: Vec<f64> = (0..10_000).map(|i| (i % 10) as f64).collect();
+        let ca = mean_ci95(&a);
+        let cb = mean_ci95(&b);
+        assert!((ca.mean - cb.mean).abs() < 1e-9);
+        assert!(cb.half_width < ca.half_width / 5.0);
+    }
+
+    #[test]
+    fn ci_display_format() {
+        let ci = MeanCi { mean: 1.36, half_width: 1e-4, n: 100 };
+        assert_eq!(format!("{ci}"), "1.360 ± 1.0e-4");
+    }
+
+    #[test]
+    fn quantiles() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 5.0);
+        assert_eq!(quantile(&xs, 0.5), 3.0);
+        assert_eq!(quantile(&xs, 0.25), 2.0);
+        assert_eq!(quantile(&xs, 0.1), 1.4);
+        assert_eq!(quantile(&[], 0.5), 0.0);
+    }
+}

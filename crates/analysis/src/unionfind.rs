@@ -1,0 +1,122 @@
+//! Disjoint-set forest.
+//!
+//! §5.3: the paper discovers surge areas by "looking for clusters of
+//! adjacent locations that always had equal surge multipliers". That is a
+//! union-find over the probe lattice: union two adjacent probes whenever
+//! their multiplier series are identical, then read off the components.
+
+/// Union-find with path compression and union by size.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n).collect(), size: vec![1; n], components: n }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merges the sets containing `a` and `b`; returns true if they were
+    /// previously distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] { (ra, rb) } else { (rb, ra) };
+        self.parent[small] = big;
+        self.size[big] += self.size[small];
+        self.components -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of disjoint sets.
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+
+    /// Groups element indices by component, in first-seen order.
+    pub fn groups(&mut self) -> Vec<Vec<usize>> {
+        let n = self.parent.len();
+        let mut by_root: Vec<(usize, Vec<usize>)> = Vec::new();
+        for i in 0..n {
+            let r = self.find(i);
+            match by_root.iter_mut().find(|(root, _)| *root == r) {
+                Some((_, v)) => v.push(i),
+                None => by_root.push((r, vec![i])),
+            }
+        }
+        by_root.into_iter().map(|(_, v)| v).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_initially() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.component_count(), 5);
+        assert!(!uf.connected(0, 1));
+    }
+
+    #[test]
+    fn union_merges_and_counts() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2), "already merged");
+        assert_eq!(uf.component_count(), 3);
+        assert!(uf.connected(0, 2));
+        assert!(!uf.connected(0, 3));
+    }
+
+    #[test]
+    fn groups_cover_all_elements() {
+        let mut uf = UnionFind::new(6);
+        uf.union(0, 3);
+        uf.union(4, 5);
+        let groups = uf.groups();
+        assert_eq!(groups.len(), 4);
+        let total: usize = groups.iter().map(|g| g.len()).sum();
+        assert_eq!(total, 6);
+        assert!(groups.iter().any(|g| g.contains(&0) && g.contains(&3)));
+        assert!(groups.iter().any(|g| g.contains(&4) && g.contains(&5)));
+    }
+
+    #[test]
+    fn transitive_chain() {
+        let mut uf = UnionFind::new(100);
+        for i in 0..99 {
+            uf.union(i, i + 1);
+        }
+        assert_eq!(uf.component_count(), 1);
+        assert!(uf.connected(0, 99));
+    }
+}

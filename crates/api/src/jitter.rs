@@ -1,0 +1,184 @@
+//! The April-2015 consistency bug ("jitter").
+//!
+//! Uber's engineers confirmed to the authors that a consistency bug caused
+//! *random customers to receive stale surge multipliers* (§5.2). Measured
+//! properties, all reproduced here:
+//!
+//! * jitter occurs **per client** (Fig. 17: ~90% of events seen by a
+//!   single client, never more than 5 of 43 simultaneously);
+//! * onset is distributed almost **uniformly within the 5-minute
+//!   interval** (Fig. 15);
+//! * 90% of events last **20–30 s**, all are under a minute;
+//! * the multiplier served during jitter equals the **previous interval's**
+//!   value, so jitter usually *reduces* the price.
+//!
+//! Whether a given client jitters in a given interval is a pure function
+//! of `(bug seed, client key, interval)`, which keeps campaigns replayable
+//! and lets the protocol layer evaluate jitter statelessly.
+
+use serde::{Deserialize, Serialize};
+use surgescope_simcore::SimRng;
+
+/// Tuning of the consistency bug.
+///
+/// ```
+/// use surgescope_api::JitterConfig;
+/// let bug = JitterConfig::default();
+/// // Whether client 7 receives stale data in interval 123 is a pure
+/// // function of the seed — campaigns replay exactly.
+/// assert_eq!(bug.window(2015, 7, 123), bug.window(2015, 7, 123));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JitterConfig {
+    /// Probability that a given client is served stale data at some point
+    /// within a given 5-minute interval.
+    pub prob_per_interval: f64,
+    /// Fraction of events with the short (20–30 s) duration; the rest run
+    /// 31–59 s.
+    pub short_fraction: f64,
+}
+
+impl Default for JitterConfig {
+    fn default() -> Self {
+        // Calibrated so April-era clients see a large sub-minute mass in
+        // surge durations (Fig. 13) while simultaneous jitter across the
+        // 43-client fleet stays rare (Fig. 17). See EXPERIMENTS.md for the
+        // measured trade-off.
+        JitterConfig { prob_per_interval: 0.18, short_fraction: 0.9 }
+    }
+}
+
+/// A window of staleness within one 5-minute interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JitterWindow {
+    /// Offset of the window start from the interval start, seconds.
+    pub start_offset: u64,
+    /// Window length, seconds (20–59).
+    pub duration: u64,
+}
+
+impl JitterWindow {
+    /// Whether `offset` seconds into the interval falls inside the window.
+    pub fn contains(&self, offset: u64) -> bool {
+        offset >= self.start_offset && offset < self.start_offset + self.duration
+    }
+}
+
+impl JitterConfig {
+    /// The jitter window (if any) for `client_key` during `interval`.
+    /// Deterministic in all three arguments.
+    pub fn window(&self, bug_seed: u64, client_key: u64, interval: u64) -> Option<JitterWindow> {
+        let mut rng = SimRng::seed_from_u64(bug_seed)
+            .split_index("jitter-client", client_key)
+            .split_index("interval", interval);
+        if !rng.chance(self.prob_per_interval) {
+            return None;
+        }
+        let duration = if rng.chance(self.short_fraction) {
+            rng.range_u64(20, 31)
+        } else {
+            rng.range_u64(31, 60)
+        };
+        // Uniform onset, clipped so the window fits inside the interval.
+        let start_offset = rng.range_u64(0, 300 - duration);
+        Some(JitterWindow { start_offset, duration })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEED: u64 = 2015;
+
+    #[test]
+    fn deterministic() {
+        let cfg = JitterConfig::default();
+        for client in 0..20 {
+            for interval in 0..50 {
+                assert_eq!(
+                    cfg.window(SEED, client, interval),
+                    cfg.window(SEED, client, interval)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn probability_close_to_config() {
+        let cfg = JitterConfig::default();
+        let n = 20_000u64;
+        let hits = (0..n).filter(|i| cfg.window(SEED, i % 43, i / 43).is_some()).count();
+        let rate = hits as f64 / n as f64;
+        assert!(
+            (rate - cfg.prob_per_interval).abs() < 0.01,
+            "rate {rate} vs {}",
+            cfg.prob_per_interval
+        );
+    }
+
+    #[test]
+    fn durations_in_spec() {
+        let cfg = JitterConfig::default();
+        let mut short = 0u32;
+        let mut total = 0u32;
+        for i in 0..50_000u64 {
+            if let Some(w) = cfg.window(SEED, i % 43, i / 43) {
+                assert!((20..60).contains(&w.duration), "duration {}", w.duration);
+                assert!(w.start_offset + w.duration <= 300, "window exceeds interval");
+                total += 1;
+                if w.duration <= 30 {
+                    short += 1;
+                }
+            }
+        }
+        assert!(total > 1000);
+        let frac = short as f64 / total as f64;
+        assert!((frac - 0.9).abs() < 0.03, "short fraction {frac}");
+    }
+
+    #[test]
+    fn onset_roughly_uniform() {
+        let cfg = JitterConfig { prob_per_interval: 1.0, short_fraction: 0.9 };
+        // Onset is uniform over [0, 300-duration); bucket the region where
+        // every duration can start, [0, 270), into three 90 s bins.
+        let mut bins = [0u32; 3];
+        for i in 0..9_000u64 {
+            let w = cfg.window(SEED, i % 43, i / 43).unwrap();
+            if w.start_offset < 270 {
+                bins[(w.start_offset / 90) as usize] += 1;
+            }
+        }
+        let total: u32 = bins.iter().sum();
+        for t in bins {
+            let f = t as f64 / total as f64;
+            assert!((f - 1.0 / 3.0).abs() < 0.05, "onset skewed: {bins:?}");
+        }
+    }
+
+    #[test]
+    fn clients_independent() {
+        let cfg = JitterConfig::default();
+        // Two clients' jitter indicators over many intervals must differ.
+        let a: Vec<bool> = (0..500).map(|i| cfg.window(SEED, 1, i).is_some()).collect();
+        let b: Vec<bool> = (0..500).map(|i| cfg.window(SEED, 2, i).is_some()).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn window_contains() {
+        let w = JitterWindow { start_offset: 100, duration: 25 };
+        assert!(!w.contains(99));
+        assert!(w.contains(100));
+        assert!(w.contains(124));
+        assert!(!w.contains(125));
+    }
+
+    #[test]
+    fn zero_probability_never_jitters() {
+        let cfg = JitterConfig { prob_per_interval: 0.0, short_fraction: 0.9 };
+        for i in 0..1000 {
+            assert!(cfg.window(SEED, i, i).is_none());
+        }
+    }
+}

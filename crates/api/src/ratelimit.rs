@@ -1,0 +1,139 @@
+//! Per-account API rate limiting.
+//!
+//! "Uber imposes a rate limit of 1,000 API requests per hour per user
+//! account" (§3.2). The paper's surge-area probing (§5.3) had to budget
+//! its queries against this limit, so the reproduction enforces it
+//! faithfully: a fixed 3,600-second window per account keyed on the hour
+//! of the request.
+
+use std::collections::HashMap;
+use surgescope_simcore::SimTime;
+
+/// The paper's documented limit.
+pub const DEFAULT_LIMIT_PER_HOUR: u32 = 1_000;
+
+/// Error returned when an account exceeds its hourly budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RateLimitError {
+    /// The account that was throttled.
+    pub account: u64,
+    /// Seconds until the current window resets.
+    pub retry_after_secs: u64,
+}
+
+impl std::fmt::Display for RateLimitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "account {} over quota; retry in {}s",
+            self.account, self.retry_after_secs
+        )
+    }
+}
+
+impl std::error::Error for RateLimitError {}
+
+/// Fixed-window rate limiter keyed by account.
+#[derive(Debug, Clone)]
+pub struct RateLimiter {
+    limit_per_hour: u32,
+    // account -> (hour index, count in that hour)
+    windows: HashMap<u64, (u64, u32)>,
+}
+
+impl RateLimiter {
+    /// Creates a limiter with the given hourly budget.
+    pub fn new(limit_per_hour: u32) -> Self {
+        assert!(limit_per_hour > 0, "limit must be positive");
+        RateLimiter { limit_per_hour, windows: HashMap::new() }
+    }
+
+    /// Records one request from `account` at `now`; errors if the account
+    /// is over budget for the current hour.
+    pub fn check(&mut self, account: u64, now: SimTime) -> Result<(), RateLimitError> {
+        let hour = now.as_secs() / 3600;
+        let entry = self.windows.entry(account).or_insert((hour, 0));
+        if entry.0 != hour {
+            *entry = (hour, 0);
+        }
+        if entry.1 >= self.limit_per_hour {
+            return Err(RateLimitError {
+                account,
+                retry_after_secs: 3600 - now.as_secs() % 3600,
+            });
+        }
+        entry.1 += 1;
+        Ok(())
+    }
+
+    /// Requests remaining for `account` in the hour containing `now`.
+    pub fn remaining(&self, account: u64, now: SimTime) -> u32 {
+        let hour = now.as_secs() / 3600;
+        match self.windows.get(&account) {
+            Some((h, c)) if *h == hour => self.limit_per_hour.saturating_sub(*c),
+            _ => self.limit_per_hour,
+        }
+    }
+}
+
+impl Default for RateLimiter {
+    fn default() -> Self {
+        RateLimiter::new(DEFAULT_LIMIT_PER_HOUR)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use surgescope_simcore::SimDuration;
+
+    #[test]
+    fn allows_up_to_limit() {
+        let mut rl = RateLimiter::new(5);
+        let t = SimTime(100);
+        for _ in 0..5 {
+            rl.check(1, t).unwrap();
+        }
+        let err = rl.check(1, t).unwrap_err();
+        assert_eq!(err.account, 1);
+        assert_eq!(err.retry_after_secs, 3500);
+    }
+
+    #[test]
+    fn window_resets_on_the_hour() {
+        let mut rl = RateLimiter::new(2);
+        let t = SimTime(3590);
+        rl.check(7, t).unwrap();
+        rl.check(7, t).unwrap();
+        assert!(rl.check(7, t).is_err());
+        let next_hour = t + SimDuration::secs(20);
+        rl.check(7, next_hour).unwrap();
+        assert_eq!(rl.remaining(7, next_hour), 1);
+    }
+
+    #[test]
+    fn accounts_independent() {
+        let mut rl = RateLimiter::new(1);
+        let t = SimTime(0);
+        rl.check(1, t).unwrap();
+        assert!(rl.check(1, t).is_err());
+        rl.check(2, t).unwrap();
+    }
+
+    #[test]
+    fn remaining_reports_budget() {
+        let mut rl = RateLimiter::new(10);
+        let t = SimTime(0);
+        assert_eq!(rl.remaining(3, t), 10);
+        rl.check(3, t).unwrap();
+        assert_eq!(rl.remaining(3, t), 9);
+        // A fresh hour restores the full budget even before any call.
+        assert_eq!(rl.remaining(3, SimTime(3600)), 10);
+    }
+
+    #[test]
+    fn paper_default_limit() {
+        let rl = RateLimiter::default();
+        assert_eq!(rl.remaining(0, SimTime(0)), 1_000);
+    }
+}

@@ -1,0 +1,521 @@
+//! The service endpoint implementation.
+//!
+//! [`ApiService`] evaluates protocol requests against a [`WorldSnapshot`]
+//! (the marketplace state at the top of the current tick). Responses are a
+//! pure function of `(world state, client key, time)`, so identical
+//! campaigns replay identically — the paper's §3.4 calibration finding
+//! that "data received from pingClient is deterministic" holds by
+//! construction here too.
+
+use crate::jitter::JitterConfig;
+use crate::messages::{CarInfo, PingClientResponse, PriceEstimate, TimeEstimate, TypeStatus};
+use crate::ratelimit::{RateLimitError, RateLimiter};
+use serde::{Deserialize, Serialize};
+use surgescope_city::{AreaId, CarType};
+use surgescope_geo::{LatLng, Meters};
+use surgescope_marketplace::{Marketplace, SurgeSnapshot, VisibleCar};
+use surgescope_simcore::{SimRng, SimTime};
+
+/// The client app shows at most this many cars per tier (§3.3).
+pub const NEAREST_CARS_SHOWN: usize = 8;
+
+/// Which protocol generation the client fleet speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProtocolEra {
+    /// Pre-April 2015: client surge updates track the API exactly
+    /// (5-minute stair-step, ~35 s propagation spread, no jitter).
+    Feb2015,
+    /// April 2015 onward: wider (~2 min) propagation spread plus the
+    /// stale-multiplier consistency bug.
+    Apr2015,
+}
+
+/// A read-only view of the marketplace taken once per tick, with visible
+/// cars pre-grouped by tier so a 43-client fleet doesn't rescan the driver
+/// table nine times per client.
+pub struct WorldSnapshot<'a> {
+    mp: &'a Marketplace,
+    now: SimTime,
+    by_type: Vec<(CarType, Vec<VisibleCar>)>,
+}
+
+impl<'a> WorldSnapshot<'a> {
+    /// Captures the marketplace state at the top of the current tick.
+    pub fn of(mp: &'a Marketplace) -> Self {
+        let mut by_type: Vec<(CarType, Vec<VisibleCar>)> = mp
+            .city()
+            .fleet_mix
+            .iter()
+            .filter(|(_, frac)| *frac > 0.0)
+            .map(|(t, _)| (*t, Vec::new()))
+            .collect();
+        for car in mp.visible_cars() {
+            if let Some((_, v)) = by_type.iter_mut().find(|(t, _)| *t == car.car_type) {
+                v.push(car);
+            }
+        }
+        WorldSnapshot { mp, now: mp.now(), by_type }
+    }
+
+    /// Snapshot time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The underlying marketplace.
+    pub fn marketplace(&self) -> &Marketplace {
+        self.mp
+    }
+
+    /// Visible cars of one tier (unsorted).
+    pub fn cars_of(&self, t: CarType) -> &[VisibleCar] {
+        self.by_type
+            .iter()
+            .find(|(ct, _)| *ct == t)
+            .map(|(_, v)| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Tiers offered in this city.
+    pub fn offered_types(&self) -> impl Iterator<Item = CarType> + '_ {
+        self.by_type.iter().map(|(t, _)| *t)
+    }
+
+    fn nearest(&self, t: CarType, pos: Meters, k: usize) -> Vec<&VisibleCar> {
+        let mut cars: Vec<(&VisibleCar, f64)> =
+            self.cars_of(t).iter().map(|c| (c, c.position.dist2(pos))).collect();
+        cars.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        cars.truncate(k);
+        cars.into_iter().map(|(c, _)| c).collect()
+    }
+
+    /// EWT in minutes for a tier at a position, from the snapshot's car
+    /// inventory (same formula the marketplace uses internally).
+    pub fn ewt_minutes(&self, pos: Meters, t: CarType) -> f64 {
+        let cfg = self.mp.config();
+        let best = self
+            .cars_of(t)
+            .iter()
+            .map(|c| self.mp.city().drive_time_secs(c.position, pos, self.now))
+            .fold(f64::INFINITY, f64::min);
+        if best.is_finite() {
+            ((best + cfg.dispatch_overhead_secs) / 60.0).max(1.0)
+        } else {
+            cfg.default_ewt_min
+        }
+    }
+}
+
+/// The protocol endpoint.
+///
+/// Owns only protocol-side state (the per-account rate limiter and the
+/// consistency-bug configuration); all marketplace state arrives through
+/// [`WorldSnapshot`]s.
+pub struct ApiService {
+    era: ProtocolEra,
+    jitter: JitterConfig,
+    bug_seed: u64,
+    limiter: RateLimiter,
+    /// Std-dev of the Gaussian perturbation applied to car positions in
+    /// pingClient responses. Uber stated that "car locations may be
+    /// slightly perturbed to protect drivers' safety" (§3.3); 0 disables.
+    location_noise_m: f64,
+}
+
+/// What kind of consumer is asking for a multiplier — the propagation
+/// delay differs (Fig. 15).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Consumer {
+    Api,
+    Client,
+}
+
+impl ApiService {
+    /// Creates a service for the given protocol era. `bug_seed`
+    /// parameterizes the consistency bug's randomness.
+    pub fn new(era: ProtocolEra, bug_seed: u64) -> Self {
+        ApiService {
+            era,
+            jitter: JitterConfig::default(),
+            bug_seed,
+            limiter: RateLimiter::default(),
+            location_noise_m: 0.0,
+        }
+    }
+
+    /// Enables driver-safety location perturbation (builder style).
+    pub fn with_location_noise(mut self, sigma_m: f64) -> Self {
+        assert!(sigma_m >= 0.0, "negative noise");
+        self.location_noise_m = sigma_m;
+        self
+    }
+
+    /// Overrides the jitter tuning (ablation benches sweep this).
+    pub fn with_jitter(mut self, jitter: JitterConfig) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// The era this service speaks.
+    pub fn era(&self) -> ProtocolEra {
+        self.era
+    }
+
+    /// Per-interval propagation delay: multipliers recompute exactly on
+    /// the 5-minute boundary but reach consumers a little later — within a
+    /// ~35 s range for the API (and Feb-era clients), within ~2 min for
+    /// Apr-era clients (Fig. 15).
+    fn update_delay(&self, interval: u64, consumer: Consumer) -> u64 {
+        let mut rng = SimRng::seed_from_u64(self.bug_seed)
+            .split_index("update-delay", interval)
+            .split(match consumer {
+                Consumer::Api => "api",
+                Consumer::Client => "client",
+            });
+        match (consumer, self.era) {
+            (Consumer::Api, _) | (Consumer::Client, ProtocolEra::Feb2015) => {
+                rng.range_u64(5, 40)
+            }
+            (Consumer::Client, ProtocolEra::Apr2015) => rng.range_u64(5, 125),
+        }
+    }
+
+    /// The multiplier a consumer sees for `(area, tier)` at time `now`,
+    /// accounting for propagation delay and (for Apr-era clients) the
+    /// consistency bug.
+    fn visible_surge(
+        &self,
+        mp: &Marketplace,
+        now: SimTime,
+        area: Option<AreaId>,
+        t: CarType,
+        consumer: Consumer,
+        client_key: u64,
+    ) -> f64 {
+        let Some(area) = area else { return 1.0 };
+        let engine = mp.surge_engine();
+        let interval = now.surge_interval();
+        let elapsed = now.seconds_into_surge_interval();
+
+        let pick = |snap: &SurgeSnapshot| snap.multiplier(area, t);
+
+        // Not yet propagated: everyone sees the previous interval's value.
+        if elapsed < self.update_delay(interval, consumer) {
+            return pick(engine.previous());
+        }
+        // The consistency bug: Apr-era clients may fall into a stale
+        // window anywhere in the interval.
+        if consumer == Consumer::Client && self.era == ProtocolEra::Apr2015 {
+            if let Some(w) = self.jitter.window(self.bug_seed, client_key, interval) {
+                if w.contains(elapsed) {
+                    return pick(engine.previous());
+                }
+            }
+        }
+        pick(engine.current())
+    }
+
+    /// Deterministic per-(car, tick) Gaussian position perturbation —
+    /// deterministic so all co-located clients still see identical data
+    /// (the §3.4 calibration must keep passing with noise enabled).
+    fn perturb(&self, p: LatLng, car_id: u64, now: SimTime) -> LatLng {
+        if self.location_noise_m <= 0.0 {
+            return p;
+        }
+        let mut rng = SimRng::seed_from_u64(self.bug_seed ^ 0x6507)
+            .split_index("loc-noise", car_id ^ now.as_secs().rotate_left(17));
+        let de = rng.normal(0.0, self.location_noise_m);
+        let dn = rng.normal(0.0, self.location_noise_m);
+        p.offset_m(de, dn)
+    }
+
+    /// Handles a pingClient request from `client_key` at `location`.
+    /// Unlimited (the paper's 43 clients pinged every 5 s for weeks
+    /// without throttling).
+    pub fn ping_client(
+        &self,
+        snap: &WorldSnapshot<'_>,
+        client_key: u64,
+        location: LatLng,
+    ) -> PingClientResponse {
+        let mp = snap.marketplace();
+        let pos = mp.city().projection.to_meters(location);
+        let area = mp.city().area_of(pos);
+        let statuses = snap
+            .offered_types()
+            .map(|t| {
+                let cars = snap
+                    .nearest(t, pos, NEAREST_CARS_SHOWN)
+                    .into_iter()
+                    .map(|c| CarInfo {
+                        id: c.session.0,
+                        position: self.perturb(c.latlng, c.session.0, snap.now()),
+                        path: c.path.points().collect(),
+                    })
+                    .collect();
+                TypeStatus {
+                    car_type: t,
+                    cars,
+                    ewt_min: snap.ewt_minutes(pos, t),
+                    surge: self.visible_surge(mp, snap.now(), area, t, Consumer::Client, client_key),
+                }
+            })
+            .collect();
+        PingClientResponse { at: snap.now(), location, statuses }
+    }
+
+    /// `estimates/price`: price ranges (with multipliers) for a reference
+    /// 5-mile / 15-minute trip from `location`. Rate-limited per account.
+    pub fn estimates_price(
+        &mut self,
+        snap: &WorldSnapshot<'_>,
+        account: u64,
+        location: LatLng,
+    ) -> Result<Vec<PriceEstimate>, RateLimitError> {
+        self.limiter.check(account, snap.now())?;
+        let mp = snap.marketplace();
+        let pos = mp.city().projection.to_meters(location);
+        let area = mp.city().area_of(pos);
+        Ok(snap
+            .offered_types()
+            .map(|t| {
+                let surge =
+                    self.visible_surge(mp, snap.now(), area, t, Consumer::Api, account);
+                let schedule = mp.city().fare_schedule(t);
+                let mid = schedule.fare(5.0 * 1609.344, 15.0 * 60.0, surge.max(1.0));
+                PriceEstimate {
+                    car_type: t,
+                    surge_multiplier: surge,
+                    low_estimate: (mid * 0.9).floor(),
+                    high_estimate: (mid * 1.1).ceil(),
+                }
+            })
+            .collect())
+    }
+
+    /// `estimates/time`: pickup ETAs in seconds. Rate-limited per account.
+    pub fn estimates_time(
+        &mut self,
+        snap: &WorldSnapshot<'_>,
+        account: u64,
+        location: LatLng,
+    ) -> Result<Vec<TimeEstimate>, RateLimitError> {
+        self.limiter.check(account, snap.now())?;
+        let mp = snap.marketplace();
+        let pos = mp.city().projection.to_meters(location);
+        Ok(snap
+            .offered_types()
+            .map(|t| TimeEstimate {
+                car_type: t,
+                estimate_secs: (snap.ewt_minutes(pos, t) * 60.0).round() as u64,
+            })
+            .collect())
+    }
+
+    /// Remaining API budget for an account this hour (diagnostic).
+    pub fn remaining_quota(&self, account: u64, now: SimTime) -> u32 {
+        self.limiter.remaining(account, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use surgescope_city::CityModel;
+    use surgescope_marketplace::MarketplaceConfig;
+    use surgescope_simcore::SimDuration;
+
+    fn busy_world() -> Marketplace {
+        let mut c = CityModel::manhattan_midtown();
+        // Plenty of idle cars: these tests exercise protocol shape, not
+        // load (demand scaled lower than supply so the noon fleet isn't
+        // fully booked).
+        c.supply = c.supply.scaled(0.3);
+        c.demand = c.demand.scaled(0.12);
+        let mut mp = Marketplace::new(c, MarketplaceConfig::default(), 7);
+        mp.run_for(SimDuration::hours(12));
+        mp
+    }
+
+    fn center(mp: &Marketplace) -> LatLng {
+        let c = mp.city().measurement_region.centroid();
+        mp.city().projection.to_latlng(c)
+    }
+
+    #[test]
+    fn ping_returns_at_most_eight_cars_per_type() {
+        let mp = busy_world();
+        let snap = WorldSnapshot::of(&mp);
+        let api = ApiService::new(ProtocolEra::Feb2015, 1);
+        let resp = api.ping_client(&snap, 0, center(&mp));
+        assert!(!resp.statuses.is_empty());
+        for s in &resp.statuses {
+            assert!(s.cars.len() <= NEAREST_CARS_SHOWN, "{}: {}", s.car_type, s.cars.len());
+            assert!(s.ewt_min >= 1.0);
+            assert!(s.surge >= 1.0);
+        }
+        let x = resp.status(CarType::UberX).expect("UberX offered");
+        assert!(
+            !x.cars.is_empty(),
+            "midday midtown should show at least one UberX"
+        );
+    }
+
+    #[test]
+    fn nearest_cars_sorted_by_distance() {
+        let mp = busy_world();
+        let snap = WorldSnapshot::of(&mp);
+        let api = ApiService::new(ProtocolEra::Feb2015, 1);
+        let loc = center(&mp);
+        let pos = mp.city().projection.to_meters(loc);
+        let resp = api.ping_client(&snap, 0, loc);
+        let x = resp.status(CarType::UberX).unwrap();
+        let dists: Vec<f64> = x
+            .cars
+            .iter()
+            .map(|c| mp.city().projection.to_meters(c.position).dist(pos))
+            .collect();
+        for w in dists.windows(2) {
+            assert!(w[0] <= w[1] + 1e-9, "not sorted: {dists:?}");
+        }
+    }
+
+    #[test]
+    fn responses_deterministic_across_clients_feb_era() {
+        // §3.4 calibration: all clients at the same spot see identical data.
+        let mp = busy_world();
+        let snap = WorldSnapshot::of(&mp);
+        let api = ApiService::new(ProtocolEra::Feb2015, 1);
+        let loc = center(&mp);
+        let a = api.ping_client(&snap, 1, loc);
+        let b = api.ping_client(&snap, 2, loc);
+        assert_eq!(a, b, "Feb-era responses must be identical across clients");
+    }
+
+    #[test]
+    fn api_never_jitters_even_in_april() {
+        let mp = busy_world();
+        let snap = WorldSnapshot::of(&mp);
+        let mut api = ApiService::new(ProtocolEra::Apr2015, 1);
+        let loc = center(&mp);
+        let a = api.estimates_price(&snap, 1, loc).unwrap();
+        let b = api.estimates_price(&snap, 2, loc).unwrap();
+        let ma: Vec<f64> = a.iter().map(|p| p.surge_multiplier).collect();
+        let mb: Vec<f64> = b.iter().map(|p| p.surge_multiplier).collect();
+        assert_eq!(ma, mb, "API multipliers are account-independent");
+    }
+
+    #[test]
+    fn estimates_rate_limited() {
+        let mp = busy_world();
+        let snap = WorldSnapshot::of(&mp);
+        let mut api = ApiService::new(ProtocolEra::Apr2015, 1);
+        let loc = center(&mp);
+        for _ in 0..1_000 {
+            api.estimates_time(&snap, 9, loc).unwrap();
+        }
+        assert!(api.estimates_time(&snap, 9, loc).is_err());
+        // pingClient is not limited.
+        let _ = api.ping_client(&snap, 9, loc);
+        // Another account unaffected.
+        api.estimates_time(&snap, 10, loc).unwrap();
+    }
+
+    #[test]
+    fn price_estimates_scale_with_surge() {
+        let mp = busy_world();
+        let snap = WorldSnapshot::of(&mp);
+        let mut api = ApiService::new(ProtocolEra::Feb2015, 1);
+        let est = api.estimates_price(&snap, 1, center(&mp)).unwrap();
+        for p in est {
+            assert!(p.high_estimate > p.low_estimate);
+            assert!(p.low_estimate > 0.0);
+            if p.car_type == CarType::UberT {
+                assert_eq!(p.surge_multiplier, 1.0, "UberT never surges");
+            }
+        }
+    }
+
+    #[test]
+    fn location_noise_perturbs_but_stays_deterministic() {
+        let mp = busy_world();
+        let snap = WorldSnapshot::of(&mp);
+        let clean = ApiService::new(ProtocolEra::Feb2015, 1);
+        let noisy = ApiService::new(ProtocolEra::Feb2015, 1).with_location_noise(50.0);
+        let loc = center(&mp);
+        let a = clean.ping_client(&snap, 1, loc);
+        let b = noisy.ping_client(&snap, 1, loc);
+        let b2 = noisy.ping_client(&snap, 2, loc);
+        assert_eq!(b, b2, "noise must be client-independent (determinism calibration)");
+        // Positions move, identities don't.
+        let xa = a.status(CarType::UberX).unwrap();
+        let xb = b.status(CarType::UberX).unwrap();
+        assert_eq!(
+            xa.cars.iter().map(|c| c.id).collect::<Vec<_>>(),
+            xb.cars.iter().map(|c| c.id).collect::<Vec<_>>()
+        );
+        let moved = xa
+            .cars
+            .iter()
+            .zip(&xb.cars)
+            .filter(|(p, q)| surgescope_geo::haversine_m(p.position, q.position) > 1.0)
+            .count();
+        assert!(moved > 0, "noise had no effect");
+        for (p, q) in xa.cars.iter().zip(&xb.cars) {
+            let d = surgescope_geo::haversine_m(p.position, q.position);
+            assert!(d < 500.0, "perturbation implausibly large: {d} m");
+        }
+    }
+
+    #[test]
+    fn update_delay_ranges_match_eras() {
+        let feb = ApiService::new(ProtocolEra::Feb2015, 3);
+        let apr = ApiService::new(ProtocolEra::Apr2015, 3);
+        for i in 0..500 {
+            let d_api = feb.update_delay(i, Consumer::Api);
+            assert!((5..40).contains(&d_api));
+            let d_feb = feb.update_delay(i, Consumer::Client);
+            assert!((5..40).contains(&d_feb));
+            let d_apr = apr.update_delay(i, Consumer::Client);
+            assert!((5..125).contains(&d_apr));
+        }
+    }
+
+    #[test]
+    fn jitter_only_in_april_era() {
+        // Construct a world, then compare per-client surge streams: in the
+        // Feb era all clients agree at every instant; in April they can
+        // diverge (that divergence is the bug the paper reported to Uber).
+        let mut c = CityModel::manhattan_midtown();
+        c.supply = c.supply.scaled(0.3);
+        c.demand = c.demand.scaled(0.3);
+        // Jack demand up so surge is actually active.
+        c.demand = c.demand.scaled(4.0);
+        let mut mp = Marketplace::new(c, MarketplaceConfig::default(), 11);
+        mp.run_for(SimDuration::hours(8));
+
+        let feb = ApiService::new(ProtocolEra::Feb2015, 5);
+        let apr = ApiService::new(ProtocolEra::Apr2015, 5)
+            .with_jitter(JitterConfig { prob_per_interval: 1.0, short_fraction: 0.9 });
+
+        let loc = center(&mp);
+        let mut feb_disagree = 0u32;
+        let mut apr_disagree = 0u32;
+        for _ in 0..720 {
+            // one hour of 5 s pings
+            mp.tick();
+            let snap = WorldSnapshot::of(&mp);
+            let surge_of = |api: &ApiService, key: u64| {
+                api.ping_client(&snap, key, loc).surge(CarType::UberX)
+            };
+            if surge_of(&feb, 1) != surge_of(&feb, 2) {
+                feb_disagree += 1;
+            }
+            if surge_of(&apr, 1) != surge_of(&apr, 2) {
+                apr_disagree += 1;
+            }
+        }
+        assert_eq!(feb_disagree, 0, "Feb era must be consistent");
+        assert!(apr_disagree > 0, "April era should show client divergence");
+    }
+}

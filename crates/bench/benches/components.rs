@@ -1,0 +1,147 @@
+//! Component-level performance benchmarks: the hot paths of the
+//! simulator, the protocol layer and the statistics library.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use surgescope_analysis::{ols, pearson, Ecdf, UnionFind};
+use surgescope_api::{ApiService, ProtocolEra, WorldSnapshot};
+use surgescope_city::{CarType, CityModel};
+use surgescope_geo::{grid, LatLng, Meters, Polygon};
+use surgescope_marketplace::{Marketplace, MarketplaceConfig};
+use surgescope_simcore::{EventQueue, SimDuration, SimRng, SimTime};
+
+fn busy_marketplace() -> Marketplace {
+    let mut city = CityModel::san_francisco_downtown();
+    city.supply = city.supply.scaled(0.5);
+    city.demand = city.demand.scaled(0.5);
+    let mut mp = Marketplace::new(city, MarketplaceConfig::default(), 99);
+    mp.run_for(SimDuration::hours(9));
+    mp
+}
+
+fn bench_marketplace(c: &mut Criterion) {
+    let mut g = c.benchmark_group("marketplace");
+
+    g.bench_function("tick_rush_hour", |b| {
+        let mut mp = busy_marketplace();
+        b.iter(|| {
+            mp.tick();
+            black_box(mp.now())
+        })
+    });
+
+    g.bench_function("world_snapshot", |b| {
+        let mp = busy_marketplace();
+        b.iter(|| black_box(WorldSnapshot::of(black_box(&mp))))
+    });
+
+    g.bench_function("ping_client", |b| {
+        let mp = busy_marketplace();
+        let api = ApiService::new(ProtocolEra::Apr2015, 1);
+        let snap = WorldSnapshot::of(&mp);
+        let loc = mp.city().projection.to_latlng(mp.city().measurement_region.centroid());
+        b.iter(|| black_box(api.ping_client(&snap, black_box(7), loc)))
+    });
+
+    g.bench_function("ewt_lookup", |b| {
+        let mp = busy_marketplace();
+        let pos = mp.city().measurement_region.centroid();
+        b.iter(|| black_box(mp.ewt_minutes(black_box(pos), CarType::UberX)))
+    });
+
+    g.finish();
+}
+
+fn bench_geo(c: &mut Criterion) {
+    let mut g = c.benchmark_group("geo");
+
+    let a = LatLng::new(40.7580, -73.9855);
+    let bb = LatLng::new(40.7680, -73.9755);
+    g.bench_function("haversine", |b| {
+        b.iter(|| black_box(surgescope_geo::haversine_m(black_box(a), black_box(bb))))
+    });
+
+    let poly = Polygon::rect(Meters::new(0.0, 0.0), Meters::new(2200.0, 900.0));
+    g.bench_function("point_in_polygon", |b| {
+        b.iter(|| black_box(poly.contains(black_box(Meters::new(1100.0, 450.0)))))
+    });
+    g.bench_function("distance_to_boundary", |b| {
+        b.iter(|| black_box(poly.distance_to_boundary(black_box(Meters::new(1100.0, 450.0)))))
+    });
+    g.bench_function("grid_cover", |b| {
+        b.iter(|| black_box(grid::cover_polygon(black_box(&poly), 200.0)))
+    });
+
+    g.finish();
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("analysis");
+
+    let xs: Vec<f64> = (0..100_000).map(|i| ((i * 2654435761u64) % 1000) as f64).collect();
+    g.bench_function("ecdf_build_100k", |b| {
+        b.iter(|| black_box(Ecdf::new(xs.clone())))
+    });
+
+    let ys: Vec<f64> = xs.iter().map(|x| x * 2.0 + 3.0).collect();
+    g.bench_function("pearson_100k", |b| {
+        b.iter(|| black_box(pearson(black_box(&xs[..10_000]), black_box(&ys[..10_000]))))
+    });
+
+    let rows: Vec<Vec<f64>> = (0..10_000)
+        .map(|i| vec![(i % 100) as f64, (i % 37) as f64, (i % 11) as f64])
+        .collect();
+    let targets: Vec<f64> = rows.iter().map(|r| 1.0 + r[0] - 0.5 * r[1] + 2.0 * r[2]).collect();
+    g.bench_function("ols_fit_10k_x3", |b| {
+        b.iter(|| black_box(ols::fit(black_box(&rows), black_box(&targets))))
+    });
+
+    g.bench_function("union_find_10k", |b| {
+        b.iter(|| {
+            let mut uf = UnionFind::new(10_000);
+            for i in 0..9_999 {
+                uf.union(i, i + 1);
+            }
+            black_box(uf.component_count())
+        })
+    });
+
+    g.finish();
+}
+
+fn bench_simcore(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simcore");
+
+    g.bench_function("event_queue_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1_000u64 {
+                q.schedule(SimTime((i * 7919) % 10_000), i);
+            }
+            let mut n = 0;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+
+    g.bench_function("rng_poisson", |b| {
+        let mut rng = SimRng::seed_from_u64(5);
+        b.iter(|| black_box(rng.poisson(black_box(4.2))))
+    });
+
+    g.bench_function("rng_split", |b| {
+        let rng = SimRng::seed_from_u64(5);
+        b.iter(|| black_box(rng.split(black_box("driver"))))
+    });
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_marketplace, bench_geo, bench_analysis, bench_simcore
+}
+criterion_main!(benches);

@@ -1,0 +1,273 @@
+//! One benchmark per paper table/figure: each measures the analysis
+//! pipeline that regenerates that artifact, over a shared miniature
+//! campaign (see `surgescope-bench`'s crate docs). The full-scale
+//! regeneration itself is the `repro` binary:
+//! `cargo run --release -p surgescope-experiments --bin repro -- all`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use surgescope_analysis::{cross_correlation, mean, Ecdf};
+use surgescope_bench::{mini_campaign, mini_taxi};
+use surgescope_city::{CarType, CityModel};
+use surgescope_core::areas::{infer_areas, probe_lattice, rand_index};
+use surgescope_core::avoidance;
+use surgescope_core::forecast::{build_rows, fit, ModelFilter};
+use surgescope_core::surge_obs::{change_moments, detect_jitter, episodes, simultaneity};
+use surgescope_geo::{grid, Meters};
+
+fn bench_figures(c: &mut Criterion) {
+    let data = mini_campaign();
+    let mut g = c.benchmark_group("figures");
+
+    // fig02/fig03 — placement and coverage calibration math.
+    let city = CityModel::manhattan_midtown();
+    g.bench_function("fig02_coverage_check", |b| {
+        let slots = grid::cover_polygon(&city.measurement_region, city.client_spacing_m);
+        let pts: Vec<Meters> = slots.iter().map(|s| s.position).collect();
+        b.iter(|| {
+            black_box(grid::coverage_fraction(
+                &city.measurement_region,
+                black_box(&pts),
+                400.0,
+            ))
+        })
+    });
+    g.bench_function("fig03_grid_placement", |b| {
+        b.iter(|| {
+            black_box(grid::cover_polygon(
+                black_box(&city.measurement_region),
+                black_box(150.0),
+            ))
+        })
+    });
+
+    // fig04 — validation capture ratios over taxi series.
+    g.bench_function("fig04_capture_ratios", |b| {
+        let (est, truth) = mini_taxi();
+        b.iter(|| {
+            let sum = |v: &[u32]| v.iter().map(|&x| x as u64).sum::<u64>() as f64;
+            let s = sum(est.supply_series(CarType::UberT)) / sum(&truth.supply).max(1.0);
+            let d = sum(est.death_series(CarType::UberT)) / sum(&truth.demand).max(1.0);
+            black_box((s, d))
+        })
+    });
+
+    // fig05 — per-type mean supply.
+    g.bench_function("fig05_type_prevalence", |b| {
+        b.iter(|| {
+            let mut out = Vec::new();
+            for t in CarType::ALL {
+                let s: Vec<f64> = data
+                    .estimator
+                    .supply_series(t)
+                    .iter()
+                    .map(|&x| x as f64)
+                    .collect();
+                out.push(mean(&s));
+            }
+            black_box(out)
+        })
+    });
+
+    // fig07 — lifespan ECDF.
+    g.bench_function("fig07_lifespan_ecdf", |b| {
+        b.iter(|| {
+            let sample: Vec<f64> = data
+                .estimator
+                .lifespans
+                .iter()
+                .filter(|(t, _)| t.is_low_priced())
+                .map(|(_, s)| *s as f64)
+                .collect();
+            let e = Ecdf::new(sample);
+            black_box((e.quantile(0.5), e.quantile(0.9)))
+        })
+    });
+
+    // fig08 — hourly binning of the four series.
+    g.bench_function("fig08_hourly_binning", |b| {
+        let supply = data.estimator.supply_series(CarType::UberX);
+        b.iter(|| {
+            let mut rows = Vec::new();
+            for h in 0..(data.intervals / 12) {
+                let span = h * 12..((h + 1) * 12).min(supply.len());
+                let s: Vec<f64> = supply[span].iter().map(|&x| x as f64).collect();
+                rows.push(mean(&s));
+            }
+            black_box(rows)
+        })
+    });
+
+    // fig09/fig10 — per-client heatmap assembly.
+    g.bench_function("fig09_heatmap_assembly", |b| {
+        b.iter(|| {
+            let rows: Vec<(f64, f64)> = (0..data.clients.len())
+                .map(|i| (data.client_interval_cars[i], data.client_mean_ewt[i]))
+                .collect();
+            black_box(rows)
+        })
+    });
+
+    // fig11 — EWT ECDF over every client sample.
+    g.bench_function("fig11_ewt_ecdf", |b| {
+        b.iter(|| {
+            let sample: Vec<f64> = data
+                .client_ewt
+                .iter()
+                .flat_map(|v| v.iter().map(|&x| x as f64))
+                .collect();
+            let e = Ecdf::new(sample);
+            black_box(e.at(4.0))
+        })
+    });
+
+    // fig12 — surge multiplier distribution.
+    g.bench_function("fig12_surge_ecdf", |b| {
+        b.iter(|| {
+            let sample: Vec<f64> = data
+                .api_surge
+                .iter()
+                .flat_map(|a| a.iter().map(|&m| m as f64))
+                .collect();
+            black_box(Ecdf::new(sample).at(1.5))
+        })
+    });
+
+    // fig13 — episode segmentation over every client stream.
+    g.bench_function("fig13_episode_segmentation", |b| {
+        b.iter(|| {
+            let mut durs = Vec::new();
+            for series in &data.client_surge {
+                durs.extend(episodes(series, data.tick_secs));
+            }
+            black_box(durs.len())
+        })
+    });
+
+    // fig14 — jitter detection on one client.
+    g.bench_function("fig14_jitter_single_client", |b| {
+        let area = data.client_area[0].unwrap();
+        b.iter(|| {
+            black_box(detect_jitter(
+                black_box(&data.client_surge[0]),
+                black_box(&data.api_surge[area]),
+                data.tick_secs,
+            ))
+        })
+    });
+
+    // fig15 — update-moment detection.
+    g.bench_function("fig15_change_moments", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for series in &data.client_surge {
+                n += change_moments(series, data.tick_secs).len();
+            }
+            black_box(n)
+        })
+    });
+
+    // fig16/fig17 — fleet-wide jitter + simultaneity histogram.
+    g.bench_function("fig16_17_fleet_jitter", |b| {
+        b.iter(|| {
+            let per_client: Vec<_> = data
+                .client_surge
+                .iter()
+                .enumerate()
+                .map(|(ci, s)| match data.client_area[ci] {
+                    Some(a) => detect_jitter(s, &data.api_surge[a], data.tick_secs),
+                    None => Vec::new(),
+                })
+                .collect();
+            black_box(simultaneity(&per_client, data.tick_secs))
+        })
+    });
+
+    // fig18/fig19 — lock-step clustering over a probe lattice.
+    g.bench_function("fig18_19_area_inference", |b| {
+        let probes = probe_lattice(&city.service_region, 500.0);
+        let series: Vec<Vec<f32>> = probes
+            .iter()
+            .map(|p| {
+                let a = city.area_of(*p).map(|a| a.0).unwrap_or(0);
+                (0..288).map(|i| 1.0 + ((i + a * 7) % 5) as f32 / 10.0).collect()
+            })
+            .collect();
+        b.iter(|| {
+            let inf = infer_areas(black_box(&probes), black_box(&series), 750.0);
+            black_box(rand_index(&city, &inf))
+        })
+    });
+
+    // fig20/fig21 — lagged cross-correlation.
+    g.bench_function("fig20_21_cross_correlation", |b| {
+        let supply: Vec<f64> = data
+            .estimator
+            .supply_area_series(0)
+            .iter()
+            .map(|&x| x as f64)
+            .collect();
+        let surge: Vec<f64> = data.api_surge[0].iter().map(|&m| m as f64).collect();
+        let n = supply.len().min(surge.len());
+        b.iter(|| {
+            black_box(cross_correlation(
+                black_box(&supply[..n]),
+                black_box(&surge[..n]),
+                12,
+            ))
+        })
+    });
+
+    // tab01 — row building + OLS fits for all three filters.
+    g.bench_function("tab01_forecast_fits", |b| {
+        let area = (
+            data.estimator.supply_area_series(0).to_vec(),
+            data.estimator.death_area_series(0).to_vec(),
+            data.api_ewt[0].clone(),
+            data.api_surge[0].clone(),
+        );
+        b.iter(|| {
+            for filter in [ModelFilter::Raw, ModelFilter::Threshold, ModelFilter::Rush] {
+                let (rows, ys) = build_rows(&area.0, &area.1, &area.2, &area.3, filter);
+                black_box(fit(&rows, &ys));
+            }
+        })
+    });
+
+    // fig22 — transition probability extraction.
+    g.bench_function("fig22_transition_probabilities", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for a in 0..data.transitions.area_count() {
+                for ctx in 0..2 {
+                    if let Some(p) = data.transitions.probabilities(a, ctx) {
+                        acc += p.iter().sum::<f64>();
+                    }
+                }
+            }
+            black_box(acc)
+        })
+    });
+
+    // fig23/fig24 — the avoidance evaluator over the full campaign.
+    g.bench_function("fig23_24_avoidance_evaluate", |b| {
+        b.iter(|| {
+            black_box(avoidance::evaluate(
+                &data.city,
+                &data.clients,
+                &data.client_area,
+                &data.api_surge,
+                &data.api_ewt,
+            ))
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_figures
+}
+criterion_main!(benches);

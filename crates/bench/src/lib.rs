@@ -1,0 +1,51 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! The figure benchmarks measure each experiment's *analysis pipeline*
+//! over a shared miniature campaign (building a campaign per Criterion
+//! iteration would measure the simulator, not the analysis, and take
+//! hours). The campaign is built once per process via [`mini_campaign`];
+//! component benches construct their own inputs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::OnceLock;
+use surgescope_api::ProtocolEra;
+use surgescope_city::CityModel;
+use surgescope_core::estimate::{EstimatorConfig, SupplyDemandEstimator};
+use surgescope_core::{Campaign, CampaignConfig, CampaignData};
+use surgescope_taxi::{TaxiGroundTruth, TraceGenerator};
+
+static CAMPAIGN: OnceLock<CampaignData> = OnceLock::new();
+static TAXI: OnceLock<(SupplyDemandEstimator, TaxiGroundTruth)> = OnceLock::new();
+
+/// A 4-hour, 35%-scale SF campaign shared by every figure benchmark.
+/// SF is chosen because it surges often, so every analysis has data.
+pub fn mini_campaign() -> &'static CampaignData {
+    CAMPAIGN.get_or_init(|| {
+        let cfg = CampaignConfig {
+            hours: 4,
+            era: ProtocolEra::Apr2015,
+            scale: 0.35,
+            ..CampaignConfig::test_default(808)
+        };
+        Campaign::run_uber(CityModel::san_francisco_downtown(), &cfg)
+    })
+}
+
+/// A miniature taxi validation shared by the fig04 benchmark.
+pub fn mini_taxi() -> &'static (SupplyDemandEstimator, TaxiGroundTruth) {
+    TAXI.get_or_init(|| {
+        let city = CityModel::manhattan_midtown();
+        let trace = TraceGenerator { taxis: 80, days: 1, ..Default::default() }
+            .generate(&city, 808);
+        Campaign::run_taxi(
+            &trace,
+            city.measurement_region.clone(),
+            200.0,
+            12,
+            808,
+            EstimatorConfig::default(),
+        )
+    })
+}

@@ -1,0 +1,382 @@
+//! Built-in models of the two study cities.
+//!
+//! Geometry note: these are *vector sketches*, not cartography. What the
+//! experiments need from a city model is (a) the adjacency topology of the
+//! surge areas, (b) the relative scales the paper reports (Manhattan's
+//! areas smaller and its client lattice denser than SF's), and (c) demand/
+//! supply/tuning asymmetries that reproduce the measured contrasts: SF has
+//! ~58% more cars than midtown Manhattan yet surges far more often (57% vs
+//! 14% of the time), with higher multipliers (mean 1.36 vs 1.07) and a
+//! 2 a.m. "last call" demand spike. All constants here were calibrated
+//! against the paper's Figures 8 and 12 (see EXPERIMENTS.md).
+
+use crate::model::{AreaId, CityModel, Hotspot, SurgeArea, SurgeTuning};
+use crate::profiles::{DemandProfile, SupplyProfile};
+use crate::types::{CarType, FareSchedule};
+use surgescope_geo::{LatLng, LocalProjection, Meters, Polygon};
+use surgescope_simcore::DiurnalCurve;
+
+fn rect(x0: f64, y0: f64, x1: f64, y1: f64) -> Polygon {
+    Polygon::rect(Meters::new(x0, y0), Meters::new(x1, y1))
+}
+
+/// Quadrant partition of a rectangle at the given split lines; returns the
+/// four areas (0=SW, 1=SE, 2=NW, 3=NE) and their adjacency (corner-only
+/// contact does not count as adjacency, matching the walking strategy's
+/// notion of "adjacent area").
+fn quadrants(
+    x0: f64,
+    y0: f64,
+    x1: f64,
+    y1: f64,
+    xsplit: f64,
+    ysplit: f64,
+    prefix: &str,
+) -> (Vec<SurgeArea>, Vec<Vec<AreaId>>) {
+    let polys = [
+        rect(x0, y0, xsplit, ysplit),
+        rect(xsplit, y0, x1, ysplit),
+        rect(x0, ysplit, xsplit, y1),
+        rect(xsplit, ysplit, x1, y1),
+    ];
+    let areas = polys
+        .into_iter()
+        .enumerate()
+        .map(|(i, polygon)| SurgeArea {
+            id: AreaId(i),
+            name: format!("{prefix} {i}"),
+            polygon,
+        })
+        .collect();
+    let adjacency = vec![
+        vec![AreaId(1), AreaId(2)],
+        vec![AreaId(0), AreaId(3)],
+        vec![AreaId(0), AreaId(3)],
+        vec![AreaId(1), AreaId(2)],
+    ];
+    (areas, adjacency)
+}
+
+fn standard_fares() -> Vec<(CarType, FareSchedule)> {
+    vec![
+        (CarType::UberX, FareSchedule::uberx_2015()),
+        (CarType::UberXL, FareSchedule { base: 4.5, per_mile: 2.85, per_minute: 0.55, minimum: 10.0 }),
+        (CarType::UberBlack, FareSchedule { base: 7.0, per_mile: 3.75, per_minute: 0.65, minimum: 15.0 }),
+        (CarType::UberSuv, FareSchedule { base: 14.0, per_mile: 4.5, per_minute: 0.8, minimum: 25.0 }),
+        (CarType::UberFamily, FareSchedule { base: 13.0, per_mile: 2.15, per_minute: 0.4, minimum: 18.0 }),
+        (CarType::UberPool, FareSchedule { base: 2.0, per_mile: 1.5, per_minute: 0.25, minimum: 6.0 }),
+        (CarType::UberRush, FareSchedule { base: 5.0, per_mile: 2.5, per_minute: 0.0, minimum: 7.0 }),
+        (CarType::UberWav, FareSchedule::uberx_2015()),
+        (CarType::UberT, FareSchedule { base: 2.5, per_mile: 2.5, per_minute: 0.5, minimum: 3.0 }),
+    ]
+}
+
+impl CityModel {
+    /// Midtown Manhattan, April 2015.
+    ///
+    /// 200 m client lattice (≈44 clients) over a 2.2 × 0.9 km measurement
+    /// band; four compact surge areas; heavy UberT and BLACK/SUV presence;
+    /// surge rare (≈14% of intervals) and capped low.
+    pub fn manhattan_midtown() -> CityModel {
+        // Projection origin: SW corner of the measurement band, near
+        // 8th Ave & W 40th St.
+        let projection = LocalProjection::new(LatLng::new(40.7549, -73.9900));
+        let (areas, adjacency) =
+            quadrants(-800.0, -800.0, 3600.0, 2600.0, 1100.0, 450.0, "Manhattan");
+        let city = CityModel {
+            name: "Midtown Manhattan".to_string(),
+            projection,
+            service_region: rect(-800.0, -800.0, 3600.0, 2600.0),
+            measurement_region: rect(0.0, 0.0, 2200.0, 900.0),
+            client_spacing_m: 200.0,
+            areas,
+            adjacency,
+            hotspots: vec![
+                Hotspot { name: "Times Square".into(), center: Meters::new(600.0, 350.0), sigma_m: 250.0, weight: 3.0 },
+                Hotspot { name: "Fifth Avenue".into(), center: Meters::new(1500.0, 450.0), sigma_m: 300.0, weight: 2.2 },
+                Hotspot { name: "Penn Station".into(), center: Meters::new(350.0, 80.0), sigma_m: 220.0, weight: 1.6 },
+                Hotspot { name: "Grand Central".into(), center: Meters::new(1900.0, 500.0), sigma_m: 260.0, weight: 1.8 },
+            ],
+            // Midtown traffic: ~25 km/h off-peak, crawling at rush hour.
+            drive_speed: DiurnalCurve::new(vec![
+                (0.0, 6.5),
+                (4.0, 7.5),
+                (8.0, 4.0),
+                (11.0, 5.0),
+                (17.5, 3.8),
+                (21.0, 5.5),
+            ]),
+            demand: DemandProfile::new(
+                // Weekday: commuter double-peak, evening heavier (paper:
+                // surge tends to rise from 3 p.m. through evening rush).
+                DiurnalCurve::new(vec![
+                    (0.0, 100.0),
+                    (3.0, 40.0),
+                    (5.0, 60.0),
+                    (7.5, 420.0),
+                    (9.5, 360.0),
+                    (12.0, 300.0),
+                    (15.0, 430.0),
+                    (18.0, 560.0),
+                    (20.0, 380.0),
+                    (22.0, 210.0),
+                ]),
+                // Weekend: tourist midday bulge (paper: weekend surge peaks
+                // noon–3 p.m.) plus late-night activity.
+                DiurnalCurve::new(vec![
+                    (0.0, 260.0),
+                    (3.0, 150.0),
+                    (6.0, 60.0),
+                    (10.0, 220.0),
+                    (13.0, 430.0),
+                    (15.0, 390.0),
+                    (19.0, 330.0),
+                    (22.0, 300.0),
+                ]),
+            )
+            .scaled(1.8),
+            supply: SupplyProfile::new(
+                DiurnalCurve::new(vec![
+                    (0.0, 70.0),
+                    (4.0, 45.0),
+                    (6.0, 110.0),
+                    (9.0, 150.0),
+                    (12.0, 135.0),
+                    (16.0, 160.0),
+                    (19.0, 165.0),
+                    (22.0, 95.0),
+                ]),
+                DiurnalCurve::new(vec![
+                    (0.0, 110.0),
+                    (4.0, 60.0),
+                    (10.0, 120.0),
+                    (13.0, 150.0),
+                    (18.0, 160.0),
+                    (22.0, 120.0),
+                ]),
+                500,
+            ),
+            // Manhattan: relatively fewer UberX, many BLACK/SUV/XL and a
+            // real UberT population (§4.2).
+            fleet_mix: vec![
+                (CarType::UberX, 0.50),
+                (CarType::UberXL, 0.07),
+                (CarType::UberBlack, 0.14),
+                (CarType::UberSuv, 0.09),
+                (CarType::UberFamily, 0.015),
+                (CarType::UberPool, 0.03),
+                (CarType::UberRush, 0.005),
+                (CarType::UberWav, 0.005),
+                (CarType::UberT, 0.145),
+            ],
+            fares: standard_fares(),
+            surge_tuning: SurgeTuning {
+                utilisation_threshold: 0.92,
+                utilisation_gain: 3.4,
+                ewt_gain: 0.10,
+                ewt_floor_min: 9.0,
+                noise_sigma: 0.028,
+                max_multiplier: 3.0,
+            },
+        };
+        city.validate();
+        city
+    }
+
+    /// Downtown San Francisco, April–May 2015.
+    ///
+    /// 350 m client lattice (≈45 clients) over a 3.2 × 1.8 km region; four
+    /// larger surge areas; UberX-dominated fleet; surge frequent (>50% of
+    /// intervals), higher multipliers, morning-rush peak near 2.0 and a
+    /// 2 a.m. "last call" spike that can reach 3.0.
+    pub fn san_francisco_downtown() -> CityModel {
+        // Projection origin: SW corner near Market & Van Ness.
+        let projection = LocalProjection::new(LatLng::new(37.7740, -122.4220));
+        let (areas, adjacency) =
+            quadrants(-1000.0, -1000.0, 4200.0, 3000.0, 1600.0, 900.0, "SF");
+        let city = CityModel {
+            name: "Downtown San Francisco".to_string(),
+            projection,
+            service_region: rect(-1000.0, -1000.0, 4200.0, 3000.0),
+            measurement_region: rect(0.0, 0.0, 3200.0, 1800.0),
+            client_spacing_m: 350.0,
+            areas,
+            adjacency,
+            hotspots: vec![
+                Hotspot { name: "Financial District".into(), center: Meters::new(2600.0, 1500.0), sigma_m: 350.0, weight: 3.0 },
+                Hotspot { name: "Union Square".into(), center: Meters::new(1600.0, 950.0), sigma_m: 300.0, weight: 2.5 },
+                Hotspot { name: "Embarcadero".into(), center: Meters::new(3000.0, 1700.0), sigma_m: 300.0, weight: 2.0 },
+                Hotspot { name: "UCSF".into(), center: Meters::new(300.0, 200.0), sigma_m: 250.0, weight: 1.5 },
+                Hotspot { name: "Russian Hill".into(), center: Meters::new(900.0, 1650.0), sigma_m: 320.0, weight: 1.6 },
+            ],
+            drive_speed: DiurnalCurve::new(vec![
+                (0.0, 8.0),
+                (4.0, 9.0),
+                (8.0, 5.0),
+                (13.0, 6.5),
+                (17.5, 5.0),
+                (21.0, 7.0),
+            ]),
+            demand: DemandProfile::new(
+                // Weekday: strong morning rush (surge peaks ~2.0 in the
+                // 6–9 a.m. window per §4.2), heavy evening, and the 2 a.m.
+                // bar-close spike. Rates keep the fleet near saturation —
+                // SF surges the majority of the time (§5.1).
+                DiurnalCurve::new(vec![
+                    (0.0, 700.0),
+                    (2.0, 980.0),
+                    (3.0, 340.0),
+                    (5.0, 220.0),
+                    (7.5, 1600.0),
+                    (9.5, 1380.0),
+                    (12.0, 1150.0),
+                    (15.0, 1250.0),
+                    (18.0, 1550.0),
+                    (21.0, 980.0),
+                ]),
+                // Weekend: later start, bigger 2 a.m. spike.
+                DiurnalCurve::new(vec![
+                    (0.0, 950.0),
+                    (2.0, 1300.0),
+                    (3.5, 440.0),
+                    (6.0, 200.0),
+                    (11.0, 820.0),
+                    (14.0, 1080.0),
+                    (19.0, 1180.0),
+                    (22.0, 1050.0),
+                ]),
+            ),
+            supply: SupplyProfile::new(
+                DiurnalCurve::new(vec![
+                    (0.0, 130.0),
+                    (4.0, 75.0),
+                    (6.0, 190.0),
+                    (9.0, 265.0),
+                    (12.0, 235.0),
+                    (16.0, 260.0),
+                    (19.0, 270.0),
+                    (22.0, 170.0),
+                ]),
+                DiurnalCurve::new(vec![
+                    (0.0, 190.0),
+                    (4.0, 90.0),
+                    (10.0, 200.0),
+                    (14.0, 250.0),
+                    (19.0, 260.0),
+                    (22.0, 210.0),
+                ]),
+                800,
+            ),
+            // SF: UberX-dominated (the paper attributes SF's larger fleet
+            // almost entirely to UberX).
+            fleet_mix: vec![
+                (CarType::UberX, 0.70),
+                (CarType::UberXL, 0.05),
+                (CarType::UberBlack, 0.08),
+                (CarType::UberSuv, 0.05),
+                (CarType::UberFamily, 0.02),
+                (CarType::UberPool, 0.08),
+                (CarType::UberRush, 0.005),
+                (CarType::UberWav, 0.005),
+                (CarType::UberT, 0.01),
+            ],
+            fares: standard_fares(),
+            surge_tuning: SurgeTuning {
+                utilisation_threshold: 0.57,
+                utilisation_gain: 5.6,
+                ewt_gain: 0.22,
+                ewt_floor_min: 3.5,
+                noise_sigma: 0.25,
+                max_multiplier: 4.5,
+            },
+        };
+        city.validate();
+        city
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use surgescope_geo::grid;
+    use surgescope_simcore::{SimDuration, SimTime};
+
+    #[test]
+    fn client_counts_near_paper_43() {
+        for city in [CityModel::manhattan_midtown(), CityModel::san_francisco_downtown()] {
+            let slots = grid::cover_polygon(&city.measurement_region, city.client_spacing_m);
+            assert!(
+                (40..=48).contains(&slots.len()),
+                "{}: {} client slots (want ≈43)",
+                city.name,
+                slots.len()
+            );
+        }
+    }
+
+    #[test]
+    fn sf_has_more_supply_than_manhattan() {
+        let m = CityModel::manhattan_midtown();
+        let s = CityModel::san_francisco_downtown();
+        let noon = SimTime::EPOCH + SimDuration::hours(12);
+        assert!(s.supply.target_online(noon) as f64 > 1.3 * m.supply.target_online(noon) as f64);
+    }
+
+    #[test]
+    fn sf_last_call_spike_present() {
+        let s = CityModel::san_francisco_downtown();
+        let two_am = SimTime::EPOCH + SimDuration::hours(2);
+        let four_am = SimTime::EPOCH + SimDuration::hours(4);
+        assert!(s.demand.rate_per_hour(two_am) > 3.0 * s.demand.rate_per_hour(four_am));
+    }
+
+    #[test]
+    fn manhattan_areas_smaller_than_sf() {
+        let m = CityModel::manhattan_midtown();
+        let s = CityModel::san_francisco_downtown();
+        let mean_area = |c: &CityModel| {
+            c.areas.iter().map(|a| a.polygon.area_m2().abs()).sum::<f64>() / c.areas.len() as f64
+        };
+        assert!(mean_area(&s) > 1.3 * mean_area(&m));
+    }
+
+    #[test]
+    fn sf_surges_easier() {
+        let m = CityModel::manhattan_midtown();
+        let s = CityModel::san_francisco_downtown();
+        assert!(s.surge_tuning.utilisation_threshold < m.surge_tuning.utilisation_threshold);
+        assert!(s.surge_tuning.max_multiplier > m.surge_tuning.max_multiplier);
+    }
+
+    #[test]
+    fn quadrant_adjacency_excludes_diagonals() {
+        let m = CityModel::manhattan_midtown();
+        assert!(m.areas_adjacent(AreaId(0), AreaId(1)));
+        assert!(m.areas_adjacent(AreaId(0), AreaId(2)));
+        assert!(!m.areas_adjacent(AreaId(0), AreaId(3)), "diagonal is not adjacent");
+        assert!(!m.areas_adjacent(AreaId(1), AreaId(2)));
+    }
+
+    #[test]
+    fn measurement_region_spans_all_areas() {
+        for city in [CityModel::manhattan_midtown(), CityModel::san_francisco_downtown()] {
+            let slots = grid::cover_polygon(&city.measurement_region, city.client_spacing_m);
+            let mut seen = std::collections::HashSet::new();
+            for s in &slots {
+                if let Some(a) = city.area_of(s.position) {
+                    seen.insert(a);
+                }
+            }
+            assert_eq!(seen.len(), 4, "{}: clients reach {} areas", city.name, seen.len());
+        }
+    }
+
+    #[test]
+    fn fares_defined_for_all_types() {
+        let m = CityModel::manhattan_midtown();
+        for t in CarType::ALL {
+            let f = m.fare_schedule(t);
+            assert!(f.base >= 0.0 && f.minimum > 0.0);
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! City models and workload profiles.
+//!
+//! The paper studies two regions — **midtown Manhattan** and **downtown
+//! San Francisco** — whose different geography and rider culture produce
+//! visibly different marketplace dynamics (SF has more cars *and* surges
+//! far more often; Manhattan's surge areas are smaller). This crate holds
+//! everything that is *about the city* rather than about the marketplace
+//! mechanism:
+//!
+//! * [`CityModel`]: service boundary, measurement region, surge-area
+//!   partition with adjacency, demand hotspots, drive-speed curve, fleet
+//!   mix and surge tuning constants;
+//! * [`DemandProfile`] / [`SupplyProfile`]: diurnal request-rate and
+//!   driver-availability curves (weekday vs. weekend);
+//! * [`CarType`]: the product tiers (UberX, UberBLACK, …) with their fare
+//!   schedules;
+//! * built-in models [`CityModel::manhattan_midtown`] and
+//!   [`CityModel::san_francisco_downtown`] calibrated so the reproduction
+//!   exhibits the paper's cross-city contrasts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builtins;
+mod model;
+mod profiles;
+mod types;
+
+pub use model::{AreaId, CityModel, Hotspot, SurgeArea, SurgeTuning};
+pub use profiles::{DemandProfile, SupplyProfile};
+pub use types::{CarType, FareSchedule};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use surgescope_simcore::{SimRng, SimTime};
+
+    proptest! {
+        #[test]
+        fn sampled_points_always_in_region(seed in 0u64..200, bias in 0.0f64..1.0) {
+            let city = CityModel::manhattan_midtown();
+            let mut rng = SimRng::seed_from_u64(seed);
+            for _ in 0..20 {
+                let p = city.sample_point(&mut rng, bias);
+                prop_assert!(city.service_region.contains(p));
+            }
+        }
+
+        #[test]
+        fn fare_monotone_in_inputs(dist in 0.0f64..50_000.0, secs in 0.0f64..7_200.0,
+                                   surge in 1.0f64..5.0) {
+            let f = FareSchedule::uberx_2015();
+            let base = f.fare(dist, secs, surge);
+            prop_assert!(base >= f.minimum);
+            prop_assert!(f.fare(dist + 1_000.0, secs, surge) >= base);
+            prop_assert!(f.fare(dist, secs + 300.0, surge) >= base);
+            prop_assert!(f.fare(dist, secs, (surge + 0.5).min(5.0)) >= base);
+        }
+
+        #[test]
+        fn demand_rate_never_negative(hours in 0u64..(14 * 24)) {
+            let city = CityModel::san_francisco_downtown();
+            let t = SimTime(hours * 3600);
+            prop_assert!(city.demand.rate_per_hour(t) >= 0.0);
+            let _ = city.supply.target_online(t);
+        }
+
+        #[test]
+        fn drive_time_symmetric_and_triangleish(ax in 0.0f64..2_000.0, ay in 0.0f64..900.0,
+                                                bx in 0.0f64..2_000.0, by in 0.0f64..900.0,
+                                                hours in 0u64..24) {
+            let city = CityModel::manhattan_midtown();
+            let t = SimTime(hours * 3600);
+            let a = surgescope_geo::Meters::new(ax, ay);
+            let b = surgescope_geo::Meters::new(bx, by);
+            let ab = city.drive_time_secs(a, b, t);
+            let ba = city.drive_time_secs(b, a, t);
+            prop_assert!((ab - ba).abs() < 1e-9, "drive time must be symmetric");
+            prop_assert!(ab >= 0.0);
+        }
+    }
+}

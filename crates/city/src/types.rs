@@ -1,0 +1,166 @@
+//! Product tiers and fare schedules.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The vehicle/product tiers the service offers (§2 of the paper).
+///
+/// UberX dominates both cities by a large margin; the paper's analysis
+/// consequently focuses on it, but the simulator carries every tier so the
+/// per-type experiments (Figs. 5–7, 11) have real data for the rare ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum CarType {
+    UberX,
+    UberXL,
+    UberBlack,
+    UberSuv,
+    UberFamily,
+    UberPool,
+    UberRush,
+    UberWav,
+    /// Ordinary taxis hailed through the app; metered, **not** surge-priced.
+    UberT,
+}
+
+impl CarType {
+    /// Every tier, in the paper's reporting order.
+    pub const ALL: [CarType; 9] = [
+        CarType::UberX,
+        CarType::UberXL,
+        CarType::UberBlack,
+        CarType::UberSuv,
+        CarType::UberFamily,
+        CarType::UberPool,
+        CarType::UberRush,
+        CarType::UberWav,
+        CarType::UberT,
+    ];
+
+    /// Whether this tier participates in surge pricing. UberT fares are
+    /// set by the taxi meter, so surge never applies (§4.2).
+    pub fn surge_priced(self) -> bool {
+        !matches!(self, CarType::UberT)
+    }
+
+    /// The low-priced tiers the paper groups together when discussing
+    /// lifespans ("X, XL, FAMILY, and POOL", §4.1).
+    pub fn is_low_priced(self) -> bool {
+        matches!(
+            self,
+            CarType::UberX | CarType::UberXL | CarType::UberFamily | CarType::UberPool
+        )
+    }
+
+    /// Short name used in logs and result tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            CarType::UberX => "UberX",
+            CarType::UberXL => "UberXL",
+            CarType::UberBlack => "UberBLACK",
+            CarType::UberSuv => "UberSUV",
+            CarType::UberFamily => "UberFAMILY",
+            CarType::UberPool => "UberPOOL",
+            CarType::UberRush => "UberRUSH",
+            CarType::UberWav => "UberWAV",
+            CarType::UberT => "UberT",
+        }
+    }
+}
+
+impl fmt::Display for CarType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A fare schedule: `base + per_mile·miles + per_minute·minutes`, with a
+/// floor of `minimum`. The surge multiplier scales the time/distance
+/// portion per §2 ("fare prices are multiplied by the surge multiplier").
+///
+/// ```
+/// use surgescope_city::FareSchedule;
+/// let x = FareSchedule::uberx_2015();
+/// let normal = x.fare(5.0 * 1609.344, 15.0 * 60.0, 1.0); // 5 mi, 15 min
+/// let surged = x.fare(5.0 * 1609.344, 15.0 * 60.0, 2.0);
+/// assert!(surged > 1.9 * normal);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FareSchedule {
+    /// Flag-drop base fare, dollars.
+    pub base: f64,
+    /// Dollars per mile.
+    pub per_mile: f64,
+    /// Dollars per minute.
+    pub per_minute: f64,
+    /// Minimum total fare, dollars.
+    pub minimum: f64,
+}
+
+impl FareSchedule {
+    /// The 2015-era UberX-like schedule used as a default.
+    pub fn uberx_2015() -> Self {
+        FareSchedule { base: 3.0, per_mile: 2.15, per_minute: 0.4, minimum: 8.0 }
+    }
+
+    /// Total fare for a trip, given the surge multiplier in force when the
+    /// ride was requested.
+    pub fn fare(&self, distance_m: f64, duration_secs: f64, surge: f64) -> f64 {
+        assert!(surge >= 1.0, "surge multiplier below 1: {surge}");
+        let miles = distance_m / 1609.344;
+        let minutes = duration_secs / 60.0;
+        let metered = self.base + self.per_mile * miles + self.per_minute * minutes;
+        (metered * surge).max(self.minimum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ubert_not_surge_priced() {
+        assert!(!CarType::UberT.surge_priced());
+        for t in CarType::ALL {
+            if t != CarType::UberT {
+                assert!(t.surge_priced(), "{t} should surge");
+            }
+        }
+    }
+
+    #[test]
+    fn low_priced_grouping_matches_paper() {
+        let low: Vec<_> = CarType::ALL.iter().filter(|t| t.is_low_priced()).collect();
+        assert_eq!(
+            low,
+            vec![&CarType::UberX, &CarType::UberXL, &CarType::UberFamily, &CarType::UberPool]
+        );
+    }
+
+    #[test]
+    fn fare_scales_with_surge() {
+        let f = FareSchedule::uberx_2015();
+        let normal = f.fare(5000.0, 600.0, 1.0);
+        let surged = f.fare(5000.0, 600.0, 2.0);
+        assert!(surged > 1.9 * normal && surged <= 2.0 * normal + 1e-9);
+    }
+
+    #[test]
+    fn minimum_fare_applies() {
+        let f = FareSchedule::uberx_2015();
+        let tiny = f.fare(100.0, 30.0, 1.0);
+        assert_eq!(tiny, f.minimum);
+    }
+
+    #[test]
+    #[should_panic(expected = "surge multiplier below 1")]
+    fn rejects_sub_unit_surge() {
+        let _ = FareSchedule::uberx_2015().fare(1000.0, 60.0, 0.9);
+    }
+
+    #[test]
+    fn labels_roundtrip_display() {
+        assert_eq!(CarType::UberBlack.to_string(), "UberBLACK");
+        assert_eq!(CarType::UberX.to_string(), "UberX");
+    }
+}

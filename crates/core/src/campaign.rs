@@ -1,0 +1,441 @@
+//! Measurement campaigns (§3.3, §4.1).
+//!
+//! A campaign deploys a lattice of emulated clients over a city's
+//! measurement region and runs them for days of simulated time, pinging
+//! every 5 seconds. Observations stream into the estimators as they
+//! arrive (the paper stored 996 GB of raw responses; we keep only what
+//! the analyses need):
+//!
+//! * the supply/demand estimator ([`crate::estimate`]);
+//! * per-client UberX surge and EWT series (the jitter and duration
+//!   analyses need full 5-second resolution);
+//! * one API probe per surge area per interval (the API stream is the
+//!   jitter-free reference, §5.2–5.3);
+//! * the driver transition tracker ([`crate::transitions`]);
+//! * per-client daily unique-car counts and mean EWTs (the Fig. 9–10
+//!   heatmaps).
+//!
+//! Because the measured system is simulated, the campaign also captures
+//! the marketplace's ground truth — the paper validated against taxis
+//! (§3.5, [`Campaign::run_taxi`]); we can additionally score every
+//! estimator against the real answer.
+
+use crate::calibration::placement;
+use crate::estimate::{EstimatorConfig, SupplyDemandEstimator};
+use crate::observe::ClientSpec;
+use crate::systems::{MeasuredSystem, TaxiSystem, UberSystem};
+use crate::transitions::TransitionTracker;
+use std::collections::HashSet;
+use surgescope_api::{ApiService, ProtocolEra};
+use surgescope_city::{CarType, CityModel};
+use surgescope_geo::Polygon;
+use surgescope_marketplace::{GroundTruth, Marketplace, MarketplaceConfig};
+use surgescope_simcore::SimTime;
+use surgescope_taxi::{TaxiGroundTruth, TaxiTrace};
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Root seed for the whole run.
+    pub seed: u64,
+    /// Measured duration in hours (the paper ran 2 weeks per city; 72 h
+    /// reproduces every distributional shape at a fraction of the cost).
+    pub hours: u64,
+    /// Protocol era the client fleet speaks.
+    pub era: ProtocolEra,
+    /// Estimator tuning.
+    pub estimator: EstimatorConfig,
+    /// Override the client lattice spacing (defaults to the city's).
+    pub spacing_override_m: Option<f64>,
+    /// Scale the city's fleet and demand (tests use ~0.3 for speed).
+    pub scale: f64,
+    /// Surge publication policy of the measured marketplace (`Threshold`
+    /// is measured Uber; `Smoothed` evaluates the paper's §8 proposal —
+    /// see the `ext01` experiment).
+    pub surge_policy: surgescope_marketplace::SurgePolicy,
+}
+
+impl CampaignConfig {
+    /// A fast configuration for tests: scaled-down city, short horizon.
+    pub fn test_default(seed: u64) -> Self {
+        CampaignConfig {
+            seed,
+            hours: 6,
+            era: ProtocolEra::Apr2015,
+            estimator: EstimatorConfig::default(),
+            spacing_override_m: None,
+            scale: 0.3,
+            surge_policy: surgescope_marketplace::SurgePolicy::Threshold,
+        }
+    }
+
+    /// The full-fidelity configuration used by the experiment harness.
+    pub fn paper_default(seed: u64, era: ProtocolEra, hours: u64) -> Self {
+        CampaignConfig {
+            seed,
+            hours,
+            era,
+            estimator: EstimatorConfig::default(),
+            spacing_override_m: None,
+            scale: 1.0,
+            surge_policy: surgescope_marketplace::SurgePolicy::Threshold,
+        }
+    }
+}
+
+/// Everything a campaign produces.
+pub struct CampaignData {
+    /// The city measured (post-scaling).
+    pub city: CityModel,
+    /// The client lattice.
+    pub clients: Vec<ClientSpec>,
+    /// Surge area of each client (by lattice position).
+    pub client_area: Vec<Option<usize>>,
+    /// Finished supply/demand estimator.
+    pub estimator: SupplyDemandEstimator,
+    /// `[client][tick]` UberX multiplier seen in pings.
+    pub client_surge: Vec<Vec<f32>>,
+    /// `[client][tick]` UberX EWT (minutes) seen in pings.
+    pub client_ewt: Vec<Vec<f32>>,
+    /// `[area][interval]` UberX multiplier from the API probe.
+    pub api_surge: Vec<Vec<f32>>,
+    /// `[area][interval]` UberX EWT (minutes) at the area centroid.
+    pub api_ewt: Vec<Vec<f32>>,
+    /// `[area][interval]` mean *instantaneous* visible UberX count — the
+    /// per-ping car count averaged over the window, which is how §5.4
+    /// constructs its supply series ("averaging each quantity over the
+    /// 5-minute window"). Unlike the unique-ID union it dips when cars
+    /// get booked, which is what the (supply − demand) correlation keys
+    /// on.
+    pub avg_visible: Vec<Vec<f32>>,
+    /// Driver transition tally.
+    pub transitions: TransitionTracker,
+    /// `[client][day]` unique UberX ids seen.
+    pub client_daily_cars: Vec<Vec<u32>>,
+    /// Mean unique UberX ids seen per 5-minute interval, per client —
+    /// a spatial density proxy (the per-day counts homogenize once every
+    /// car has wandered past every client).
+    pub client_interval_cars: Vec<f64>,
+    /// Mean UberX EWT per client over the whole campaign.
+    pub client_mean_ewt: Vec<f64>,
+    /// Simulation tick length (5 s).
+    pub tick_secs: u64,
+    /// Total ticks run.
+    pub ticks: usize,
+    /// Closed 5-minute intervals.
+    pub intervals: usize,
+    /// Marketplace ground truth (what the paper could not see).
+    pub truth: GroundTruth,
+}
+
+impl CampaignData {
+    /// Per-area measured UberX surge series at interval resolution,
+    /// taken from the API probe (jitter-free by construction).
+    pub fn area_surge_series(&self, area: usize) -> &[f32] {
+        &self.api_surge[area]
+    }
+
+    /// Clients located in `area`.
+    pub fn clients_in_area(&self, area: usize) -> Vec<usize> {
+        self.client_area
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| **a == Some(area))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Offset into each interval at which the API probe fires: past the
+/// maximum API propagation delay (40 s) so the probe reads the interval's
+/// settled multiplier.
+const PROBE_OFFSET_SECS: u64 = 45;
+
+/// Campaign runners.
+pub struct Campaign;
+
+impl Campaign {
+    /// Runs a full measurement campaign against a simulated marketplace.
+    pub fn run_uber(mut city: CityModel, cfg: &CampaignConfig) -> CampaignData {
+        if (cfg.scale - 1.0).abs() > 1e-9 {
+            city.supply = city.supply.scaled(cfg.scale);
+            city.demand = city.demand.scaled(cfg.scale);
+        }
+        let spacing = cfg.spacing_override_m.unwrap_or(city.client_spacing_m);
+        let clients = placement(&city.measurement_region, spacing);
+        let client_area: Vec<Option<usize>> =
+            clients.iter().map(|c| city.area_of(c.position).map(|a| a.0)).collect();
+        let n_areas = city.area_count();
+        let area_polys: Vec<Polygon> =
+            city.areas.iter().map(|a| a.polygon.clone()).collect();
+        let adjacency: Vec<Vec<usize>> = city
+            .adjacency
+            .iter()
+            .map(|v| v.iter().map(|a| a.0).collect())
+            .collect();
+        let centroids: Vec<_> = area_polys.iter().map(|p| p.centroid()).collect();
+
+        let market_cfg =
+            MarketplaceConfig { surge_policy: cfg.surge_policy, ..Default::default() };
+        let mp = Marketplace::new(city.clone(), market_cfg, cfg.seed);
+        let api = ApiService::new(cfg.era, cfg.seed ^ 0xB0B5);
+        let mut sys = UberSystem::new(mp, api);
+
+        let mut estimator = SupplyDemandEstimator::new(
+            cfg.estimator,
+            city.measurement_region.clone(),
+            area_polys.clone(),
+        );
+        let mut transitions = TransitionTracker::new(area_polys, adjacency);
+
+        let n = clients.len();
+        let ticks = (cfg.hours * 3600 / 5) as usize;
+        let mut client_surge = vec![Vec::with_capacity(ticks); n];
+        let mut client_ewt = vec![Vec::with_capacity(ticks); n];
+        let mut api_surge = vec![Vec::new(); n_areas];
+        let mut api_ewt = vec![Vec::new(); n_areas];
+        let mut daily_sets: Vec<HashSet<u64>> = vec![HashSet::new(); n];
+        let mut client_daily_cars: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut interval_sets: Vec<HashSet<u64>> = vec![HashSet::new(); n];
+        let mut interval_car_sum = vec![0.0f64; n];
+        let mut interval_car_n = 0u64;
+        let mut avg_visible = vec![Vec::new(); n_areas];
+        let mut tick_area_sets: Vec<HashSet<u64>> = vec![HashSet::new(); n_areas];
+        let mut inst_sum = vec![0.0f64; n_areas];
+        let mut inst_ticks = 0u64;
+        let mut ewt_sum = vec![0.0f64; n];
+        let mut probe_pending: Option<Vec<f32>> = None;
+
+        for _ in 0..ticks {
+            sys.advance_tick();
+            let now = sys.now();
+            // The tick advanced the world from `state_t` to `now`; the
+            // observations describe the state at `state_t`. Stamping them
+            // with `now` would smear each interval's last tick into the
+            // next interval and inflate per-interval unique counts.
+            let state_t = now.saturating_sub(surgescope_simcore::SimDuration::secs(5));
+            let obs = sys.ping_all(&clients);
+            for (i, blocks) in obs.iter().enumerate() {
+                estimator.observe(state_t, blocks);
+                if let Some(x) = blocks.iter().find(|b| b.car_type == CarType::UberX) {
+                    client_surge[i].push(x.surge as f32);
+                    client_ewt[i].push(x.ewt_min as f32);
+                    ewt_sum[i] += x.ewt_min;
+                    for car in &x.cars {
+                        daily_sets[i].insert(car.id);
+                        interval_sets[i].insert(car.id);
+                        transitions.observe(car.id, car.position);
+                        if let Some(a) = city.area_of(car.position) {
+                            tick_area_sets[a.0].insert(car.id);
+                        }
+                    }
+                } else {
+                    client_surge[i].push(1.0);
+                    client_ewt[i].push(0.0);
+                }
+            }
+            estimator.end_tick(now);
+            for (a, set) in tick_area_sets.iter_mut().enumerate() {
+                inst_sum[a] += set.len() as f64;
+                set.clear();
+            }
+            inst_ticks += 1;
+
+            // API probe once per interval, after the propagation delay.
+            if now.seconds_into_surge_interval() == PROBE_OFFSET_SECS {
+                let snap = surgescope_api::WorldSnapshot::of(&sys.marketplace);
+                let mut this_interval = Vec::with_capacity(n_areas);
+                for (ai, centroid) in centroids.iter().enumerate() {
+                    let loc = city.projection.to_latlng(*centroid);
+                    let account = 1_000_000 + ai as u64;
+                    let prices = sys
+                        .api
+                        .estimates_price(&snap, account, loc)
+                        .expect("probe budget is far below the rate limit");
+                    let surge = prices
+                        .iter()
+                        .find(|p| p.car_type == CarType::UberX)
+                        .map_or(1.0, |p| p.surge_multiplier);
+                    let times = sys
+                        .api
+                        .estimates_time(&snap, account, loc)
+                        .expect("probe budget is far below the rate limit");
+                    let ewt = times
+                        .iter()
+                        .find(|t| t.car_type == CarType::UberX)
+                        .map_or(0.0, |t| t.estimate_secs as f64 / 60.0);
+                    api_surge[ai].push(surge as f32);
+                    api_ewt[ai].push(ewt as f32);
+                    this_interval.push(surge as f32);
+                }
+                probe_pending = Some(this_interval);
+            }
+
+            // Interval boundary: close the transition tally with the
+            // multipliers measured *during* the closed interval, and
+            // flush the per-client interval car sets.
+            if now.seconds_into_surge_interval() == 0 {
+                if let Some(m) = probe_pending.take() {
+                    let m64: Vec<f64> = m.iter().map(|x| *x as f64).collect();
+                    transitions.close_interval(&m64);
+                }
+                for (i, set) in interval_sets.iter_mut().enumerate() {
+                    interval_car_sum[i] += set.len() as f64;
+                    set.clear();
+                }
+                interval_car_n += 1;
+                for a in 0..n_areas {
+                    avg_visible[a].push((inst_sum[a] / inst_ticks.max(1) as f64) as f32);
+                    inst_sum[a] = 0.0;
+                }
+                inst_ticks = 0;
+            }
+
+            // Day boundary: flush per-client unique-car counts.
+            if now.seconds_into_day() == 0 && now.as_secs() > 0 {
+                for (i, set) in daily_sets.iter_mut().enumerate() {
+                    client_daily_cars[i].push(set.len() as u32);
+                    set.clear();
+                }
+            }
+        }
+        let end = sys.now();
+        estimator.finish(end);
+        // Flush a partial final day if any ids remain.
+        if end.seconds_into_day() != 0 {
+            for (i, set) in daily_sets.iter_mut().enumerate() {
+                client_daily_cars[i].push(set.len() as u32);
+                set.clear();
+            }
+        }
+
+        let intervals = (cfg.hours * 12) as usize;
+        let client_mean_ewt =
+            ewt_sum.iter().map(|s| s / ticks.max(1) as f64).collect();
+        let client_interval_cars = interval_car_sum
+            .iter()
+            .map(|s| s / interval_car_n.max(1) as f64)
+            .collect();
+        CampaignData {
+            city,
+            clients,
+            client_area,
+            estimator,
+            client_surge,
+            client_ewt,
+            api_surge,
+            api_ewt,
+            avg_visible,
+            transitions,
+            client_daily_cars,
+            client_interval_cars,
+            client_mean_ewt,
+            tick_secs: 5,
+            ticks,
+            intervals,
+            truth: sys.marketplace.into_truth(),
+        }
+    }
+
+    /// Runs the §3.5 validation campaign against a taxi replay. Returns
+    /// the finished estimator and the replay's ground truth.
+    pub fn run_taxi(
+        trace: &TaxiTrace,
+        region: Polygon,
+        spacing_m: f64,
+        hours: u64,
+        seed: u64,
+        estimator_cfg: EstimatorConfig,
+    ) -> (SupplyDemandEstimator, TaxiGroundTruth) {
+        let clients = placement(&region, spacing_m);
+        let mut sys = TaxiSystem::new(trace, region.clone(), seed);
+        let mut estimator = SupplyDemandEstimator::new(estimator_cfg, region, vec![]);
+        let ticks = hours * 720;
+        for _ in 0..ticks {
+            sys.advance_tick();
+            let now = sys.now();
+            let state_t = now.saturating_sub(surgescope_simcore::SimDuration::secs(5));
+            for blocks in sys.ping_all(&clients) {
+                estimator.observe(state_t, &blocks);
+            }
+            estimator.end_tick(now);
+        }
+        let end = SimTime(ticks * 5);
+        estimator.finish(end);
+        (estimator, sys.replay().truth().clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use surgescope_taxi::TraceGenerator;
+
+    fn small_campaign() -> CampaignData {
+        Campaign::run_uber(
+            CityModel::manhattan_midtown(),
+            &CampaignConfig { hours: 2, ..CampaignConfig::test_default(21) },
+        )
+    }
+
+    #[test]
+    fn campaign_shapes_consistent() {
+        let data = small_campaign();
+        assert_eq!(data.clients.len(), data.client_surge.len());
+        assert_eq!(data.ticks, 2 * 720);
+        for s in &data.client_surge {
+            assert_eq!(s.len(), data.ticks);
+        }
+        assert_eq!(data.api_surge.len(), data.city.area_count());
+        for a in &data.api_surge {
+            assert_eq!(a.len(), data.intervals, "one probe per interval");
+        }
+        // Every client sits in some surge area.
+        assert!(data.client_area.iter().all(|a| a.is_some()));
+    }
+
+    #[test]
+    fn campaign_measures_supply() {
+        let data = small_campaign();
+        let supply = data.estimator.supply_series(CarType::UberX);
+        assert!(!supply.is_empty());
+        // Midtown at 30% scale around midnight–2 a.m. still has UberX.
+        assert!(supply.iter().any(|&s| s > 0), "no UberX ever observed");
+    }
+
+    #[test]
+    fn campaign_truth_available() {
+        let data = small_campaign();
+        assert_eq!(
+            data.truth.intervals.len(),
+            data.intervals * data.city.area_count()
+        );
+    }
+
+    #[test]
+    fn clients_in_area_partition_fleet() {
+        let data = small_campaign();
+        let total: usize = (0..data.city.area_count())
+            .map(|a| data.clients_in_area(a).len())
+            .sum();
+        assert_eq!(total, data.clients.len());
+    }
+
+    #[test]
+    fn taxi_validation_campaign_runs() {
+        let city = CityModel::manhattan_midtown();
+        let trace = TraceGenerator { taxis: 120, days: 1, ..Default::default() }
+            .generate(&city, 31);
+        let (est, truth) = Campaign::run_taxi(
+            &trace,
+            city.measurement_region.clone(),
+            150.0,
+            24,
+            31,
+            EstimatorConfig::default(),
+        );
+        assert_eq!(truth.supply.len(), 288);
+        let measured: u32 = est.supply_series(CarType::UberT).iter().sum();
+        assert!(measured > 0, "no taxis measured");
+    }
+}

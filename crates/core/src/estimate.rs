@@ -1,0 +1,579 @@
+//! Supply and demand estimation from client observations (§3.3).
+//!
+//! * **Supply** is the number of unique car IDs observed across all
+//!   clients per 5-minute interval — an upper bound on the true count,
+//!   since IDs are randomized each time a car comes online.
+//! * **Fulfilled demand** is estimated from *deaths*: cars that disappear
+//!   from the observed stream. A disappearance can also mean the car drove
+//!   out of the measurement area or went offline, so the estimator applies
+//!   the paper's **edge filter** (disappearances near the boundary of the
+//!   measurement polygon are not counted) and treats the result as an
+//!   upper bound on fulfilled demand.
+//! * **Short-lived cars** — briefly glimpsed near the measurement
+//!   boundary, or with IDs that flickered — are filtered entirely (§4.1).
+//! * Per-ID **lifespans** feed the Fig. 7 CDFs.
+
+use crate::observe::TypeObservation;
+use std::collections::{HashMap, HashSet};
+use surgescope_city::CarType;
+use surgescope_geo::{Meters, Polygon};
+use surgescope_simcore::SimTime;
+
+/// Estimator tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct EstimatorConfig {
+    /// A car unseen for this long is declared dead (the ping cadence is
+    /// 5 s; a small grace absorbs transport faults).
+    pub death_grace_secs: u64,
+    /// Deaths within this distance of the measurement boundary are
+    /// discarded (the car may simply have driven out).
+    pub edge_margin_m: f64,
+    /// Cars observed for less than this are dropped from all statistics.
+    pub short_lived_secs: u64,
+    /// When true (default), a near-edge disappearance is only discarded
+    /// if the car's path vector shows it heading outward — the paper
+    /// disambiguates "drove out" via path vectors (§3.3). When false, all
+    /// near-edge disappearances are discarded (footnote-4 conservative
+    /// mode).
+    pub edge_requires_outbound: bool,
+}
+
+impl Default for EstimatorConfig {
+    fn default() -> Self {
+        EstimatorConfig {
+            death_grace_secs: 15,
+            edge_margin_m: 150.0,
+            short_lived_secs: 90,
+            edge_requires_outbound: true,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct LiveCar {
+    car_type: CarType,
+    last_seen: SimTime,
+    last_pos: Meters,
+    last_displacement: Option<Meters>,
+}
+
+/// A finalized death event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeathEvent {
+    /// When the car was last seen.
+    pub at: SimTime,
+    /// Tier.
+    pub car_type: CarType,
+    /// Last observed position.
+    pub position: Meters,
+}
+
+/// Streaming supply/demand estimator over client observations.
+#[derive(Debug)]
+pub struct SupplyDemandEstimator {
+    cfg: EstimatorConfig,
+    region: Polygon,
+    /// Surge-area polygons for per-area attribution (may be empty, e.g.
+    /// for the taxi validation where only totals matter).
+    areas: Vec<Polygon>,
+    live: HashMap<u64, LiveCar>,
+    /// Persistent per-ID history: a car keeps its session ID across trips
+    /// (it disappears while booked and returns with the same ID), so
+    /// lifespans span gaps. `(first_seen, last_seen, tier)`.
+    history: HashMap<u64, (SimTime, SimTime, CarType)>,
+    // Open-interval supply sets.
+    open_interval: u64,
+    ids_by_type: HashMap<CarType, HashSet<u64>>,
+    ids_by_area: Vec<HashSet<u64>>,
+    // Outputs.
+    supply: HashMap<CarType, Vec<u32>>,
+    supply_area: Vec<Vec<u32>>,
+    deaths: HashMap<CarType, Vec<u32>>,
+    deaths_area: Vec<Vec<u32>>,
+    /// Death events (UberX and taxi validation use these directly).
+    pub death_events: Vec<DeathEvent>,
+    /// `(tier, lifespan_secs)` for every finalized, non-short-lived car.
+    pub lifespans: Vec<(CarType, u64)>,
+    /// Cars dropped by the short-lived filter.
+    pub short_lived_filtered: u64,
+    /// Deaths suppressed by the edge filter.
+    pub edge_filtered: u64,
+    /// Whether the open interval has unsaved observations.
+    dirty: bool,
+}
+
+impl SupplyDemandEstimator {
+    /// Creates an estimator for a measurement `region`, optionally
+    /// attributing per-area statistics to `areas` (UberX only).
+    pub fn new(cfg: EstimatorConfig, region: Polygon, areas: Vec<Polygon>) -> Self {
+        let n_areas = areas.len();
+        SupplyDemandEstimator {
+            cfg,
+            region,
+            areas,
+            live: HashMap::new(),
+            history: HashMap::new(),
+            open_interval: 0,
+            ids_by_type: HashMap::new(),
+            ids_by_area: vec![HashSet::new(); n_areas],
+            supply: HashMap::new(),
+            supply_area: vec![Vec::new(); n_areas],
+            deaths: HashMap::new(),
+            deaths_area: vec![Vec::new(); n_areas],
+            death_events: Vec::new(),
+            lifespans: Vec::new(),
+            short_lived_filtered: 0,
+            edge_filtered: 0,
+            dirty: false,
+        }
+    }
+
+    /// Feeds one client's per-tier observation blocks at time `now`.
+    ///
+    /// Cars reported outside the measurement polygon are ignored — §4.1:
+    /// "we can safely filter short-lived cars from our dataset, and focus
+    /// … only on cars that are driving within the bounds of our
+    /// measurement area". (Boundary clients can see beyond the polygon,
+    /// which would otherwise inflate supply against any ground truth
+    /// defined over the polygon.)
+    pub fn observe(&mut self, now: SimTime, blocks: &[TypeObservation]) {
+        self.dirty = true;
+        for block in blocks {
+            for car in &block.cars {
+                if !self.region.contains(car.position) {
+                    continue;
+                }
+                let entry = self.live.entry(car.id).or_insert(LiveCar {
+                    car_type: block.car_type,
+                    last_seen: now,
+                    last_pos: car.position,
+                    last_displacement: car.displacement,
+                });
+                entry.last_seen = now;
+                entry.last_pos = car.position;
+                entry.last_displacement = car.displacement;
+                let h = self
+                    .history
+                    .entry(car.id)
+                    .or_insert((now, now, block.car_type));
+                h.1 = now;
+                // Supply accounting for the open interval.
+                self.ids_by_type.entry(block.car_type).or_default().insert(car.id);
+                if block.car_type == CarType::UberX {
+                    for (ai, poly) in self.areas.iter().enumerate() {
+                        if poly.contains(car.position) {
+                            self.ids_by_area[ai].insert(car.id);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Call once per tick after all observations for that tick have been
+    /// fed; `now` is the time the tick *ended* (i.e. the next tick's
+    /// start). Finalizes stale cars and closes 5-minute intervals.
+    pub fn end_tick(&mut self, now: SimTime) {
+        self.reap(now);
+        if now.seconds_into_surge_interval() == 0 && now.as_secs() > 0 {
+            if self.dirty {
+                self.close_interval();
+            }
+            self.open_interval = now.surge_interval();
+        }
+    }
+
+    /// Finalizes the campaign: per-ID lifespans are computed from the
+    /// full first-seen→last-seen history (cars keep their ID across
+    /// trips), the short-lived filter is applied, and the open interval
+    /// closes.
+    pub fn finish(&mut self, now: SimTime) {
+        self.live.clear();
+        for (_, (first, last, tier)) in self.history.drain() {
+            let span = last.as_secs().saturating_sub(first.as_secs());
+            if span < self.cfg.short_lived_secs {
+                self.short_lived_filtered += 1;
+            } else {
+                self.lifespans.push((tier, span));
+            }
+        }
+        let _ = now;
+        if self.dirty {
+            self.close_interval();
+        }
+    }
+
+    fn reap(&mut self, now: SimTime) {
+        let grace = self.cfg.death_grace_secs;
+        let stale: Vec<u64> = self
+            .live
+            .iter()
+            .filter(|(_, c)| now.as_secs().saturating_sub(c.last_seen.as_secs()) > grace)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in stale {
+            let car = self.live.remove(&id).unwrap();
+            // Short-lived filter on the *total* span this ID has been
+            // around (boundary flickers are measurement artifacts, but a
+            // car briefly idle between trips is real).
+            let span = self
+                .history
+                .get(&id)
+                .map(|(first, last, _)| last.as_secs().saturating_sub(first.as_secs()))
+                .unwrap_or(0);
+            if span < self.cfg.short_lived_secs {
+                continue;
+            }
+            // Edge filter: a disappearance near the boundary (or already
+            // outside) may just be the car leaving the region.
+            let near_edge = !self.region.contains(car.last_pos)
+                || self.region.distance_to_boundary(car.last_pos) <= self.cfg.edge_margin_m;
+            let outbound = match car.last_displacement {
+                Some(d) if d.norm() > 1.0 => {
+                    let prev = car.last_pos.sub(d);
+                    self.region.distance_to_boundary(car.last_pos)
+                        < self.region.distance_to_boundary(prev)
+                }
+                _ => false,
+            };
+            let filtered = if self.cfg.edge_requires_outbound {
+                near_edge && outbound
+            } else {
+                // Conservative mode: paper footnote 4 — anything near the
+                // edge is excluded even without a clear outbound path.
+                near_edge
+            };
+            if filtered {
+                self.edge_filtered += 1;
+                continue;
+            }
+            self.death_events.push(DeathEvent {
+                at: car.last_seen,
+                car_type: car.car_type,
+                position: car.last_pos,
+            });
+            let interval = car.last_seen.surge_interval() as usize;
+            let v = self.deaths.entry(car.car_type).or_default();
+            if v.len() <= interval {
+                v.resize(interval + 1, 0);
+            }
+            v[interval] += 1;
+            if car.car_type == CarType::UberX {
+                for (ai, poly) in self.areas.iter().enumerate() {
+                    if poly.contains(car.last_pos) {
+                        let va = &mut self.deaths_area[ai];
+                        if va.len() <= interval {
+                            va.resize(interval + 1, 0);
+                        }
+                        va[interval] += 1;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    fn close_interval(&mut self) {
+        for (t, ids) in self.ids_by_type.iter_mut() {
+            let v = self.supply.entry(*t).or_default();
+            let idx = self.open_interval as usize;
+            if v.len() <= idx {
+                v.resize(idx + 1, 0);
+            }
+            v[idx] = ids.len() as u32;
+            ids.clear();
+        }
+        self.dirty = false;
+        for (ai, ids) in self.ids_by_area.iter_mut().enumerate() {
+            let v = &mut self.supply_area[ai];
+            let idx = self.open_interval as usize;
+            if v.len() <= idx {
+                v.resize(idx + 1, 0);
+            }
+            v[idx] = ids.len() as u32;
+            ids.clear();
+        }
+    }
+
+    /// Measured supply per interval for a tier (empty if never seen).
+    pub fn supply_series(&self, t: CarType) -> &[u32] {
+        self.supply.get(&t).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Measured deaths (fulfilled-demand upper bound) per interval.
+    pub fn death_series(&self, t: CarType) -> &[u32] {
+        self.deaths.get(&t).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Per-area UberX supply series.
+    pub fn supply_area_series(&self, area: usize) -> &[u32] {
+        &self.supply_area[area]
+    }
+
+    /// Per-area UberX death series.
+    pub fn death_area_series(&self, area: usize) -> &[u32] {
+        &self.deaths_area[area]
+    }
+
+    /// All tiers that appeared in the data.
+    pub fn observed_types(&self) -> Vec<CarType> {
+        let mut v: Vec<CarType> = self.supply.keys().copied().collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observe::ObservedCar;
+    use surgescope_simcore::SimDuration;
+
+    fn region() -> Polygon {
+        Polygon::rect(Meters::new(0.0, 0.0), Meters::new(2000.0, 2000.0))
+    }
+
+    fn block(id: u64, x: f64, y: f64, disp: Option<Meters>) -> TypeObservation {
+        TypeObservation {
+            car_type: CarType::UberX,
+            cars: vec![ObservedCar { id, position: Meters::new(x, y), displacement: disp }],
+            ewt_min: 3.0,
+            surge: 1.0,
+        }
+    }
+
+    fn run_car(
+        est: &mut SupplyDemandEstimator,
+        id: u64,
+        pos: (f64, f64),
+        from: u64,
+        until: u64,
+        horizon: u64,
+    ) {
+        // Car visible [from, until), campaign runs to `horizon`.
+        let mut t = 0;
+        while t < horizon {
+            if t >= from && t < until {
+                est.observe(SimTime(t), &[block(id, pos.0, pos.1, None)]);
+            }
+            t += 5;
+            est.end_tick(SimTime(t));
+        }
+    }
+
+    #[test]
+    fn interior_disappearance_is_a_death() {
+        let mut est = SupplyDemandEstimator::new(EstimatorConfig::default(), region(), vec![]);
+        run_car(&mut est, 1, (1000.0, 1000.0), 0, 600, 1200);
+        est.finish(SimTime(1200));
+        assert_eq!(est.death_events.len(), 1);
+        let d = &est.death_events[0];
+        assert_eq!(d.car_type, CarType::UberX);
+        assert_eq!(d.at, SimTime(595));
+        // Death lands in interval 1 (595/300).
+        assert_eq!(est.death_series(CarType::UberX), &[0, 1]);
+    }
+
+    #[test]
+    fn edge_parked_counts_as_death_by_default() {
+        // A parked car near the boundary that disappears most plausibly
+        // took a booking; only *outbound* paths indicate leaving.
+        let mut est = SupplyDemandEstimator::new(EstimatorConfig::default(), region(), vec![]);
+        run_car(&mut est, 2, (1950.0, 1000.0), 0, 600, 1200);
+        est.finish(SimTime(1200));
+        assert_eq!(est.death_events.len(), 1);
+        assert_eq!(est.edge_filtered, 0);
+    }
+
+    #[test]
+    fn edge_parked_filtered_in_conservative_mode() {
+        let cfg = EstimatorConfig { edge_requires_outbound: false, ..Default::default() };
+        let mut est = SupplyDemandEstimator::new(cfg, region(), vec![]);
+        run_car(&mut est, 2, (1950.0, 1000.0), 0, 600, 1200);
+        est.finish(SimTime(1200));
+        assert!(est.death_events.is_empty(), "conservative mode discards edge cars");
+        assert_eq!(est.edge_filtered, 1);
+    }
+
+    #[test]
+    fn lifespan_spans_booking_gaps() {
+        // A car visible 0–300 s, booked (invisible) 300–900 s, visible
+        // again 900–1500 s: two deaths... no — one death at 300 (the
+        // booking) and a lifespan covering the whole 0–1500 s span.
+        let mut est = SupplyDemandEstimator::new(EstimatorConfig::default(), region(), vec![]);
+        let mut t = 0u64;
+        while t < 1800 {
+            let now = SimTime(t);
+            if t < 300 || (900..1500).contains(&t) {
+                est.observe(now, &[block(99, 1000.0, 1000.0, None)]);
+            }
+            t += 5;
+            est.end_tick(SimTime(t));
+        }
+        est.finish(SimTime(1800));
+        assert_eq!(est.death_events.len(), 2, "both disappearances are deaths");
+        assert_eq!(est.lifespans.len(), 1, "one car, one lifespan");
+        let span = est.lifespans[0].1;
+        assert!(span >= 1400, "lifespan must span the booked gap, got {span}");
+    }
+
+    #[test]
+    fn short_lived_car_fully_filtered() {
+        let mut est = SupplyDemandEstimator::new(EstimatorConfig::default(), region(), vec![]);
+        // Visible for 30 s < 90 s threshold.
+        run_car(&mut est, 3, (1000.0, 1000.0), 0, 30, 600);
+        est.finish(SimTime(600));
+        assert!(est.death_events.is_empty());
+        assert!(est.lifespans.is_empty());
+        assert_eq!(est.short_lived_filtered, 1);
+    }
+
+    #[test]
+    fn survivor_contributes_lifespan_but_no_death() {
+        let mut est = SupplyDemandEstimator::new(EstimatorConfig::default(), region(), vec![]);
+        run_car(&mut est, 4, (500.0, 500.0), 0, 900, 900);
+        est.finish(SimTime(900));
+        assert!(est.death_events.is_empty(), "still-alive car is not a death");
+        assert_eq!(est.lifespans.len(), 1);
+        assert_eq!(est.lifespans[0].0, CarType::UberX);
+        assert!(est.lifespans[0].1 >= 890);
+    }
+
+    #[test]
+    fn supply_counts_unique_ids_per_interval() {
+        let mut est = SupplyDemandEstimator::new(EstimatorConfig::default(), region(), vec![]);
+        let mut t = 0u64;
+        while t < 600 {
+            let now = SimTime(t);
+            // Two cars, seen by two different clients (duplicate sightings
+            // must not double-count).
+            est.observe(now, &[block(10, 500.0, 500.0, None)]);
+            est.observe(now, &[block(10, 500.0, 500.0, None)]);
+            if t < 300 {
+                est.observe(now, &[block(11, 700.0, 700.0, None)]);
+            }
+            t += 5;
+            est.end_tick(SimTime(t));
+        }
+        est.finish(SimTime(600));
+        assert_eq!(est.supply_series(CarType::UberX), &[2, 1]);
+    }
+
+    #[test]
+    fn per_area_attribution() {
+        let areas = vec![
+            Polygon::rect(Meters::new(0.0, 0.0), Meters::new(1000.0, 2000.0)),
+            Polygon::rect(Meters::new(1000.0, 0.0), Meters::new(2000.0, 2000.0)),
+        ];
+        let mut est = SupplyDemandEstimator::new(EstimatorConfig::default(), region(), areas);
+        // Single pass: car 20 (area 0) visible for the first 10 minutes
+        // then dies; car 21 (area 1) visible throughout.
+        let mut t = 0u64;
+        while t < 1200 {
+            let now = SimTime(t);
+            if t < 600 {
+                est.observe(now, &[block(20, 500.0, 1000.0, None)]);
+            }
+            est.observe(now, &[block(21, 1500.0, 1000.0, None)]);
+            t += 5;
+            est.end_tick(SimTime(t));
+        }
+        est.finish(SimTime(1200));
+        assert_eq!(est.supply_area_series(0), &[1, 1, 0, 0]);
+        assert_eq!(est.supply_area_series(1), &[1, 1, 1, 1]);
+        let d0: u32 = est.death_area_series(0).iter().sum();
+        let d1: u32 = est.death_area_series(1).iter().sum();
+        assert_eq!((d0, d1), (1, 0));
+    }
+
+    #[test]
+    fn grace_tolerates_missed_pings() {
+        let mut est = SupplyDemandEstimator::new(EstimatorConfig::default(), region(), vec![]);
+        let mut t = 0u64;
+        while t < 600 {
+            let now = SimTime(t);
+            // Car 30 pings every tick except a 10 s gap at t=300..310
+            // (inside the 15 s grace) — must not die.
+            if !(300..310).contains(&t) {
+                est.observe(now, &[block(30, 800.0, 800.0, None)]);
+            }
+            t += 5;
+            est.end_tick(SimTime(t));
+        }
+        est.finish(SimTime(600));
+        assert!(est.death_events.is_empty(), "gap within grace must not kill the car");
+        assert_eq!(est.lifespans.len(), 1);
+    }
+
+    #[test]
+    fn observed_types_sorted() {
+        let mut est = SupplyDemandEstimator::new(EstimatorConfig::default(), region(), vec![]);
+        let mk = |t: CarType, id: u64| TypeObservation {
+            car_type: t,
+            cars: vec![ObservedCar {
+                id,
+                position: Meters::new(500.0, 500.0),
+                displacement: None,
+            }],
+            ewt_min: 1.0,
+            surge: 1.0,
+        };
+        let mut t = 0u64;
+        while t < 300 {
+            est.observe(SimTime(t), &[mk(CarType::UberBlack, 1), mk(CarType::UberX, 2)]);
+            t += 5;
+            est.end_tick(SimTime(t));
+        }
+        est.finish(SimTime(300));
+        assert_eq!(est.observed_types(), vec![CarType::UberX, CarType::UberBlack]);
+    }
+
+    #[test]
+    fn death_series_empty_for_unseen_type() {
+        let est = SupplyDemandEstimator::new(EstimatorConfig::default(), region(), vec![]);
+        assert!(est.death_series(CarType::UberPool).is_empty());
+        assert!(est.supply_series(CarType::UberPool).is_empty());
+    }
+
+    #[test]
+    fn outbound_near_edge_filtered_with_displacement() {
+        let mut est = SupplyDemandEstimator::new(EstimatorConfig::default(), region(), vec![]);
+        let mut t = 0u64;
+        while t < 300 {
+            let now = SimTime(t);
+            if t < 120 {
+                // Moving east toward the boundary, ends at x=1900 (inside
+                // the 150 m margin), displacement clearly outbound.
+                let x = (1700.0 + 2.0 * t as f64).min(1900.0);
+                est.observe(now, &[block(40, x, 1000.0, Some(Meters::new(40.0, 0.0)))]);
+            }
+            t += 5;
+            est.end_tick(SimTime(t));
+        }
+        est.finish(SimTime(300));
+        assert!(est.death_events.is_empty());
+        assert_eq!(est.edge_filtered, 1);
+    }
+
+    #[test]
+    fn deaths_within_grace_of_campaign_end_not_counted() {
+        // Car disappears 10 s before the campaign ends: still within the
+        // grace window, so finish() records a lifespan, not a death.
+        let mut est = SupplyDemandEstimator::new(EstimatorConfig::default(), region(), vec![]);
+        run_car(&mut est, 50, (1000.0, 1000.0), 0, 590, 600);
+        est.finish(SimTime(600));
+        assert!(est.death_events.is_empty());
+        assert_eq!(est.lifespans.len(), 1);
+    }
+
+    #[test]
+    fn duration_since_campaign_spans_intervals() {
+        let mut est = SupplyDemandEstimator::new(EstimatorConfig::default(), region(), vec![]);
+        let horizon = SimDuration::mins(20).as_secs();
+        run_car(&mut est, 60, (1000.0, 1000.0), 0, horizon, horizon);
+        est.finish(SimTime(horizon));
+        // Four closed intervals, car present in each.
+        assert_eq!(est.supply_series(CarType::UberX), &[1, 1, 1, 1]);
+    }
+}

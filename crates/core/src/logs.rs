@@ -1,0 +1,221 @@
+//! Observation logs.
+//!
+//! The paper collected 391 GB + 605 GB of raw JSON responses and analysed
+//! them offline (§4.1). This module provides the same workflow for our
+//! campaigns: stream [`PingObservation`]s to a JSON-lines sink as they
+//! arrive, and replay a log back through the estimators later — useful
+//! for sharing captured datasets and for re-running analyses with
+//! different estimator tunings without re-simulating.
+
+use crate::observe::PingObservation;
+use std::io::{self, BufRead, Write};
+
+/// Streams observations to any writer as JSON lines.
+pub struct JsonlLogWriter<W: Write> {
+    sink: W,
+    written: u64,
+}
+
+impl<W: Write> JsonlLogWriter<W> {
+    /// Wraps a sink (wrap files in `BufWriter` for throughput).
+    pub fn new(sink: W) -> Self {
+        JsonlLogWriter { sink, written: 0 }
+    }
+
+    /// Appends one observation as a single JSON line.
+    pub fn write(&mut self, obs: &PingObservation) -> io::Result<()> {
+        let line = serde_json::to_string(obs)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        self.sink.write_all(line.as_bytes())?;
+        self.sink.write_all(b"\n")?;
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Number of observations written so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flushes and returns the inner sink.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+/// Reads a JSONL observation log, yielding observations in order.
+///
+/// Malformed lines are surfaced as errors rather than skipped — a
+/// truncated capture should fail loudly, not silently bias the analysis.
+pub fn read_jsonl<R: BufRead>(source: R) -> impl Iterator<Item = io::Result<PingObservation>> {
+    source.lines().filter_map(|line| match line {
+        Err(e) => Some(Err(e)),
+        Ok(l) if l.trim().is_empty() => None,
+        Ok(l) => Some(
+            serde_json::from_str(&l)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e)),
+        ),
+    })
+}
+
+/// Replays a log through a [`SupplyDemandEstimator`]
+/// (offline re-analysis). Observations must be in nondecreasing time
+/// order, as written by a campaign. Returns the number of observations
+/// replayed.
+pub fn replay_into(
+    estimator: &mut crate::estimate::SupplyDemandEstimator,
+    observations: impl IntoIterator<Item = PingObservation>,
+) -> u64 {
+    use surgescope_simcore::{SimDuration, SimTime};
+    let mut n = 0u64;
+    let mut last: Option<SimTime> = None;
+    for obs in observations {
+        if let Some(prev) = last {
+            assert!(obs.at >= prev, "observations out of order");
+            if obs.at > prev {
+                // Close out every tick boundary we skipped past.
+                let mut t = prev;
+                while t < obs.at {
+                    t = t + SimDuration::secs(5);
+                    estimator.end_tick(t);
+                }
+            }
+        }
+        estimator.observe(obs.at, &obs.types);
+        last = Some(obs.at);
+        n += 1;
+    }
+    if let Some(t) = last {
+        estimator.finish(t + SimDuration::secs(5));
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimate::{EstimatorConfig, SupplyDemandEstimator};
+    use crate::observe::{ObservedCar, TypeObservation};
+    use std::io::BufReader;
+    use surgescope_city::CarType;
+    use surgescope_geo::{Meters, Polygon};
+    use surgescope_simcore::SimTime;
+
+    fn obs(at: u64, client: usize, id: u64) -> PingObservation {
+        PingObservation {
+            at: SimTime(at),
+            client,
+            types: vec![TypeObservation {
+                car_type: CarType::UberX,
+                cars: vec![ObservedCar {
+                    id,
+                    position: Meters::new(1000.0, 1000.0),
+                    displacement: None,
+                }],
+                ewt_min: 2.5,
+                surge: 1.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_jsonl() {
+        let mut w = JsonlLogWriter::new(Vec::new());
+        let records: Vec<_> = (0..10).map(|i| obs(i * 5, 0, 42)).collect();
+        for r in &records {
+            w.write(r).unwrap();
+        }
+        assert_eq!(w.written(), 10);
+        let bytes = w.finish().unwrap();
+        let back: Vec<PingObservation> = read_jsonl(BufReader::new(&bytes[..]))
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn reader_rejects_garbage() {
+        let data = b"{\"not\": \"an observation\"}\n";
+        let results: Vec<_> = read_jsonl(BufReader::new(&data[..])).collect();
+        assert_eq!(results.len(), 1);
+        assert!(results[0].is_err());
+    }
+
+    #[test]
+    fn reader_skips_blank_lines() {
+        let mut w = JsonlLogWriter::new(Vec::new());
+        w.write(&obs(0, 0, 1)).unwrap();
+        let mut bytes = w.finish().unwrap();
+        bytes.extend_from_slice(b"\n\n");
+        let back: Vec<_> = read_jsonl(BufReader::new(&bytes[..]))
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap();
+        assert_eq!(back.len(), 1);
+    }
+
+    #[test]
+    fn replay_reproduces_live_estimates() {
+        let region = Polygon::rect(Meters::new(0.0, 0.0), Meters::new(2000.0, 2000.0));
+        // A car visible for 10 minutes then gone (an interior death).
+        let log: Vec<PingObservation> = (0..240)
+            .filter(|k| *k < 120)
+            .map(|k| obs(k * 5, 0, 7))
+            .collect();
+
+        // Live path.
+        let mut live = SupplyDemandEstimator::new(
+            EstimatorConfig::default(),
+            region.clone(),
+            vec![],
+        );
+        let mut t = 0u64;
+        for o in &log {
+            while t < o.at.as_secs() {
+                t += 5;
+                live.end_tick(SimTime(t));
+            }
+            live.observe(o.at, &o.types);
+        }
+        // Run the clock well past the grace period so the death lands.
+        while t < 1200 {
+            t += 5;
+            live.end_tick(SimTime(t));
+        }
+        live.finish(SimTime(t));
+
+        // Log-replay path (through serialization).
+        let mut w = JsonlLogWriter::new(Vec::new());
+        for o in &log {
+            w.write(o).unwrap();
+        }
+        let bytes = w.finish().unwrap();
+        let parsed: Vec<PingObservation> = read_jsonl(BufReader::new(&bytes[..]))
+            .collect::<Result<_, _>>()
+            .unwrap();
+        let mut replayed = SupplyDemandEstimator::new(
+            EstimatorConfig::default(),
+            region,
+            vec![],
+        );
+        let n = replay_into(&mut replayed, parsed);
+        assert_eq!(n, 120);
+
+        assert_eq!(
+            live.supply_series(CarType::UberX)[..2].to_vec(),
+            replayed.supply_series(CarType::UberX)[..2].to_vec(),
+        );
+        assert_eq!(live.lifespans, replayed.lifespans);
+        // The live path, run longer, sees the death; the replay ends at
+        // the last observation so the car is still within grace there.
+        assert_eq!(live.death_events.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn replay_rejects_time_travel() {
+        let region = Polygon::rect(Meters::new(0.0, 0.0), Meters::new(100.0, 100.0));
+        let mut est = SupplyDemandEstimator::new(EstimatorConfig::default(), region, vec![]);
+        let _ = replay_into(&mut est, vec![obs(100, 0, 1), obs(50, 0, 1)]);
+    }
+}

@@ -1,0 +1,99 @@
+//! Observation records: what one emulated client sees in one ping.
+
+use serde::{Deserialize, Serialize};
+use surgescope_city::CarType;
+use surgescope_geo::Meters;
+use surgescope_simcore::SimTime;
+
+/// A client slot in the measurement fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClientSpec {
+    /// Account/identity key (drives jitter identity and rate limiting).
+    pub key: u64,
+    /// Fixed position in the city's planar frame.
+    pub position: Meters,
+}
+
+/// One car as observed by a client (already projected into planar space).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ObservedCar {
+    /// The randomized session ID the protocol exposes.
+    pub id: u64,
+    /// Reported position.
+    pub position: Meters,
+    /// Net displacement over the car's reported path vector, if the path
+    /// had at least two points — the input to the edge filter.
+    pub displacement: Option<Meters>,
+}
+
+/// One tier's worth of a ping response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TypeObservation {
+    /// Tier.
+    pub car_type: CarType,
+    /// Nearest cars (≤ 8).
+    pub cars: Vec<ObservedCar>,
+    /// Estimated wait time, minutes.
+    pub ewt_min: f64,
+    /// Surge multiplier shown to this client.
+    pub surge: f64,
+}
+
+/// A full ping observation from one client.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PingObservation {
+    /// When the ping happened.
+    pub at: SimTime,
+    /// Index of the client in the fleet.
+    pub client: usize,
+    /// Per-tier blocks.
+    pub types: Vec<TypeObservation>,
+}
+
+impl PingObservation {
+    /// The block for one tier, if present.
+    pub fn of_type(&self, t: CarType) -> Option<&TypeObservation> {
+        self.types.iter().find(|b| b.car_type == t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn of_type_lookup() {
+        let obs = PingObservation {
+            at: SimTime(5),
+            client: 2,
+            types: vec![TypeObservation {
+                car_type: CarType::UberX,
+                cars: vec![],
+                ewt_min: 3.0,
+                surge: 1.2,
+            }],
+        };
+        assert_eq!(obs.of_type(CarType::UberX).unwrap().surge, 1.2);
+        assert!(obs.of_type(CarType::UberPool).is_none());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let obs = PingObservation {
+            at: SimTime(10),
+            client: 0,
+            types: vec![TypeObservation {
+                car_type: CarType::UberBlack,
+                cars: vec![ObservedCar {
+                    id: 7,
+                    position: Meters::new(1.0, 2.0),
+                    displacement: Some(Meters::new(10.0, 0.0)),
+                }],
+                ewt_min: 5.5,
+                surge: 1.0,
+            }],
+        };
+        let json = serde_json::to_string(&obs).unwrap();
+        assert_eq!(serde_json::from_str::<PingObservation>(&json).unwrap(), obs);
+    }
+}

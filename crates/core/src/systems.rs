@@ -1,0 +1,262 @@
+//! Adapters between the measurement fleet and the systems it can measure.
+//!
+//! The methodology is system-agnostic: §3.5 validates the *same* client
+//! logic against a taxi replay before trusting its Uber numbers. The
+//! [`MeasuredSystem`] trait captures the minimal contract (advance one
+//! 5-second tick; answer a batch of client pings), with implementations
+//! for the simulated marketplace ([`UberSystem`]) and the taxi replay
+//! ([`TaxiSystem`]).
+
+use crate::observe::{ClientSpec, ObservedCar, TypeObservation};
+use surgescope_api::{ApiService, WorldSnapshot, NEAREST_CARS_SHOWN};
+use surgescope_city::CarType;
+use surgescope_geo::{LocalProjection, Meters};
+use surgescope_marketplace::Marketplace;
+use surgescope_simcore::{FaultOutcome, FaultPlan, SimRng, SimTime};
+use surgescope_taxi::{TaxiReplay, TaxiTrace};
+
+/// Anything the client fleet can measure.
+pub trait MeasuredSystem {
+    /// Advances the system by one 5-second tick.
+    fn advance_tick(&mut self);
+
+    /// Current system time.
+    fn now(&self) -> SimTime;
+
+    /// Answers one ping per client, in order. Positions are planar.
+    fn ping_all(&mut self, clients: &[ClientSpec]) -> Vec<Vec<TypeObservation>>;
+}
+
+/// The simulated ride-sharing marketplace behind its protocol layer.
+pub struct UberSystem {
+    /// The world. Public so experiments can consult ground truth after a
+    /// campaign (the paper could not; we can score ourselves).
+    pub marketplace: Marketplace,
+    /// The protocol endpoint used by the fleet.
+    pub api: ApiService,
+    /// Transport fault injection between clients and the service
+    /// (smoltcp-style; [`FaultPlan::none`] by default). A dropped ping
+    /// simply yields no observation blocks for that client this tick.
+    faults: FaultPlan,
+    fault_rng: SimRng,
+}
+
+impl UberSystem {
+    /// Couples a marketplace with a protocol endpoint.
+    pub fn new(marketplace: Marketplace, api: ApiService) -> Self {
+        let seed = 0xFA17;
+        UberSystem {
+            marketplace,
+            api,
+            faults: FaultPlan::none(),
+            fault_rng: SimRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Enables transport fault injection on client pings.
+    pub fn with_faults(mut self, plan: FaultPlan, seed: u64) -> Self {
+        self.faults = plan;
+        self.fault_rng = SimRng::seed_from_u64(seed).split("transport-faults");
+        self
+    }
+
+    fn projection(&self) -> LocalProjection {
+        self.marketplace.city().projection
+    }
+}
+
+fn displacement_of(path: &[surgescope_geo::LatLng], proj: &LocalProjection) -> Option<Meters> {
+    if path.len() < 2 {
+        return None;
+    }
+    let first = proj.to_meters(path[0]);
+    let last = proj.to_meters(path[path.len() - 1]);
+    Some(last.sub(first))
+}
+
+impl MeasuredSystem for UberSystem {
+    fn advance_tick(&mut self) {
+        self.marketplace.tick();
+    }
+
+    fn now(&self) -> SimTime {
+        self.marketplace.now()
+    }
+
+    fn ping_all(&mut self, clients: &[ClientSpec]) -> Vec<Vec<TypeObservation>> {
+        let proj = self.projection();
+        let snap = WorldSnapshot::of(&self.marketplace);
+        let faults = self.faults;
+        let fault_rng = &mut self.fault_rng;
+        clients
+            .iter()
+            .map(|c| {
+                if !faults.is_none()
+                    && matches!(faults.decide(fault_rng), FaultOutcome::Drop | FaultOutcome::Delay(_))
+                {
+                    // Dropped (or late-beyond-the-tick) ping: the client
+                    // sees nothing this round.
+                    return Vec::new();
+                }
+                let loc = proj.to_latlng(c.position);
+                let resp = self.api.ping_client(&snap, c.key, loc);
+                resp.statuses
+                    .into_iter()
+                    .map(|s| TypeObservation {
+                        car_type: s.car_type,
+                        cars: s
+                            .cars
+                            .iter()
+                            .map(|car| ObservedCar {
+                                id: car.id,
+                                position: proj.to_meters(car.position),
+                                displacement: displacement_of(&car.path, &proj),
+                            })
+                            .collect(),
+                        ewt_min: s.ewt_min,
+                        surge: s.surge,
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// The taxi replay exposed through the same contract. Taxis have a single
+/// pseudo-tier ([`CarType::UberT`]), no EWT and no surge — the §3.5
+/// validation only needs car identities and positions.
+pub struct TaxiSystem<'a> {
+    replay: TaxiReplay<'a>,
+}
+
+impl<'a> TaxiSystem<'a> {
+    /// Wraps a replay of `trace`; ground truth accumulates against
+    /// `region` (pass the measurement polygon).
+    pub fn new(trace: &'a TaxiTrace, region: surgescope_geo::Polygon, seed: u64) -> Self {
+        TaxiSystem { replay: TaxiReplay::new(trace, region, seed) }
+    }
+
+    /// Access to the replay (for ground truth after the campaign).
+    pub fn replay(&self) -> &TaxiReplay<'a> {
+        &self.replay
+    }
+}
+
+impl MeasuredSystem for TaxiSystem<'_> {
+    fn advance_tick(&mut self) {
+        self.replay.tick();
+    }
+
+    fn now(&self) -> SimTime {
+        self.replay.now()
+    }
+
+    fn ping_all(&mut self, clients: &[ClientSpec]) -> Vec<Vec<TypeObservation>> {
+        clients
+            .iter()
+            .map(|c| {
+                let cars = self
+                    .replay
+                    .nearest(c.position, NEAREST_CARS_SHOWN)
+                    .into_iter()
+                    .map(|t| {
+                        // The taxi path stores planar metres encoded as
+                        // micro-degree LatLngs; decode symmetrically.
+                        let pts: Vec<Meters> = t
+                            .path
+                            .points()
+                            .map(|ll| Meters::new(ll.lng * 1e5, ll.lat * 1e5))
+                            .collect();
+                        let displacement = if pts.len() >= 2 {
+                            Some(pts[pts.len() - 1].sub(pts[0]))
+                        } else {
+                            None
+                        };
+                        ObservedCar { id: t.session, position: t.position, displacement }
+                    })
+                    .collect();
+                vec![TypeObservation { car_type: CarType::UberT, cars, ewt_min: 0.0, surge: 1.0 }]
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use surgescope_api::ProtocolEra;
+    use surgescope_city::CityModel;
+    use surgescope_marketplace::MarketplaceConfig;
+    use surgescope_simcore::SimDuration;
+    use surgescope_taxi::TraceGenerator;
+
+    fn uber() -> UberSystem {
+        let mut c = CityModel::manhattan_midtown();
+        c.supply = c.supply.scaled(0.3);
+        c.demand = c.demand.scaled(0.3);
+        let mut mp = Marketplace::new(c, MarketplaceConfig::default(), 3);
+        mp.run_for(SimDuration::hours(1));
+        UberSystem::new(mp, ApiService::new(ProtocolEra::Feb2015, 3))
+    }
+
+    #[test]
+    fn uber_ping_all_shapes() {
+        let mut sys = uber();
+        let center = sys.marketplace.city().measurement_region.centroid();
+        let clients = vec![
+            ClientSpec { key: 0, position: center },
+            ClientSpec { key: 1, position: Meters::new(center.x + 300.0, center.y) },
+        ];
+        let obs = sys.ping_all(&clients);
+        assert_eq!(obs.len(), 2);
+        for per_client in &obs {
+            assert!(!per_client.is_empty());
+            let x = per_client.iter().find(|t| t.car_type == CarType::UberX).unwrap();
+            assert!(x.cars.len() <= NEAREST_CARS_SHOWN);
+            assert!(!x.cars.is_empty(), "midtown should have UberX in view");
+        }
+    }
+
+    #[test]
+    fn uber_advance_moves_time() {
+        let mut sys = uber();
+        let t0 = sys.now();
+        sys.advance_tick();
+        assert_eq!(sys.now(), t0 + SimDuration::secs(5));
+    }
+
+    #[test]
+    fn uber_cars_have_displacement_after_settling() {
+        let mut sys = uber();
+        // A few ticks so path vectors fill.
+        for _ in 0..5 {
+            sys.advance_tick();
+        }
+        let center = sys.marketplace.city().measurement_region.centroid();
+        let obs = sys.ping_all(&[ClientSpec { key: 0, position: center }]);
+        let x = obs[0].iter().find(|t| t.car_type == CarType::UberX).unwrap();
+        assert!(
+            x.cars.iter().any(|c| c.displacement.is_some()),
+            "settled cars should carry path displacement"
+        );
+    }
+
+    #[test]
+    fn taxi_system_single_pseudo_tier() {
+        let city = CityModel::manhattan_midtown();
+        let trace = TraceGenerator { taxis: 80, days: 1, ..Default::default() }
+            .generate(&city, 5);
+        let mut sys = TaxiSystem::new(&trace, city.measurement_region.clone(), 6);
+        // Run to the evening peak so taxis are available.
+        while sys.now() < SimTime(19 * 3600) {
+            sys.advance_tick();
+        }
+        let center = city.measurement_region.centroid();
+        let obs = sys.ping_all(&[ClientSpec { key: 0, position: center }]);
+        assert_eq!(obs[0].len(), 1);
+        let block = &obs[0][0];
+        assert_eq!(block.car_type, CarType::UberT);
+        assert!(!block.cars.is_empty(), "evening peak should show taxis");
+        assert_eq!(block.surge, 1.0);
+    }
+}

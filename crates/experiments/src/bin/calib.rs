@@ -1,0 +1,42 @@
+//! `calib` — per-area diagnostic for surge-tuning calibration.
+//!
+//! Prints, per city and surge area, the fraction of intervals with
+//! multiplier > 1, the mean multiplier, and mean utilisation inputs from
+//! ground truth. Used when fitting the city models to the paper's
+//! Fig. 12 shape targets.
+
+use surgescope_api::ProtocolEra;
+use surgescope_core::{Campaign, CampaignConfig};
+use surgescope_experiments::cache::City;
+
+fn main() {
+    let hours: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(48);
+    for city in City::BOTH {
+        let cfg = CampaignConfig::paper_default(2015, ProtocolEra::Apr2015, hours);
+        let data = Campaign::run_uber(city.model(), &cfg);
+        println!("== {} ==", city.label());
+        for a in 0..data.city.area_count() {
+            let series = &data.api_surge[a];
+            let surged = series.iter().filter(|&&m| m > 1.0).count() as f64 / series.len() as f64;
+            let mean: f64 =
+                series.iter().map(|&m| m as f64).sum::<f64>() / series.len() as f64;
+            let max = series.iter().cloned().fold(1.0f32, f32::max);
+            // Ground truth per area.
+            let stats: Vec<_> = data.truth.area_series(a).collect();
+            let sup: f64 = stats.iter().map(|s| s.supply).sum::<f64>() / stats.len() as f64;
+            let idle: f64 =
+                stats.iter().map(|s| s.idle_supply).sum::<f64>() / stats.len() as f64;
+            let req: f64 =
+                stats.iter().map(|s| s.requests as f64).sum::<f64>() / stats.len() as f64;
+            let ewt: f64 =
+                stats.iter().map(|s| s.mean_ewt_min).sum::<f64>() / stats.len() as f64;
+            println!(
+                "area {a}: surged {:4.1}%  mean m {:5.3}  max {:3.1}  | supply {:5.1} (idle {:4.1})  req/5min {:4.1}  ewt {:4.1}",
+                surged * 100.0, mean, max, sup, idle, req, ewt
+            );
+        }
+    }
+}

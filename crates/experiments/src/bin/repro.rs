@@ -1,0 +1,58 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! Usage:
+//!   repro [--quick] [--seed N] <id>...   run specific experiments
+//!   repro [--quick] [--seed N] all       run everything
+//!   repro list                           list experiment ids
+
+use surgescope_experiments::{cache::CampaignCache, run_experiment, RunCtx, ALL_IDS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut seed = 2015u64;
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--seed needs an integer");
+                        std::process::exit(2);
+                    })
+            }
+            "list" => {
+                for id in ALL_IDS {
+                    println!("{id}");
+                }
+                return;
+            }
+            "all" => ids.extend(ALL_IDS.iter().map(|s| s.to_string())),
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        eprintln!("usage: repro [--quick] [--seed N] <id>... | all | list");
+        std::process::exit(2);
+    }
+    let mut ctx = RunCtx::full(seed);
+    ctx.quick = quick;
+    let mut cache = CampaignCache::new();
+    let mut failed = false;
+    for id in &ids {
+        match run_experiment(id, &ctx, &mut cache) {
+            Some(outcome) => println!("{}", outcome.render()),
+            None => {
+                eprintln!("unknown experiment id: {id}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,126 @@
+//! Campaign sharing across experiments.
+//!
+//! A full campaign is minutes of CPU; ten experiments read from the same
+//! one. The cache keys campaigns by (city, protocol era) and taxi
+//! validations by city, and builds each at most once per process.
+
+use crate::RunCtx;
+use std::collections::HashMap;
+use std::rc::Rc;
+use surgescope_api::ProtocolEra;
+use surgescope_city::CityModel;
+use surgescope_core::estimate::{EstimatorConfig, SupplyDemandEstimator};
+use surgescope_core::{Campaign, CampaignConfig, CampaignData};
+use surgescope_taxi::{TaxiGroundTruth, TaxiTrace, TraceGenerator};
+
+/// Which study city.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum City {
+    /// Midtown Manhattan.
+    Manhattan,
+    /// Downtown San Francisco.
+    SanFrancisco,
+}
+
+impl City {
+    /// Both cities in the paper's reporting order.
+    pub const BOTH: [City; 2] = [City::Manhattan, City::SanFrancisco];
+
+    /// The city model.
+    pub fn model(self) -> CityModel {
+        match self {
+            City::Manhattan => CityModel::manhattan_midtown(),
+            City::SanFrancisco => CityModel::san_francisco_downtown(),
+        }
+    }
+
+    /// Short label.
+    pub fn label(self) -> &'static str {
+        match self {
+            City::Manhattan => "Manhattan",
+            City::SanFrancisco => "SF",
+        }
+    }
+}
+
+/// A finished taxi validation: estimator plus ground truth.
+pub struct TaxiValidation {
+    /// The finished estimator.
+    pub estimator: SupplyDemandEstimator,
+    /// Replay ground truth.
+    pub truth: TaxiGroundTruth,
+    /// The generated trace (for workload statistics).
+    pub trace: TaxiTrace,
+}
+
+/// Lazily built, shared campaign results.
+#[derive(Default)]
+pub struct CampaignCache {
+    campaigns: HashMap<(City, ProtocolEra), Rc<CampaignData>>,
+    taxi: Option<Rc<TaxiValidation>>,
+}
+
+impl CampaignCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The campaign for (city, era), building it on first use.
+    pub fn campaign(&mut self, city: City, era: ProtocolEra, ctx: &RunCtx) -> Rc<CampaignData> {
+        if let Some(c) = self.campaigns.get(&(city, era)) {
+            return Rc::clone(c);
+        }
+        eprintln!(
+            "[cache] running {} campaign ({} h, {:?} era)…",
+            city.label(),
+            ctx.hours(),
+            era
+        );
+        let cfg = CampaignConfig {
+            seed: ctx.seed ^ (city as u64 + 1) ^ ((era == ProtocolEra::Apr2015) as u64) << 8,
+            hours: ctx.hours(),
+            era,
+            estimator: EstimatorConfig::default(),
+            spacing_override_m: None,
+            scale: ctx.scale(),
+            surge_policy: surgescope_marketplace::SurgePolicy::Threshold,
+        };
+        let data = Rc::new(Campaign::run_uber(city.model(), &cfg));
+        self.campaigns.insert((city, era), Rc::clone(&data));
+        data
+    }
+
+    /// The §3.5 taxi validation (Manhattan), building it on first use.
+    pub fn taxi(&mut self, ctx: &RunCtx) -> Rc<TaxiValidation> {
+        if let Some(t) = &self.taxi {
+            return Rc::clone(t);
+        }
+        eprintln!("[cache] running taxi validation replay…");
+        let city = City::Manhattan.model();
+        let (taxis, days) = if ctx.quick { (150, 1) } else { (400, 3) };
+        let gen = TraceGenerator { taxis, days, ..Default::default() };
+        let trace = gen.generate(&city, ctx.seed ^ 0x7A51);
+        let hours = days * 24;
+        // Taxi visibility is much shorter-range than Uber's (r ≈ 100 m in
+        // the paper), so the edge-exclusion band shrinks accordingly.
+        let est_cfg = EstimatorConfig {
+            edge_margin_m: 75.0,
+            // Taxi IDs rotate per availability period, and short idle
+            // gaps between trips are real — don't discard them.
+            short_lived_secs: 45,
+            ..Default::default()
+        };
+        let (estimator, truth) = Campaign::run_taxi(
+            &trace,
+            city.measurement_region.clone(),
+            150.0,
+            hours,
+            ctx.seed ^ 0x7A52,
+            est_cfg,
+        );
+        let v = Rc::new(TaxiValidation { estimator, truth, trace });
+        self.taxi = Some(Rc::clone(&v));
+        v
+    }
+}

@@ -1,0 +1,76 @@
+//! Harness self-tests: experiment routing and quick-mode shape checks.
+//! These are the "does `repro all` work" gate — heavier shape assertions
+//! live in EXPERIMENTS.md against the full-fidelity run.
+
+use surgescope_experiments::{cache::CampaignCache, run_experiment, RunCtx, ALL_IDS};
+
+#[test]
+fn every_experiment_id_is_routable() {
+    let ctx = RunCtx::quick(1);
+    let mut cache = CampaignCache::new();
+    assert!(run_experiment("nope", &ctx, &mut cache).is_none());
+    // fig03 is pure geometry — run it for real as the cheap probe.
+    let out = run_experiment("fig03", &ctx, &mut cache).expect("fig03 runs");
+    assert_eq!(out.id, "fig03");
+    assert!(out.metric("uber_manhattan_clients").unwrap() > 40.0);
+    assert_eq!(ALL_IDS.len(), 25);
+}
+
+#[test]
+fn quick_run_of_campaign_backed_experiments_produces_shapes() {
+    // One shared cache: this is the expensive test (several quick
+    // campaigns) but it exercises the exact code path of `repro all`.
+    let ctx = RunCtx::quick(99);
+    let mut cache = CampaignCache::new();
+
+    let fig12 = run_experiment("fig12", &ctx, &mut cache).unwrap();
+    let m_ns = fig12.metric("manhattan_no_surge_frac").unwrap();
+    let s_ns = fig12.metric("sf_no_surge_frac").unwrap();
+    assert!(m_ns > s_ns, "Manhattan must surge less than SF: {m_ns} vs {s_ns}");
+
+    let fig13 = run_experiment("fig13", &ctx, &mut cache).unwrap();
+    let feb = fig13.metric("feb_client_sub_minute").unwrap();
+    let apr = fig13.metric("apr_client_sub_minute").unwrap();
+    assert_eq!(feb, 0.0, "Feb era cannot have sub-minute episodes");
+    assert!(apr > 0.0, "Apr era must show jitter-induced sub-minute episodes");
+
+    let fig17 = run_experiment("fig17", &ctx, &mut cache).unwrap();
+    for city in ["manhattan", "sf"] {
+        if let Some(max_k) = fig17.metric(&format!("{city}_max_simultaneous")) {
+            assert!(max_k <= 6.0, "{city}: {max_k} simultaneous jitterers");
+        }
+    }
+
+    let fig21 = run_experiment("fig21", &ctx, &mut cache).unwrap();
+    let peaks = [
+        fig21.metric("manhattan_peak_r").unwrap(),
+        fig21.metric("sf_peak_r").unwrap(),
+    ];
+    assert!(peaks.iter().any(|&r| r > 0.1), "EWT correlation peaks: {peaks:?}");
+
+    let tab01 = run_experiment("tab01", &ctx, &mut cache).unwrap();
+    for (k, v) in &tab01.metrics {
+        if k.ends_with("_r2") {
+            assert!(*v < 0.9, "{k} = {v}: forecasting must stay hard");
+        }
+    }
+
+    let fig23 = run_experiment("fig23", &ctx, &mut cache).unwrap();
+    let m = fig23.metric("manhattan_median_success_pct").unwrap();
+    let s = fig23.metric("sf_median_success_pct").unwrap();
+    assert!(
+        m > s,
+        "walking must pay off more in Manhattan than SF ({m} vs {s})"
+    );
+}
+
+#[test]
+fn outcome_rendering_and_csv() {
+    let ctx = RunCtx::quick(7);
+    let mut cache = CampaignCache::new();
+    let out = run_experiment("fig03", &ctx, &mut cache).unwrap();
+    let rendered = out.render();
+    assert!(rendered.contains("fig03"));
+    assert!(rendered.contains("metrics"));
+    assert!(ctx.out_dir.is_none(), "quick contexts write no CSV");
+}

@@ -1,0 +1,30 @@
+//! TextTable formatting unit tests.
+
+use surgescope_experiments::TextTable;
+
+#[test]
+fn aligns_columns() {
+    let mut t = TextTable::new(&["a", "long-header", "c"]);
+    t.row(vec!["xxxxxx".into(), "1".into(), "2".into()]);
+    t.row(vec!["y".into(), "22".into(), "333".into()]);
+    let s = t.render();
+    let lines: Vec<&str> = s.lines().collect();
+    assert_eq!(lines.len(), 4, "header + rule + 2 rows");
+    assert!(lines[2].starts_with("xxxxxx"));
+}
+
+#[test]
+fn csv_rows_join_with_commas() {
+    let mut t = TextTable::new(&["x", "y"]);
+    t.row(vec!["1".into(), "2".into()]);
+    let (header, rows) = t.csv_rows();
+    assert_eq!(header, "x,y");
+    assert_eq!(rows, vec!["1,2".to_string()]);
+}
+
+#[test]
+#[should_panic(expected = "row arity mismatch")]
+fn rejects_ragged_rows() {
+    let mut t = TextTable::new(&["x", "y"]);
+    t.row(vec!["1".into()]);
+}

@@ -1,0 +1,274 @@
+//! Driver agents.
+//!
+//! A driver is a small state machine (§2 of the paper, driver's
+//! perspective):
+//!
+//! ```text
+//! Offline ──come online──▶ Idle ──dispatch──▶ EnRoute ──pickup──▶ OnTrip
+//!    ▲                      │ ▲                                      │
+//!    └──────end shift───────┘ └──────────────dropoff─────────────────┘
+//! ```
+//!
+//! Two facts about identity matter for the measurement methodology:
+//! the *internal* [`DriverId`] is stable for the life of the simulation
+//! (ground truth can track individuals), while the *public* [`SessionId`]
+//! shown in pingClient responses is re-randomized every time the driver
+//! comes online — exactly the behaviour that prevents the paper's clients
+//! from tracking drivers over time (§3.3, limitation 4).
+
+use serde::{Deserialize, Serialize};
+use surgescope_city::CarType;
+use surgescope_geo::{Meters, PathVector};
+use surgescope_simcore::{SimRng, SimTime};
+
+/// Stable internal driver identifier. Never exposed through the protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DriverId(pub u32);
+
+/// Public per-online-session identifier, randomized at each online
+/// transition (the protocol's car "ID").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SessionId(pub u64);
+
+/// The driver's lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DriverState {
+    /// Not on the road; invisible to everyone.
+    Offline,
+    /// On the road, waiting for a dispatch; visible in the client app.
+    Idle,
+    /// Dispatched, driving to a pickup at the given point. Invisible
+    /// (booked cars disappear from the client app — the basis of the
+    /// paper's demand estimator).
+    EnRoute {
+        /// Pickup location.
+        pickup: Meters,
+        /// Where the trip will end, carried through to `OnTrip`.
+        dropoff: Meters,
+    },
+    /// Carrying a passenger toward the dropoff point. Invisible.
+    OnTrip {
+        /// Trip destination.
+        dropoff: Meters,
+    },
+}
+
+impl DriverState {
+    /// Visible in pingClient responses (only idle cars are shown).
+    pub fn is_visible(&self) -> bool {
+        matches!(self, DriverState::Idle)
+    }
+
+    /// On the road in any state (counts toward true supply).
+    pub fn is_online(&self) -> bool {
+        !matches!(self, DriverState::Offline)
+    }
+
+    /// Currently serving a request (en-route or on trip).
+    pub fn is_busy(&self) -> bool {
+        matches!(self, DriverState::EnRoute { .. } | DriverState::OnTrip { .. })
+    }
+}
+
+/// A driver agent.
+#[derive(Debug, Clone)]
+pub struct Driver {
+    /// Stable internal identity.
+    pub id: DriverId,
+    /// Product tier this driver serves.
+    pub car_type: CarType,
+    /// Lifecycle state.
+    pub state: DriverState,
+    /// Current position (planar frame).
+    pub position: Meters,
+    /// Public ID for the current online session (None while offline).
+    pub session: Option<SessionId>,
+    /// Recent positions, as exposed in pingClient responses.
+    pub path: PathVector,
+    /// Where this driver is drifting toward while idle.
+    pub waypoint: Option<Meters>,
+    /// When the current online session started (for shift bookkeeping).
+    pub online_since: Option<SimTime>,
+    /// Ticks remaining to pause at the current waypoint before choosing a
+    /// new one (idle drivers dwell near hotspots rather than circling).
+    pub dwell_ticks: u32,
+    /// Index of the in-flight trip in the ground-truth log, if any.
+    pub trip_idx: Option<usize>,
+    /// When the passenger was picked up (fare needs the trip duration).
+    pub trip_started: Option<SimTime>,
+    /// Maximum shift length for the current session; idle drivers past
+    /// this go home even when supply is short (drives the lifespan
+    /// distributions of Fig. 7).
+    pub shift_secs: u64,
+}
+
+/// Capacity of the path vector in protocol responses (recent ~40 s of
+/// movement at one point per 5-second ping).
+pub const PATH_CAPACITY: usize = 8;
+
+impl Driver {
+    /// Creates an offline driver of the given tier parked at `position`.
+    pub fn new(id: DriverId, car_type: CarType, position: Meters) -> Self {
+        Driver {
+            id,
+            car_type,
+            state: DriverState::Offline,
+            position,
+            session: None,
+            path: PathVector::new(PATH_CAPACITY),
+            waypoint: None,
+            online_since: None,
+            dwell_ticks: 0,
+            trip_idx: None,
+            trip_started: None,
+            shift_secs: 0,
+        }
+    }
+
+    /// Brings the driver online at `position`, minting a fresh session ID
+    /// from `rng` (IDs are randomized each time a car comes online).
+    pub fn come_online(&mut self, position: Meters, now: SimTime, rng: &mut SimRng) {
+        debug_assert!(!self.state.is_online(), "driver already online");
+        self.state = DriverState::Idle;
+        self.position = position;
+        self.session = Some(SessionId(rng.range_u64(1, u64::MAX)));
+        self.path = PathVector::new(PATH_CAPACITY);
+        self.waypoint = None;
+        self.online_since = Some(now);
+        self.dwell_ticks = 0;
+        self.trip_idx = None;
+        self.trip_started = None;
+    }
+
+    /// Takes the driver off the road. Only legal while idle — busy drivers
+    /// finish their trip first (the world enforces this).
+    pub fn go_offline(&mut self) {
+        debug_assert!(
+            matches!(self.state, DriverState::Idle),
+            "only idle drivers go offline"
+        );
+        self.state = DriverState::Offline;
+        self.session = None;
+        self.waypoint = None;
+        self.online_since = None;
+    }
+
+    /// Accepts a dispatch to `pickup` with eventual `dropoff`.
+    pub fn dispatch(&mut self, pickup: Meters, dropoff: Meters) {
+        debug_assert!(matches!(self.state, DriverState::Idle), "dispatching non-idle driver");
+        self.state = DriverState::EnRoute { pickup, dropoff };
+        self.waypoint = None;
+    }
+
+    /// Advances the driver `max_step_m` metres toward `target` along a
+    /// rectilinear (x-then-y) street path. Returns `true` when the target
+    /// is reached within this step.
+    pub fn advance_towards(&mut self, target: Meters, max_step_m: f64) -> bool {
+        let mut budget = max_step_m;
+        // East-west leg first.
+        let dx = target.x - self.position.x;
+        if dx.abs() > 0.0 {
+            let step = dx.abs().min(budget);
+            self.position.x += step * dx.signum();
+            budget -= step;
+        }
+        if budget > 0.0 {
+            let dy = target.y - self.position.y;
+            if dy.abs() > 0.0 {
+                let step = dy.abs().min(budget);
+                self.position.y += step * dy.signum();
+                budget -= step;
+            }
+        }
+        let _ = budget;
+        self.position.x == target.x && self.position.y == target.y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk() -> Driver {
+        Driver::new(DriverId(1), CarType::UberX, Meters::new(0.0, 0.0))
+    }
+
+    #[test]
+    fn initial_state_offline_invisible() {
+        let d = mk();
+        assert_eq!(d.state, DriverState::Offline);
+        assert!(!d.state.is_visible());
+        assert!(!d.state.is_online());
+        assert!(d.session.is_none());
+    }
+
+    #[test]
+    fn online_transition_mints_session() {
+        let mut d = mk();
+        let mut rng = SimRng::seed_from_u64(1);
+        d.come_online(Meters::new(10.0, 10.0), SimTime(100), &mut rng);
+        assert!(d.state.is_visible());
+        assert!(d.session.is_some());
+        assert_eq!(d.online_since, Some(SimTime(100)));
+    }
+
+    #[test]
+    fn session_id_randomized_each_online_period() {
+        let mut d = mk();
+        let mut rng = SimRng::seed_from_u64(2);
+        d.come_online(Meters::new(0.0, 0.0), SimTime(0), &mut rng);
+        let s1 = d.session.unwrap();
+        d.go_offline();
+        d.come_online(Meters::new(0.0, 0.0), SimTime(500), &mut rng);
+        let s2 = d.session.unwrap();
+        assert_ne!(s1, s2, "session IDs must be re-randomized");
+    }
+
+    #[test]
+    fn busy_states_invisible_but_online() {
+        let mut d = mk();
+        let mut rng = SimRng::seed_from_u64(3);
+        d.come_online(Meters::new(0.0, 0.0), SimTime(0), &mut rng);
+        d.dispatch(Meters::new(100.0, 0.0), Meters::new(500.0, 500.0));
+        assert!(d.state.is_busy());
+        assert!(d.state.is_online());
+        assert!(!d.state.is_visible(), "booked cars disappear from the app");
+    }
+
+    #[test]
+    fn rectilinear_advance_x_before_y() {
+        let mut d = mk();
+        let target = Meters::new(30.0, 40.0);
+        // First step only moves along x.
+        assert!(!d.advance_towards(target, 20.0));
+        assert_eq!(d.position, Meters::new(20.0, 0.0));
+        // Second step finishes x (10) and spends 10 on y.
+        assert!(!d.advance_towards(target, 20.0));
+        assert_eq!(d.position, Meters::new(30.0, 10.0));
+        // Big final step reaches exactly the target.
+        assert!(d.advance_towards(target, 100.0));
+        assert_eq!(d.position, target);
+    }
+
+    #[test]
+    fn advance_total_distance_is_l1() {
+        let mut d = mk();
+        let target = Meters::new(-25.0, 35.0);
+        let mut steps = 0;
+        while !d.advance_towards(target, 10.0) {
+            steps += 1;
+            assert!(steps < 100, "failed to converge");
+        }
+        // L1 distance 60 at 10 m per step → exactly 6 steps (last one lands).
+        assert_eq!(steps + 1, 6);
+    }
+
+    #[test]
+    fn path_vector_bounded() {
+        let mut d = mk();
+        for i in 0..20 {
+            d.path.push(surgescope_geo::LatLng::new(40.0, -73.0 + i as f64 * 0.001));
+        }
+        assert_eq!(d.path.len(), PATH_CAPACITY);
+    }
+}

@@ -1,0 +1,130 @@
+//! The simulated ride-sharing marketplace.
+//!
+//! This crate is the stand-in for the black-box service the paper audits.
+//! It is a full agent-based marketplace:
+//!
+//! * [`Driver`]s follow a shift schedule, drift toward demand hotspots
+//!   while idle, weakly reposition toward surging areas, and serve trips
+//!   end-to-end (en-route → pickup → dropoff);
+//! * riders arrive as an inhomogeneous Poisson process shaped by the
+//!   city's [`DemandProfile`](surgescope_city::DemandProfile), are
+//!   price-elastic (surge suppresses conversion; some riders wait out the
+//!   surge and retry), and are matched to the nearest idle driver;
+//! * the [`SurgeEngine`] recomputes one multiplier per surge area on the
+//!   paper's 5-minute clock from the previous window's utilisation and
+//!   wait times, quantized to 0.1 steps;
+//! * every quantity the paper could not see — true supply, true fulfilled
+//!   demand, true requested demand — is recorded per interval as ground
+//!   truth ([`IntervalStats`]), so the measurement toolkit's estimates can
+//!   be scored exactly.
+//!
+//! The externally visible protocol (nearest-8 cars, randomized session
+//! IDs, the jitter bug) lives one layer up in `surgescope-api`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod driver;
+mod metrics;
+mod surge;
+mod world;
+
+pub use driver::{Driver, DriverId, DriverState, SessionId};
+pub use metrics::{GroundTruth, IntervalStats, TripRecord};
+pub use surge::{SurgeEngine, SurgePolicy, SurgeSnapshot};
+pub use world::{Marketplace, MarketplaceConfig, VisibleCar};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use surgescope_city::{CarType, CityModel};
+    use surgescope_geo::Meters;
+    use surgescope_simcore::{SimDuration, SimRng, SimTime};
+
+    proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn driver_reaches_any_target(tx in -500.0f64..500.0, ty in -500.0f64..500.0,
+                                     step in 1.0f64..200.0) {
+            let mut d = Driver::new(DriverId(0), CarType::UberX, Meters::new(0.0, 0.0));
+            let target = Meters::new(tx, ty);
+            let l1 = tx.abs() + ty.abs();
+            let max_steps = (l1 / step).ceil() as u32 + 2;
+            let mut steps = 0;
+            while !d.advance_towards(target, step) {
+                steps += 1;
+                prop_assert!(steps <= max_steps, "did not converge in {max_steps} steps");
+            }
+            prop_assert_eq!(d.position, target);
+        }
+
+        #[test]
+        fn world_invariants_hold_over_time(seed in 0u64..50) {
+            let mut c = CityModel::manhattan_midtown();
+            c.supply = c.supply.scaled(0.15);
+            c.demand = c.demand.scaled(0.15);
+            let mut w = Marketplace::new(c, MarketplaceConfig::default(), seed);
+            w.run_for(SimDuration::mins(90));
+            // Visible ⊆ online; multipliers quantized and within caps.
+            prop_assert!(w.visible_cars().len() <= w.online_count());
+            for s in &w.truth().intervals {
+                prop_assert!(s.surge >= 1.0);
+                prop_assert!(s.surge <= w.city().surge_tuning.max_multiplier + 1e-9);
+                let tenths = s.surge * 10.0;
+                prop_assert!((tenths - tenths.round()).abs() < 1e-6, "unquantized {}", s.surge);
+                prop_assert!(s.pickups <= s.requests, "more pickups than requests");
+                prop_assert!(s.idle_supply <= s.supply + 1e-9);
+            }
+            // Completed fares positive; surged fares carry their multiplier.
+            for t in w.truth().trips.iter().filter(|t| t.fare.is_some()) {
+                prop_assert!(t.fare.unwrap() > 0.0);
+                prop_assert!(t.surge >= 1.0);
+            }
+        }
+
+        #[test]
+        fn observed_sessions_bounded_by_sessions_started(seed in 0u64..30) {
+            // Every public ID a client could ever observe corresponds to
+            // one started driver session (IDs persist across bookings
+            // within a session, so the observed-distinct count can never
+            // exceed the session count).
+            let mut c = CityModel::manhattan_midtown();
+            c.supply = c.supply.scaled(0.15);
+            c.demand = c.demand.scaled(0.15);
+            let mut w = Marketplace::new(c, MarketplaceConfig::default(), seed);
+            let mut seen = std::collections::HashSet::new();
+            for _ in 0..12 {
+                w.run_for(SimDuration::mins(10));
+                for v in w.visible_cars() {
+                    prop_assert!(v.session.0 != 0, "session id zero is reserved");
+                    seen.insert(v.session.0);
+                }
+            }
+            prop_assert!(
+                seen.len() as u64 <= w.truth().sessions_started,
+                "observed {} ids but only {} sessions started",
+                seen.len(),
+                w.truth().sessions_started
+            );
+        }
+
+        #[test]
+        fn surge_engine_rejects_nothing_reasonable(online in 0.0f64..10_000.0,
+                                                   busy_frac in 0.0f64..1.0,
+                                                   ewt in 0.0f64..60.0,
+                                                   reqs in 0u32..100) {
+            use surgescope_city::{AreaId, SurgeTuning};
+            let mut e = SurgeEngine::new(1, SurgeTuning::default_test(), SimRng::seed_from_u64(1));
+            e.accumulate(AreaId(0), online, online * busy_frac);
+            e.record_ewt(AreaId(0), ewt);
+            for _ in 0..reqs {
+                e.record_request(AreaId(0));
+            }
+            e.recompute(SimTime(300));
+            let m = e.multiplier(AreaId(0), CarType::UberX);
+            prop_assert!(m >= 1.0 && m <= SurgeTuning::default_test().max_multiplier + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Ground-truth recording.
+//!
+//! The paper's central difficulty is that Uber publishes *none* of the
+//! quantities under study; every number must be inferred through the
+//! client protocol. Our simulator has no such constraint: the world
+//! records, per 5-minute interval and per surge area, the true supply,
+//! true requested demand, true fulfilled demand, mean EWT and the
+//! multiplier in force. The measurement toolkit's estimators are scored
+//! against these records (validation à la §3.5), and the correlation /
+//! regression experiments can be run against both measured and true
+//! series.
+
+use serde::{Deserialize, Serialize};
+use surgescope_city::CarType;
+use surgescope_simcore::SimTime;
+
+/// True per-area statistics for one 5-minute interval.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IntervalStats {
+    /// Interval index (`SimTime::surge_interval`).
+    pub interval: u64,
+    /// Surge area (index).
+    pub area: usize,
+    /// Mean number of online drivers (all tiers) in the area over the
+    /// interval.
+    pub supply: f64,
+    /// Mean number of *visible* (idle) drivers.
+    pub idle_supply: f64,
+    /// Ride requests submitted with pickups in the area.
+    pub requests: u32,
+    /// Requests that resulted in a pickup (true fulfilled demand).
+    pub pickups: u32,
+    /// Requests abandoned because of price (surge elasticity).
+    pub priced_out: u32,
+    /// Requests unmet for lack of nearby supply.
+    pub unserved: u32,
+    /// Mean EWT for UberX sampled at the area centroid, minutes.
+    pub mean_ewt_min: f64,
+    /// UberX multiplier in force during the interval.
+    pub surge: f64,
+}
+
+/// One completed (or in-progress) trip.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TripRecord {
+    /// When the request was accepted.
+    pub requested_at: SimTime,
+    /// Tier served.
+    pub car_type: CarType,
+    /// Surge multiplier applied to the fare.
+    pub surge: f64,
+    /// Pickup surge area.
+    pub pickup_area: usize,
+    /// Straight-line trip distance, metres.
+    pub distance_m: f64,
+    /// Fare charged, dollars (None until the trip completes).
+    pub fare: Option<f64>,
+}
+
+/// Accumulated ground truth for one simulated city.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GroundTruth {
+    /// Closed per-interval, per-area records in chronological order.
+    pub intervals: Vec<IntervalStats>,
+    /// Every accepted trip.
+    pub trips: Vec<TripRecord>,
+    /// Total unique driver online-sessions started.
+    pub sessions_started: u64,
+}
+
+impl GroundTruth {
+    /// All records for one area, in order.
+    pub fn area_series(&self, area: usize) -> impl Iterator<Item = &IntervalStats> {
+        self.intervals.iter().filter(move |s| s.area == area)
+    }
+
+    /// Sum of pickups across areas per interval index.
+    pub fn pickups_by_interval(&self) -> Vec<(u64, u32)> {
+        let mut out: Vec<(u64, u32)> = Vec::new();
+        for s in &self.intervals {
+            match out.last_mut() {
+                Some((i, c)) if *i == s.interval => *c += s.pickups,
+                _ => out.push((s.interval, s.pickups)),
+            }
+        }
+        out
+    }
+
+    /// Fraction of intervals (area-wise) with surge > 1.
+    pub fn surge_fraction(&self) -> f64 {
+        if self.intervals.is_empty() {
+            return 0.0;
+        }
+        let surged = self.intervals.iter().filter(|s| s.surge > 1.0).count();
+        surged as f64 / self.intervals.len() as f64
+    }
+
+    /// Mean multiplier over all area-intervals.
+    pub fn mean_surge(&self) -> f64 {
+        if self.intervals.is_empty() {
+            return 1.0;
+        }
+        self.intervals.iter().map(|s| s.surge).sum::<f64>() / self.intervals.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stat(interval: u64, area: usize, surge: f64, pickups: u32) -> IntervalStats {
+        IntervalStats {
+            interval,
+            area,
+            supply: 10.0,
+            idle_supply: 6.0,
+            requests: pickups + 2,
+            pickups,
+            priced_out: 1,
+            unserved: 1,
+            mean_ewt_min: 3.0,
+            surge,
+        }
+    }
+
+    #[test]
+    fn area_series_filters() {
+        let gt = GroundTruth {
+            intervals: vec![stat(0, 0, 1.0, 5), stat(0, 1, 1.5, 3), stat(1, 0, 1.2, 4)],
+            ..Default::default()
+        };
+        let a0: Vec<_> = gt.area_series(0).map(|s| s.interval).collect();
+        assert_eq!(a0, vec![0, 1]);
+    }
+
+    #[test]
+    fn pickups_aggregate_across_areas() {
+        let gt = GroundTruth {
+            intervals: vec![stat(0, 0, 1.0, 5), stat(0, 1, 1.0, 3), stat(1, 0, 1.0, 2)],
+            ..Default::default()
+        };
+        assert_eq!(gt.pickups_by_interval(), vec![(0, 8), (1, 2)]);
+    }
+
+    #[test]
+    fn surge_statistics() {
+        let gt = GroundTruth {
+            intervals: vec![stat(0, 0, 1.0, 1), stat(1, 0, 2.0, 1), stat(2, 0, 1.5, 1), stat(3, 0, 1.0, 1)],
+            ..Default::default()
+        };
+        assert!((gt.surge_fraction() - 0.5).abs() < 1e-12);
+        assert!((gt.mean_surge() - 1.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_truth_defaults() {
+        let gt = GroundTruth::default();
+        assert_eq!(gt.surge_fraction(), 0.0);
+        assert_eq!(gt.mean_surge(), 1.0);
+        assert!(gt.pickups_by_interval().is_empty());
+    }
+}

@@ -1,0 +1,166 @@
+//! Diurnal rate curves.
+//!
+//! Supply and demand in the paper are strongly diurnal (Fig. 8): peaks at
+//! morning and evening rush hour, a trough around 4 a.m., weekend shapes
+//! that differ from weekdays, and SF's 2 a.m. "last call" spike. A
+//! [`DiurnalCurve`] is a piecewise-linear function over the 24-hour day
+//! from a small set of `(hour, value)` control points, wrapping around
+//! midnight.
+
+use serde::{Deserialize, Serialize};
+
+/// A piecewise-linear, midnight-wrapping function of the hour of day.
+///
+/// ```
+/// use surgescope_simcore::DiurnalCurve;
+/// // Morning rush peaks at 8 a.m., trough at 4 a.m.
+/// let demand = DiurnalCurve::new(vec![(4.0, 10.0), (8.0, 100.0), (20.0, 40.0)]);
+/// assert!(demand.at_hour(8.0) > demand.at_hour(4.0));
+/// assert_eq!(demand.at_hour(6.0), 55.0); // halfway up the ramp
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiurnalCurve {
+    /// Control points `(hour in [0,24), value)`, sorted by hour.
+    points: Vec<(f64, f64)>,
+}
+
+impl DiurnalCurve {
+    /// Builds a curve from control points. Hours must lie in `[0, 24)`;
+    /// points are sorted internally. At least one point is required.
+    pub fn new(mut points: Vec<(f64, f64)>) -> Self {
+        assert!(!points.is_empty(), "diurnal curve needs at least one point");
+        for (h, v) in &points {
+            assert!((0.0..24.0).contains(h), "hour out of range: {h}");
+            assert!(v.is_finite(), "non-finite value");
+        }
+        points.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        DiurnalCurve { points }
+    }
+
+    /// A constant curve.
+    pub fn constant(value: f64) -> Self {
+        DiurnalCurve::new(vec![(0.0, value)])
+    }
+
+    /// Value at fractional hour `h` (wrapped into `[0, 24)`), by linear
+    /// interpolation between the neighbouring control points, wrapping
+    /// across midnight.
+    pub fn at_hour(&self, h: f64) -> f64 {
+        let h = h.rem_euclid(24.0);
+        let n = self.points.len();
+        if n == 1 {
+            return self.points[0].1;
+        }
+        // Find the first control point at or after h.
+        let idx = self.points.partition_point(|(ph, _)| *ph <= h);
+        let (h0, v0, h1, v1) = if idx == 0 {
+            // Before the first point: wrap from the last point.
+            let (lh, lv) = self.points[n - 1];
+            let (fh, fv) = self.points[0];
+            (lh - 24.0, lv, fh, fv)
+        } else if idx == n {
+            // After the last point: wrap to the first point.
+            let (lh, lv) = self.points[n - 1];
+            let (fh, fv) = self.points[0];
+            (lh, lv, fh + 24.0, fv)
+        } else {
+            let (ah, av) = self.points[idx - 1];
+            let (bh, bv) = self.points[idx];
+            (ah, av, bh, bv)
+        };
+        if (h1 - h0).abs() < 1e-12 {
+            return v0;
+        }
+        let t = (h - h0) / (h1 - h0);
+        v0 + (v1 - v0) * t
+    }
+
+    /// Scales the whole curve by `k`.
+    pub fn scaled(&self, k: f64) -> DiurnalCurve {
+        DiurnalCurve { points: self.points.iter().map(|(h, v)| (*h, v * k)).collect() }
+    }
+
+    /// Mean value over the day (trapezoid integration at 1-minute steps).
+    pub fn daily_mean(&self) -> f64 {
+        let steps = 24 * 60;
+        let sum: f64 = (0..steps).map(|i| self.at_hour(i as f64 / 60.0)).sum();
+        sum / steps as f64
+    }
+
+    /// Maximum value over the day (sampled at 1-minute resolution).
+    pub fn daily_max(&self) -> f64 {
+        let steps = 24 * 60;
+        (0..steps)
+            .map(|i| self.at_hour(i as f64 / 60.0))
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_curve() {
+        let c = DiurnalCurve::constant(3.5);
+        for h in [0.0, 6.2, 12.0, 23.99] {
+            assert_eq!(c.at_hour(h), 3.5);
+        }
+        assert_eq!(c.daily_mean(), 3.5);
+    }
+
+    #[test]
+    fn interpolates_between_points() {
+        let c = DiurnalCurve::new(vec![(6.0, 0.0), (12.0, 6.0)]);
+        assert_eq!(c.at_hour(6.0), 0.0);
+        assert_eq!(c.at_hour(9.0), 3.0);
+        assert_eq!(c.at_hour(12.0), 6.0);
+    }
+
+    #[test]
+    fn wraps_across_midnight() {
+        let c = DiurnalCurve::new(vec![(22.0, 10.0), (2.0, 2.0)]);
+        // Midnight is halfway through the 22:00 -> 02:00 segment.
+        assert!((c.at_hour(0.0) - 6.0).abs() < 1e-9);
+        assert!((c.at_hour(23.0) - 8.0).abs() < 1e-9);
+        assert!((c.at_hour(1.0) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn out_of_range_hours_wrap() {
+        let c = DiurnalCurve::new(vec![(0.0, 1.0), (12.0, 3.0)]);
+        assert_eq!(c.at_hour(24.0), c.at_hour(0.0));
+        assert_eq!(c.at_hour(-12.0), c.at_hour(12.0));
+        assert_eq!(c.at_hour(36.0), c.at_hour(12.0));
+    }
+
+    #[test]
+    fn rush_hour_shape_peaks_where_expected() {
+        // A plausible weekday demand curve.
+        let c = DiurnalCurve::new(vec![
+            (4.0, 0.2),
+            (8.0, 1.0),
+            (11.0, 0.6),
+            (17.5, 1.2),
+            (21.0, 0.7),
+        ]);
+        assert!(c.at_hour(8.0) > c.at_hour(4.0));
+        assert!(c.at_hour(17.5) > c.at_hour(11.0));
+        assert!((c.daily_max() - 1.2).abs() < 1e-9);
+        let m = c.daily_mean();
+        assert!(m > 0.2 && m < 1.2, "mean {m}");
+    }
+
+    #[test]
+    fn scaled_multiplies_values() {
+        let c = DiurnalCurve::new(vec![(0.0, 2.0), (12.0, 4.0)]).scaled(2.5);
+        assert_eq!(c.at_hour(0.0), 5.0);
+        assert_eq!(c.at_hour(12.0), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "hour out of range")]
+    fn rejects_bad_hour() {
+        let _ = DiurnalCurve::new(vec![(25.0, 1.0)]);
+    }
+}

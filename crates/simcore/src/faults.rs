@@ -1,0 +1,125 @@
+//! Transport fault injection.
+//!
+//! The real study rode on cellular/Wi-Fi networks; pings occasionally fail
+//! or arrive late. Mirroring smoltcp's fault-injection knobs
+//! (`--drop-chance` and friends), a [`FaultPlan`] decides per message
+//! whether the simulated transport drops or delays it. The measurement
+//! estimators must tolerate these gaps, and the robustness ablation bench
+//! sweeps the drop probability.
+
+use crate::rng::SimRng;
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Per-message fault decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOutcome {
+    /// Deliver normally.
+    Deliver,
+    /// Drop the message entirely (the client misses this ping).
+    Drop,
+    /// Deliver after the given extra latency.
+    Delay(SimDuration),
+}
+
+/// A fault-injection configuration for the client↔service transport.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Probability a message is dropped.
+    pub drop_chance: f64,
+    /// Probability a (non-dropped) message is delayed.
+    pub delay_chance: f64,
+    /// Maximum injected delay in seconds (uniform in `[1, max]`).
+    pub max_delay_secs: u64,
+}
+
+impl FaultPlan {
+    /// No faults: every message delivered immediately.
+    pub const fn none() -> Self {
+        FaultPlan { drop_chance: 0.0, delay_chance: 0.0, max_delay_secs: 0 }
+    }
+
+    /// A lossy plan with the given drop probability and no delays.
+    pub fn lossy(drop_chance: f64) -> Self {
+        assert!((0.0..=1.0).contains(&drop_chance), "probability out of range");
+        FaultPlan { drop_chance, delay_chance: 0.0, max_delay_secs: 0 }
+    }
+
+    /// Decides the fate of one message.
+    pub fn decide(&self, rng: &mut SimRng) -> FaultOutcome {
+        if self.drop_chance > 0.0 && rng.chance(self.drop_chance) {
+            return FaultOutcome::Drop;
+        }
+        if self.delay_chance > 0.0 && self.max_delay_secs > 0 && rng.chance(self.delay_chance) {
+            let d = rng.range_u64(1, self.max_delay_secs + 1);
+            return FaultOutcome::Delay(SimDuration::secs(d));
+        }
+        FaultOutcome::Deliver
+    }
+
+    /// True when this plan can never perturb a message.
+    pub fn is_none(&self) -> bool {
+        self.drop_chance <= 0.0 && (self.delay_chance <= 0.0 || self.max_delay_secs == 0)
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_always_delivers() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_none());
+        let mut rng = SimRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            assert_eq!(plan.decide(&mut rng), FaultOutcome::Deliver);
+        }
+    }
+
+    #[test]
+    fn drop_rate_is_respected() {
+        let plan = FaultPlan::lossy(0.25);
+        let mut rng = SimRng::seed_from_u64(6);
+        let n = 40_000;
+        let drops = (0..n)
+            .filter(|_| plan.decide(&mut rng) == FaultOutcome::Drop)
+            .count();
+        let rate = drops as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn delays_bounded() {
+        let plan = FaultPlan { drop_chance: 0.0, delay_chance: 1.0, max_delay_secs: 7 };
+        let mut rng = SimRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            match plan.decide(&mut rng) {
+                FaultOutcome::Delay(d) => {
+                    assert!((1..=7).contains(&d.as_secs()));
+                }
+                other => panic!("expected delay, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn zero_max_delay_never_delays() {
+        let plan = FaultPlan { drop_chance: 0.0, delay_chance: 1.0, max_delay_secs: 0 };
+        assert!(plan.is_none());
+        let mut rng = SimRng::seed_from_u64(8);
+        assert_eq!(plan.decide(&mut rng), FaultOutcome::Deliver);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn lossy_rejects_bad_probability() {
+        let _ = FaultPlan::lossy(1.5);
+    }
+}

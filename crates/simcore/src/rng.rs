@@ -1,0 +1,275 @@
+//! Seedable, splittable randomness.
+//!
+//! Every stochastic decision in the reproduction flows through a [`SimRng`]
+//! derived from a single campaign seed. Components obtain *independent*
+//! child streams via [`SimRng::split`], keyed by a label, so adding or
+//! reordering components never changes the randomness any other component
+//! observes — a property the determinism integration test relies on.
+//!
+//! The distribution samplers (exponential, normal, Poisson) are implemented
+//! here rather than pulled from `rand_distr` to keep the dependency
+//! footprint to the approved offline set.
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// A deterministic random stream.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+    seed: u64,
+}
+
+impl SimRng {
+    /// Creates a stream from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng { inner: SmallRng::seed_from_u64(seed), seed }
+    }
+
+    /// The seed this stream was created from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives an independent child stream keyed by `label`. The derivation
+    /// mixes the parent seed with an FNV-1a hash of the label through a
+    /// splitmix64 finalizer, so distinct labels give uncorrelated streams
+    /// and the same `(seed, label)` pair always gives the same stream.
+    pub fn split(&self, label: &str) -> SimRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let child_seed = splitmix64(self.seed ^ h);
+        SimRng::seed_from_u64(child_seed)
+    }
+
+    /// Derives an independent child stream keyed by an index (e.g. one
+    /// stream per driver).
+    pub fn split_index(&self, label: &str, index: u64) -> SimRng {
+        self.split(&format!("{label}#{index}"))
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        self.inner.random::<f64>()
+    }
+
+    /// Uniform in `[lo, hi)`. Panics if `lo >= hi`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "empty range");
+        lo + (hi - lo) * self.f64()
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        self.inner.random_range(lo..hi)
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.inner.random_range(lo..hi)
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        self.f64() < p
+    }
+
+    /// Picks a uniformly random element of `items`, or `None` when empty.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            Some(&items[self.range_usize(0, items.len())])
+        }
+    }
+
+    /// Samples an index according to non-negative `weights` (roulette
+    /// wheel). Returns `None` when all weights are zero or the slice is
+    /// empty.
+    pub fn choose_weighted_index(&mut self, weights: &[f64]) -> Option<usize> {
+        let total: f64 = weights.iter().copied().filter(|w| *w > 0.0).sum();
+        if total <= 0.0 {
+            return None;
+        }
+        let mut target = self.f64() * total;
+        for (i, w) in weights.iter().enumerate() {
+            if *w > 0.0 {
+                target -= *w;
+                if target <= 0.0 {
+                    return Some(i);
+                }
+            }
+        }
+        // Floating-point slop: return the last positive-weight index.
+        weights.iter().rposition(|w| *w > 0.0)
+    }
+
+    /// Exponential variate with the given `rate` (mean `1/rate`).
+    pub fn exp(&mut self, rate: f64) -> f64 {
+        assert!(rate > 0.0, "rate must be positive");
+        // Inverse CDF; `1 - f64()` avoids ln(0).
+        -(1.0 - self.f64()).ln() / rate
+    }
+
+    /// Standard normal variate (Box–Muller; one half of the pair is
+    /// discarded for implementation simplicity — sampling cost is not a
+    /// bottleneck here).
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(std_dev >= 0.0, "negative standard deviation");
+        let u1 = (1.0 - self.f64()).max(f64::MIN_POSITIVE);
+        let u2 = self.f64();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        mean + std_dev * z
+    }
+
+    /// Poisson variate with mean `lambda`. Uses Knuth's product method for
+    /// small means and a normal approximation above 30 (adequate for the
+    /// arrival counts this simulator draws).
+    pub fn poisson(&mut self, lambda: f64) -> u64 {
+        assert!(lambda >= 0.0, "negative lambda");
+        if lambda == 0.0 {
+            return 0;
+        }
+        if lambda > 30.0 {
+            let x = self.normal(lambda, lambda.sqrt());
+            return x.max(0.0).round() as u64;
+        }
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= self.f64();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from_u64(7);
+        let mut b = SimRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.f64().to_bits(), b.f64().to_bits());
+        }
+    }
+
+    #[test]
+    fn split_streams_are_reproducible_and_distinct() {
+        let root = SimRng::seed_from_u64(42);
+        let mut c1 = root.split("drivers");
+        let mut c1b = root.split("drivers");
+        let mut c2 = root.split("riders");
+        let xs: Vec<u64> = (0..10).map(|_| c1.range_u64(0, u64::MAX)).collect();
+        let ys: Vec<u64> = (0..10).map(|_| c1b.range_u64(0, u64::MAX)).collect();
+        let zs: Vec<u64> = (0..10).map(|_| c2.range_u64(0, u64::MAX)).collect();
+        assert_eq!(xs, ys, "same label must reproduce");
+        assert_ne!(xs, zs, "different labels must diverge");
+    }
+
+    #[test]
+    fn split_index_distinct_per_index() {
+        let root = SimRng::seed_from_u64(1);
+        let a = root.split_index("driver", 0).f64();
+        let b = root.split_index("driver", 1).f64();
+        assert_ne!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::seed_from_u64(3);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-0.5));
+        assert!(r.chance(1.5));
+    }
+
+    #[test]
+    fn exp_mean_close() {
+        let mut r = SimRng::seed_from_u64(11);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| r.exp(0.5)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_moments_close() {
+        let mut r = SimRng::seed_from_u64(13);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.normal(5.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn poisson_mean_small_and_large_lambda() {
+        let mut r = SimRng::seed_from_u64(17);
+        for lambda in [0.3, 4.0, 60.0] {
+            let n = 20_000;
+            let mean: f64 = (0..n).map(|_| r.poisson(lambda) as f64).sum::<f64>() / n as f64;
+            assert!(
+                (mean - lambda).abs() < 0.05 * lambda + 0.05,
+                "lambda {lambda} mean {mean}"
+            );
+        }
+        assert_eq!(r.poisson(0.0), 0);
+    }
+
+    #[test]
+    fn weighted_choice_respects_weights() {
+        let mut r = SimRng::seed_from_u64(19);
+        let weights = [0.0, 3.0, 1.0];
+        let mut counts = [0u32; 3];
+        for _ in 0..10_000 {
+            counts[r.choose_weighted_index(&weights).unwrap()] += 1;
+        }
+        assert_eq!(counts[0], 0, "zero-weight item must never be chosen");
+        let ratio = counts[1] as f64 / counts[2] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio {ratio}");
+        assert_eq!(r.choose_weighted_index(&[0.0, 0.0]), None);
+        assert_eq!(r.choose_weighted_index(&[]), None);
+    }
+
+    #[test]
+    fn choose_uniform() {
+        let mut r = SimRng::seed_from_u64(23);
+        assert_eq!(r.choose::<u8>(&[]), None);
+        let items = [1, 2, 3, 4];
+        for _ in 0..100 {
+            assert!(items.contains(r.choose(&items).unwrap()));
+        }
+    }
+
+    #[test]
+    fn range_f64_bounds() {
+        let mut r = SimRng::seed_from_u64(29);
+        for _ in 0..1000 {
+            let x = r.range_f64(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! Simulated time.
+//!
+//! Time is integer seconds since the simulation epoch. The epoch is defined
+//! to be **midnight on a Monday**, so day-of-week and time-of-day fall out
+//! of simple arithmetic. All the paper's clocks are derived from this:
+//! pings every 5 s, surge recomputation every 300 s, analysis bins of 300 s.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Seconds in one minute.
+const MINUTE: u64 = 60;
+/// Seconds in one hour.
+const HOUR: u64 = 3_600;
+/// Seconds in one day.
+const DAY: u64 = 86_400;
+/// The paper's surge-update interval: 5 minutes.
+pub(crate) const SURGE_INTERVAL_SECS: u64 = 300;
+
+/// A duration in whole simulated seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SimDuration(pub u64);
+
+impl SimDuration {
+    /// Duration of `n` seconds.
+    pub const fn secs(n: u64) -> Self {
+        SimDuration(n)
+    }
+
+    /// Duration of `n` minutes.
+    pub const fn mins(n: u64) -> Self {
+        SimDuration(n * MINUTE)
+    }
+
+    /// Duration of `n` hours.
+    pub const fn hours(n: u64) -> Self {
+        SimDuration(n * HOUR)
+    }
+
+    /// Duration of `n` days.
+    pub const fn days(n: u64) -> Self {
+        SimDuration(n * DAY)
+    }
+
+    /// Total seconds.
+    pub const fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// Duration as fractional minutes.
+    pub fn as_mins_f64(self) -> f64 {
+        self.0 as f64 / MINUTE as f64
+    }
+
+    /// Duration as fractional hours.
+    pub fn as_hours_f64(self) -> f64 {
+        self.0 as f64 / HOUR as f64
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let d = self.0 / DAY;
+        let h = (self.0 % DAY) / HOUR;
+        let m = (self.0 % HOUR) / MINUTE;
+        let s = self.0 % MINUTE;
+        if d > 0 {
+            write!(f, "{d}d{h:02}h{m:02}m{s:02}s")
+        } else if h > 0 {
+            write!(f, "{h}h{m:02}m{s:02}s")
+        } else if m > 0 {
+            write!(f, "{m}m{s:02}s")
+        } else {
+            write!(f, "{s}s")
+        }
+    }
+}
+
+/// Day of the week of a simulated instant. The simulation epoch is a Monday.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum DayOfWeek {
+    Monday,
+    Tuesday,
+    Wednesday,
+    Thursday,
+    Friday,
+    Saturday,
+    Sunday,
+}
+
+impl DayOfWeek {
+    /// All days, Monday first (epoch order).
+    pub const ALL: [DayOfWeek; 7] = [
+        DayOfWeek::Monday,
+        DayOfWeek::Tuesday,
+        DayOfWeek::Wednesday,
+        DayOfWeek::Thursday,
+        DayOfWeek::Friday,
+        DayOfWeek::Saturday,
+        DayOfWeek::Sunday,
+    ];
+
+    /// Saturday or Sunday.
+    pub fn is_weekend(self) -> bool {
+        matches!(self, DayOfWeek::Saturday | DayOfWeek::Sunday)
+    }
+}
+
+/// An instant in simulated time: whole seconds since the epoch
+/// (midnight, Monday, day 0).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const EPOCH: SimTime = SimTime(0);
+
+    /// Seconds since the epoch.
+    pub const fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since midnight of the current simulated day.
+    pub fn seconds_into_day(self) -> u64 {
+        self.0 % DAY
+    }
+
+    /// Fractional hour of day in `[0, 24)`.
+    pub fn hour_of_day_f64(self) -> f64 {
+        self.seconds_into_day() as f64 / HOUR as f64
+    }
+
+    /// Whole hour of day in `0..24`.
+    pub fn hour_of_day(self) -> u32 {
+        (self.seconds_into_day() / HOUR) as u32
+    }
+
+    /// Days elapsed since the epoch.
+    pub fn day_index(self) -> u64 {
+        self.0 / DAY
+    }
+
+    /// Day of the week (epoch is Monday).
+    pub fn day_of_week(self) -> DayOfWeek {
+        DayOfWeek::ALL[(self.day_index() % 7) as usize]
+    }
+
+    /// Index of the 5-minute surge interval containing this instant
+    /// (paper §5.2: multipliers update on a 5-minute clock).
+    pub fn surge_interval(self) -> u64 {
+        self.0 / SURGE_INTERVAL_SECS
+    }
+
+    /// Start of the surge interval containing this instant.
+    pub fn surge_interval_start(self) -> SimTime {
+        SimTime(self.0 - self.0 % SURGE_INTERVAL_SECS)
+    }
+
+    /// Seconds elapsed within the current surge interval, in `0..300`.
+    pub fn seconds_into_surge_interval(self) -> u64 {
+        self.0 % SURGE_INTERVAL_SECS
+    }
+
+    /// Is this instant within the paper's rush-hour windows
+    /// (6–10 a.m. or 4–8 p.m., §5.4 "Rush" model)?
+    pub fn is_rush_hour(self) -> bool {
+        let h = self.hour_of_day();
+        (6..10).contains(&h) || (16..20).contains(&h)
+    }
+
+    /// Duration elapsed since `earlier`. Panics if `earlier` is later —
+    /// time only flows forward in the simulator, so that is a logic error.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        assert!(self >= earlier, "negative duration: {earlier:?} -> {self:?}");
+        SimDuration(self.0 - earlier.0)
+    }
+
+    /// Saturating subtraction of a duration.
+    pub fn saturating_sub(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(d.0))
+    }
+}
+
+impl Add<SimDuration> for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let h = (self.seconds_into_day()) / HOUR;
+        let m = (self.seconds_into_day() % HOUR) / MINUTE;
+        let s = self.seconds_into_day() % MINUTE;
+        write!(f, "d{} {h:02}:{m:02}:{s:02}", self.day_index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_constructors() {
+        assert_eq!(SimDuration::mins(5).as_secs(), 300);
+        assert_eq!(SimDuration::hours(2).as_secs(), 7200);
+        assert_eq!(SimDuration::days(1).as_secs(), 86_400);
+        assert_eq!(SimDuration::mins(90).as_hours_f64(), 1.5);
+        assert_eq!(SimDuration::secs(90).as_mins_f64(), 1.5);
+    }
+
+    #[test]
+    fn epoch_is_monday_midnight() {
+        assert_eq!(SimTime::EPOCH.day_of_week(), DayOfWeek::Monday);
+        assert_eq!(SimTime::EPOCH.hour_of_day(), 0);
+    }
+
+    #[test]
+    fn day_of_week_cycles() {
+        let sat = SimTime::EPOCH + SimDuration::days(5);
+        assert_eq!(sat.day_of_week(), DayOfWeek::Saturday);
+        assert!(sat.day_of_week().is_weekend());
+        let next_mon = SimTime::EPOCH + SimDuration::days(7);
+        assert_eq!(next_mon.day_of_week(), DayOfWeek::Monday);
+        assert!(!next_mon.day_of_week().is_weekend());
+    }
+
+    #[test]
+    fn surge_interval_arithmetic() {
+        let t = SimTime(923);
+        assert_eq!(t.surge_interval(), 3);
+        assert_eq!(t.surge_interval_start(), SimTime(900));
+        assert_eq!(t.seconds_into_surge_interval(), 23);
+        // Boundary is the start of the next interval.
+        let b = SimTime(1200);
+        assert_eq!(b.surge_interval(), 4);
+        assert_eq!(b.seconds_into_surge_interval(), 0);
+    }
+
+    #[test]
+    fn rush_hour_windows() {
+        let mk = |h: u64| SimTime(h * 3600);
+        assert!(!mk(5).is_rush_hour());
+        assert!(mk(6).is_rush_hour());
+        assert!(mk(9).is_rush_hour());
+        assert!(!mk(10).is_rush_hour());
+        assert!(!mk(15).is_rush_hour());
+        assert!(mk(16).is_rush_hour());
+        assert!(mk(19).is_rush_hour());
+        assert!(!mk(20).is_rush_hour());
+    }
+
+    #[test]
+    fn duration_addition() {
+        assert_eq!(SimDuration::mins(5) + SimDuration::secs(30), SimDuration::secs(330));
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t = SimTime(1000);
+        let u = t + SimDuration::secs(500);
+        assert_eq!(u.as_secs(), 1500);
+        assert_eq!(u - t, SimDuration::secs(500));
+        assert_eq!(u.saturating_sub(SimDuration::secs(2000)), SimTime::EPOCH);
+        let mut v = t;
+        v += SimDuration::mins(1);
+        assert_eq!(v.as_secs(), 1060);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative duration")]
+    fn negative_duration_panics() {
+        let _ = SimTime(10).since(SimTime(20));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", SimTime(0)), "d0 00:00:00");
+        assert_eq!(format!("{}", SimTime(DAY + 3661)), "d1 01:01:01");
+        assert_eq!(format!("{}", SimDuration::secs(59)), "59s");
+        assert_eq!(format!("{}", SimDuration::secs(3725)), "1h02m05s");
+        assert_eq!(format!("{}", SimDuration::days(2)), "2d00h00m00s");
+    }
+
+    #[test]
+    fn hour_of_day_fractional() {
+        let t = SimTime(DAY + 6 * HOUR + 1800);
+        assert!((t.hour_of_day_f64() - 6.5).abs() < 1e-12);
+        assert_eq!(t.hour_of_day(), 6);
+    }
+}

@@ -1,0 +1,290 @@
+//! Synthetic NYC-2013-like taxi traces.
+//!
+//! The generator produces what the real FOIL dataset provides: one record
+//! per ride with taxi ID, timestamped and geolocated pickup and dropoff.
+//! Statistical shape mirrors the descriptions in the paper and common
+//! knowledge of the dataset: taxis work two daily shift blocks, trip
+//! intensity is diurnal (trough ≈ 4–5 a.m., peaks at the rush hours),
+//! origins and destinations skew toward commercial hotspots, and fulfilled
+//! demand in midtown peaks around ~100 rides/hour *per measurement
+//! region* (§3.4).
+
+use serde::{Deserialize, Serialize};
+use surgescope_city::CityModel;
+use surgescope_geo::Meters;
+use surgescope_simcore::{SimDuration, SimRng, SimTime};
+
+/// One taxi ride: the only ground truth the real dataset has.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaxiRide {
+    /// Stable taxi identifier (medallion analogue).
+    pub taxi: u32,
+    /// Passenger pickup time.
+    pub pickup_at: SimTime,
+    /// Pickup location.
+    pub pickup: Meters,
+    /// Dropoff time.
+    pub dropoff_at: SimTime,
+    /// Dropoff location.
+    pub dropoff: Meters,
+}
+
+/// A complete trace: every ride of every taxi, sorted by pickup time.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TaxiTrace {
+    /// Rides sorted by `pickup_at`.
+    pub rides: Vec<TaxiRide>,
+    /// Number of distinct taxis.
+    pub taxi_count: u32,
+}
+
+impl TaxiTrace {
+    /// Rides of one taxi, in chronological order.
+    pub fn rides_of(&self, taxi: u32) -> Vec<&TaxiRide> {
+        let mut v: Vec<&TaxiRide> = self.rides.iter().filter(|r| r.taxi == taxi).collect();
+        v.sort_by_key(|r| r.pickup_at);
+        v
+    }
+
+    /// Ground-truth pickups per 5-minute interval whose pickup point lies
+    /// inside `region`.
+    pub fn pickups_per_interval(
+        &self,
+        region: &surgescope_geo::Polygon,
+        horizon: SimTime,
+    ) -> Vec<u32> {
+        let n = (horizon.as_secs() / 300) as usize;
+        let mut out = vec![0u32; n];
+        for r in &self.rides {
+            if r.pickup_at < horizon && region.contains(r.pickup) {
+                out[r.pickup_at.surge_interval() as usize] += 1;
+            }
+        }
+        out
+    }
+}
+
+/// Configuration for the synthetic generator.
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    /// Number of taxis. Midtown has an order of magnitude more taxis than
+    /// Ubers (§4.2), but the validation only needs a few hundred.
+    pub taxis: u32,
+    /// Days of trace to generate.
+    pub days: u64,
+    /// Mean trips per taxi per busy hour.
+    pub trips_per_hour_peak: f64,
+    /// Straight-line driving speed, m/s (the replay "drives" in straight
+    /// lines, so this is the effective speed of the whole system).
+    pub speed_mps: f64,
+}
+
+impl Default for TraceGenerator {
+    fn default() -> Self {
+        TraceGenerator { taxis: 400, days: 7, trips_per_hour_peak: 2.5, speed_mps: 6.0 }
+    }
+}
+
+/// Relative trip intensity by hour (NYC taxi diurnal shape).
+fn intensity(hour: f64) -> f64 {
+    // Trough at 5 a.m., morning peak, sustained day, evening peak, decay.
+    let pts = [
+        (0.0, 0.55),
+        (2.0, 0.35),
+        (5.0, 0.12),
+        (8.0, 0.95),
+        (12.0, 0.80),
+        (15.0, 0.85),
+        (19.0, 1.00),
+        (22.0, 0.75),
+    ];
+    // Linear interpolation with wraparound.
+    let h = hour.rem_euclid(24.0);
+    for w in pts.windows(2) {
+        let (h0, v0) = w[0];
+        let (h1, v1) = w[1];
+        if (h0..=h1).contains(&h) {
+            return v0 + (v1 - v0) * (h - h0) / (h1 - h0);
+        }
+    }
+    // Wrap 22:00 → 24:00 back to 0:00 value.
+    let (h0, v0) = pts[pts.len() - 1];
+    let (h1, v1) = (24.0, pts[0].1);
+    v0 + (v1 - v0) * (h - h0) / (h1 - h0)
+}
+
+impl TraceGenerator {
+    /// Generates a trace over `city`'s geography (hotspots and the service
+    /// region are reused; the marketplace itself is not involved).
+    pub fn generate(&self, city: &CityModel, seed: u64) -> TaxiTrace {
+        let root = SimRng::seed_from_u64(seed);
+        let mut rides = Vec::new();
+        for taxi in 0..self.taxis {
+            let mut rng = root.split_index("taxi", taxi as u64);
+            self.generate_taxi(city, taxi, &mut rng, &mut rides);
+        }
+        rides.sort_by_key(|r| (r.pickup_at, r.taxi));
+        TaxiTrace { rides, taxi_count: self.taxis }
+    }
+
+    fn generate_taxi(
+        &self,
+        city: &CityModel,
+        taxi: u32,
+        rng: &mut SimRng,
+        rides: &mut Vec<TaxiRide>,
+    ) {
+        // NYC taxis traditionally change shifts around 5 a.m./5 p.m.; each
+        // taxi is assigned one of the two blocks (or both for double-shift
+        // medallions).
+        let day_shift = rng.chance(0.5);
+        let double_shift = rng.chance(0.25);
+        for day in 0..self.days {
+            let day_start = SimTime::EPOCH + SimDuration::days(day);
+            let mut blocks: Vec<(f64, f64)> = Vec::new();
+            if day_shift || double_shift {
+                blocks.push((4.5 + rng.range_f64(0.0, 1.5), 8.0 + rng.range_f64(0.0, 2.0)));
+            }
+            if !day_shift || double_shift {
+                blocks.push((15.5 + rng.range_f64(0.0, 1.5), 8.0 + rng.range_f64(0.0, 2.0)));
+            }
+            for (start_h, len_h) in blocks {
+                let mut t = day_start + SimDuration::secs((start_h * 3600.0) as u64);
+                let end = t + SimDuration::secs((len_h * 3600.0) as u64);
+                let mut position = city.sample_point(rng, 0.6);
+                while t < end {
+                    // Idle gap until the next street hail; shorter when the
+                    // city is busy.
+                    let hour = t.hour_of_day_f64();
+                    let rate = self.trips_per_hour_peak * intensity(hour);
+                    let gap_secs = rng.exp(rate / 3600.0).min(4.0 * 3600.0);
+                    let pickup_at = t + SimDuration::secs(gap_secs as u64);
+                    if pickup_at >= end {
+                        break;
+                    }
+                    // Hail near where the taxi has been cruising.
+                    let pickup = if rng.chance(0.6) {
+                        nudge(city, position, 400.0, rng)
+                    } else {
+                        city.sample_point(rng, 0.7)
+                    };
+                    let dropoff = city.sample_point(rng, 0.5);
+                    let dist = (pickup.x - dropoff.x).abs() + (pickup.y - dropoff.y).abs();
+                    let dur = (dist / self.speed_mps).max(60.0);
+                    let dropoff_at = pickup_at + SimDuration::secs(dur as u64);
+                    rides.push(TaxiRide { taxi, pickup_at, pickup, dropoff_at, dropoff });
+                    position = dropoff;
+                    t = dropoff_at;
+                }
+            }
+        }
+    }
+}
+
+/// Gaussian nudge of a point, rejected into the service region.
+fn nudge(city: &CityModel, p: Meters, sigma: f64, rng: &mut SimRng) -> Meters {
+    for _ in 0..16 {
+        let q = Meters::new(rng.normal(p.x, sigma), rng.normal(p.y, sigma));
+        if city.service_region.contains(q) {
+            return q;
+        }
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use surgescope_city::CityModel;
+
+    fn small_trace() -> (CityModel, TaxiTrace) {
+        let city = CityModel::manhattan_midtown();
+        let gen = TraceGenerator { taxis: 60, days: 2, ..Default::default() };
+        let trace = gen.generate(&city, 42);
+        (city, trace)
+    }
+
+    #[test]
+    fn trace_nonempty_and_sorted() {
+        let (_, trace) = small_trace();
+        assert!(trace.rides.len() > 500, "only {} rides", trace.rides.len());
+        for w in trace.rides.windows(2) {
+            assert!(w[0].pickup_at <= w[1].pickup_at);
+        }
+    }
+
+    #[test]
+    fn rides_are_causal_and_in_region() {
+        let (city, trace) = small_trace();
+        for r in &trace.rides {
+            assert!(r.dropoff_at > r.pickup_at, "zero-length ride");
+            assert!(city.service_region.contains(r.pickup));
+            assert!(city.service_region.contains(r.dropoff));
+        }
+    }
+
+    #[test]
+    fn per_taxi_rides_dont_overlap() {
+        let (_, trace) = small_trace();
+        for taxi in 0..10 {
+            let rides = trace.rides_of(taxi);
+            for w in rides.windows(2) {
+                assert!(
+                    w[1].pickup_at >= w[0].dropoff_at,
+                    "taxi {taxi} double-booked"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn diurnal_shape_trough_before_dawn() {
+        let city = CityModel::manhattan_midtown();
+        let gen = TraceGenerator { taxis: 150, days: 3, ..Default::default() };
+        let trace = gen.generate(&city, 7);
+        let mut by_hour = [0u32; 24];
+        for r in &trace.rides {
+            by_hour[r.pickup_at.hour_of_day() as usize] += 1;
+        }
+        let five_am = by_hour[5] as f64;
+        let evening = by_hour[19] as f64;
+        assert!(
+            evening > 4.0 * five_am.max(1.0),
+            "evening {evening} vs 5am {five_am}"
+        );
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let city = CityModel::manhattan_midtown();
+        let gen = TraceGenerator { taxis: 30, days: 1, ..Default::default() };
+        let a = gen.generate(&city, 5);
+        let b = gen.generate(&city, 5);
+        assert_eq!(a.rides, b.rides);
+        let c = gen.generate(&city, 6);
+        assert_ne!(a.rides, c.rides);
+    }
+
+    #[test]
+    fn pickups_per_interval_counts_region_only() {
+        let (city, trace) = small_trace();
+        let horizon = SimTime(2 * 86_400);
+        let per = trace.pickups_per_interval(&city.measurement_region, horizon);
+        assert_eq!(per.len(), 2 * 288);
+        let total: u32 = per.iter().sum();
+        let inside = trace
+            .rides
+            .iter()
+            .filter(|r| r.pickup_at < horizon && city.measurement_region.contains(r.pickup))
+            .count() as u32;
+        assert_eq!(total, inside);
+        assert!(total > 0);
+    }
+
+    #[test]
+    fn intensity_wraps_midnight() {
+        let a = intensity(23.999);
+        let b = intensity(0.0);
+        assert!((a - b).abs() < 0.05, "{a} vs {b}");
+    }
+}

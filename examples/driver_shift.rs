@@ -1,0 +1,83 @@
+//! The driver's side of surge: how much of a day's earnings come from
+//! surged fares, and does repositioning toward surging areas pay?
+//!
+//! Runs one simulated weekday in downtown SF and breaks down completed
+//! trips by the multiplier that priced them — the supply-side incentive
+//! the paper's Fig. 22 investigates.
+//!
+//! ```sh
+//! cargo run --release --example driver_shift
+//! ```
+
+use surgescope::city::{CarType, CityModel};
+use surgescope::marketplace::{Marketplace, MarketplaceConfig};
+use surgescope::simcore::SimDuration;
+
+fn main() {
+    let mut city = CityModel::san_francisco_downtown();
+    city.supply = city.supply.scaled(0.4);
+    city.demand = city.demand.scaled(0.4);
+
+    let mut mp = Marketplace::new(city, MarketplaceConfig::default(), 31);
+    println!("simulating one weekday in downtown SF …");
+    mp.run_for(SimDuration::days(1));
+
+    let trips: Vec<_> = mp
+        .truth()
+        .trips
+        .iter()
+        .filter(|t| t.fare.is_some() && t.car_type == CarType::UberX)
+        .collect();
+
+    let mut buckets: Vec<(&str, f64, f64, u32, f64)> = vec![
+        // label, lo, hi, trips, gross
+        ("×1.0 (no surge)", 0.99, 1.001, 0, 0.0),
+        ("×1.1–1.5", 1.001, 1.5001, 0, 0.0),
+        ("×1.6–2.0", 1.5001, 2.0001, 0, 0.0),
+        ("×2.1+", 2.0001, f64::INFINITY, 0, 0.0),
+    ];
+    for t in &trips {
+        let fare = t.fare.unwrap();
+        for b in buckets.iter_mut() {
+            if t.surge > b.1 && t.surge <= b.2 {
+                b.3 += 1;
+                b.4 += fare;
+            }
+        }
+    }
+
+    let gross: f64 = trips.iter().map(|t| t.fare.unwrap()).sum();
+    let n = trips.len().max(1);
+    println!("\ncompleted UberX trips: {n}   fleet gross: ${gross:.0}");
+    println!("\n{:<17} {:>6} {:>8} {:>9} {:>10}", "surge bucket", "trips", "% trips", "gross $", "% gross");
+    for (label, _, _, count, sum) in &buckets {
+        println!(
+            "{:<17} {:>6} {:>7.1}% {:>9.0} {:>9.1}%",
+            label,
+            count,
+            100.0 * *count as f64 / n as f64,
+            sum,
+            100.0 * sum / gross.max(1.0)
+        );
+    }
+
+    // Drivers keep 80% (the service retains 20%, §2).
+    let sessions = mp.truth().sessions_started.max(1);
+    println!(
+        "\ndriver take-home (80%): ${:.0} across {} driver-sessions ≈ ${:.0}/session",
+        gross * 0.8,
+        sessions,
+        gross * 0.8 / sessions as f64
+    );
+
+    // The paper's supply-side question: were surged trips *worth* more?
+    let surged: Vec<f64> = trips.iter().filter(|t| t.surge > 1.0).map(|t| t.fare.unwrap()).collect();
+    let flat: Vec<f64> = trips.iter().filter(|t| t.surge <= 1.0).map(|t| t.fare.unwrap()).collect();
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    println!(
+        "\naverage fare: surged ${:.2} vs unsurged ${:.2} ({:+.0}%)",
+        avg(&surged),
+        avg(&flat),
+        100.0 * (avg(&surged) / avg(&flat).max(0.01) - 1.0)
+    );
+}

@@ -1,0 +1,75 @@
+//! Quickstart: boot a simulated city, let the marketplace run for a busy
+//! hour, then look at it exactly the way the paper's clients did —
+//! through the pingClient protocol and the estimates API.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use surgescope::api::{ApiService, ProtocolEra, WorldSnapshot};
+use surgescope::city::{CarType, CityModel};
+use surgescope::marketplace::{Marketplace, MarketplaceConfig};
+use surgescope::simcore::SimDuration;
+
+fn main() {
+    // A scaled-down midtown Manhattan so the example runs in seconds.
+    let mut city = CityModel::manhattan_midtown();
+    city.supply = city.supply.scaled(0.4);
+    city.demand = city.demand.scaled(0.4);
+
+    let mut mp = Marketplace::new(city, MarketplaceConfig::default(), 7);
+
+    // Fast-forward to the morning rush.
+    println!("simulating 08:00 → 09:00 …");
+    mp.run_for(SimDuration::hours(9));
+
+    println!(
+        "{}: {} drivers online, {} visible (idle), {} trips so far",
+        mp.now(),
+        mp.online_count(),
+        mp.visible_cars().len(),
+        mp.truth().trips.len()
+    );
+
+    // Open the app: ping from Times Square.
+    let api = ApiService::new(ProtocolEra::Apr2015, 7);
+    let snap = WorldSnapshot::of(&mp);
+    let times_square = mp.city().projection.to_latlng(
+        surgescope::geo::Meters::new(600.0, 350.0),
+    );
+    let resp = api.ping_client(&snap, /* client key */ 1, times_square);
+
+    println!("\npingClient from Times Square at {}:", resp.at);
+    for s in &resp.statuses {
+        if s.cars.is_empty() {
+            continue;
+        }
+        println!(
+            "  {:<11} {} cars in view, EWT {:>4.1} min, surge ×{:.1}",
+            s.car_type.to_string(),
+            s.cars.len(),
+            s.ewt_min,
+            s.surge
+        );
+    }
+
+    // And the developer API, as a third-party app would use it.
+    let mut api = api;
+    let prices = api
+        .estimates_price(&snap, /* account */ 42, times_square)
+        .expect("within rate limit");
+    println!("\nestimates/price (reference 5-mile / 15-minute trip):");
+    for p in prices.iter().filter(|p| p.car_type == CarType::UberX || p.car_type == CarType::UberBlack) {
+        println!(
+            "  {:<11} ${:>3.0}–${:>3.0}  (surge ×{:.1})",
+            p.car_type.to_string(),
+            p.low_estimate,
+            p.high_estimate,
+            p.surge_multiplier
+        );
+    }
+    println!(
+        "\nremaining API quota this hour: {}",
+        api.remaining_quota(42, mp.now())
+    );
+}

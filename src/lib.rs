@@ -1,0 +1,58 @@
+//! # surgescope
+//!
+//! A measurement and audit toolkit for opaque ride-sharing marketplaces,
+//! reproducing **"Peeking Beneath the Hood of Uber"** (Chen, Mislove,
+//! Wilson — IMC 2015) end-to-end in Rust.
+//!
+//! The workspace has two halves:
+//!
+//! * a **simulated marketplace** standing in for the black-box service
+//!   the paper audited — agent-based drivers and riders
+//!   ([`marketplace`]), a faithful protocol surface with the nearest-8
+//!   pingClient feed, rate-limited estimates API and the April-2015
+//!   stale-multiplier bug ([`api`]), city models ([`city`]), and a taxi
+//!   ground-truth replay for validation ([`taxi`]);
+//! * the **audit toolkit** — emulated client fleets, calibration,
+//!   supply/demand estimation, surge-area inference, forecasting and the
+//!   surge-avoidance strategy ([`core`]), backed by a small statistics
+//!   library ([`analysis`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use surgescope::city::CityModel;
+//! use surgescope::core::{Campaign, CampaignConfig};
+//!
+//! // Run a 2-hour measurement campaign against a scaled-down Manhattan.
+//! let cfg = CampaignConfig {
+//!     hours: 2,
+//!     ..CampaignConfig::test_default(42)
+//! };
+//! let data = Campaign::run_uber(CityModel::manhattan_midtown(), &cfg);
+//!
+//! // 44 clients pinged every 5 seconds for 2 hours.
+//! assert_eq!(data.ticks, 2 * 720);
+//! assert!(!data.clients.is_empty());
+//!
+//! // The estimator measured UberX supply per 5-minute interval…
+//! let supply = data.estimator.supply_series(surgescope::city::CarType::UberX);
+//! assert_eq!(supply.len(), data.intervals);
+//! // …and the simulator kept ground truth the paper never had.
+//! assert!(!data.truth.intervals.is_empty());
+//! ```
+//!
+//! See the `examples/` directory for realistic scenarios and the
+//! `repro` binary (`cargo run --release -p surgescope-experiments --bin
+//! repro -- all`) to regenerate every table and figure of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use surgescope_analysis as analysis;
+pub use surgescope_api as api;
+pub use surgescope_city as city;
+pub use surgescope_core as core;
+pub use surgescope_geo as geo;
+pub use surgescope_marketplace as marketplace;
+pub use surgescope_simcore as simcore;
+pub use surgescope_taxi as taxi;

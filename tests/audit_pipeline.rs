@@ -1,0 +1,102 @@
+//! Audit-pipeline integration: surge-area inference, jitter detection and
+//! the avoidance strategy, run over a real (small) campaign.
+
+use surgescope::api::ProtocolEra;
+use surgescope::city::CityModel;
+use surgescope::core::surge_obs::{detect_jitter, episodes};
+use surgescope::core::{avoidance, Campaign, CampaignConfig};
+
+fn sf_campaign(hours: u64, seed: u64) -> surgescope::core::CampaignData {
+    let cfg = CampaignConfig {
+        hours,
+        era: ProtocolEra::Apr2015,
+        scale: 0.35,
+        ..CampaignConfig::test_default(seed)
+    };
+    Campaign::run_uber(CityModel::san_francisco_downtown(), &cfg)
+}
+
+#[test]
+fn jitter_events_have_paper_properties() {
+    let data = sf_campaign(10, 99);
+    let mut all = Vec::new();
+    for (ci, series) in data.client_surge.iter().enumerate() {
+        let Some(area) = data.client_area[ci] else { continue };
+        all.extend(detect_jitter(series, &data.api_surge[area], data.tick_secs));
+    }
+    assert!(!all.is_empty(), "an SF day should produce jitter events");
+    for e in &all {
+        assert!(e.duration < 90, "jitter lasted {}s", e.duration);
+        assert!(e.stale_value != e.consensus);
+    }
+    // The stale value equals the previous interval's consensus by
+    // construction of the detector; verify at least that both price
+    // directions occur (surges rise and fall).
+    let drops = all.iter().filter(|e| e.is_price_drop()).count();
+    assert!(drops > 0, "no price-dropping jitter in {} events", all.len());
+}
+
+#[test]
+fn api_surge_episodes_are_interval_multiples() {
+    let data = sf_campaign(8, 100);
+    for area in &data.api_surge {
+        for d in episodes(area, 300) {
+            assert_eq!(d % 300, 0, "API episode of {d}s not a 5-min multiple");
+        }
+    }
+}
+
+#[test]
+fn client_fleet_covers_all_areas_and_avoidance_runs() {
+    let data = sf_campaign(8, 101);
+    let results = avoidance::evaluate(
+        &data.city,
+        &data.clients,
+        &data.client_area,
+        &data.api_surge,
+        &data.api_ewt,
+    );
+    assert_eq!(results.len(), data.clients.len());
+    // SF surges a lot: most clients must have seen surged intervals.
+    let with_surge = results.iter().filter(|r| r.surged_intervals > 0).count();
+    assert!(
+        with_surge > results.len() / 2,
+        "only {with_surge} clients saw surge in SF"
+    );
+    // Every recorded win must be internally consistent.
+    for r in &results {
+        assert!(r.beatable <= r.surged_intervals);
+        assert_eq!(r.savings.len(), r.beatable);
+        for (s, w) in r.savings.iter().zip(&r.walk_minutes) {
+            assert!(*s > 0.0, "non-positive saving");
+            assert!(*w >= 0.0 && *w < 60.0, "absurd walk {w} min");
+        }
+    }
+}
+
+#[test]
+fn feb_era_has_no_subminute_episodes() {
+    let cfg = CampaignConfig {
+        hours: 8,
+        era: ProtocolEra::Feb2015,
+        scale: 0.35,
+        ..CampaignConfig::test_default(102)
+    };
+    let data = Campaign::run_uber(CityModel::san_francisco_downtown(), &cfg);
+    // Feb-era clients track the API exactly apart from the bounded
+    // propagation delay, so episodes shorter than one minute are
+    // impossible (the delay is < 40 s but a surge lasts ≥ one interval
+    // minus the delay ≥ 4 minutes).
+    let mut sub_minute = 0u32;
+    let mut total = 0u32;
+    for series in &data.client_surge {
+        for d in episodes(series, data.tick_secs) {
+            total += 1;
+            if d < 60 {
+                sub_minute += 1;
+            }
+        }
+    }
+    assert!(total > 0, "SF should surge during the day");
+    assert_eq!(sub_minute, 0, "{sub_minute}/{total} sub-minute episodes in Feb era");
+}

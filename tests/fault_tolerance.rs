@@ -1,0 +1,78 @@
+//! Transport-fault robustness: the estimators must tolerate lossy
+//! client↔service links (the real study rode on cellular networks).
+
+use surgescope::api::{ApiService, ProtocolEra};
+use surgescope::city::{CarType, CityModel};
+use surgescope::core::calibration::placement;
+use surgescope::core::estimate::{EstimatorConfig, SupplyDemandEstimator};
+use surgescope::core::{MeasuredSystem, UberSystem};
+use surgescope::marketplace::{Marketplace, MarketplaceConfig};
+use surgescope::simcore::{FaultPlan, SimDuration};
+
+/// Runs a 4-hour daytime measurement with the given fault plan and
+/// returns total measured UberX supply and deaths.
+fn measure_with_faults(plan: FaultPlan) -> (u64, u64) {
+    let mut city = CityModel::manhattan_midtown();
+    city.supply = city.supply.scaled(0.35);
+    city.demand = city.demand.scaled(0.35);
+    let clients = placement(&city.measurement_region, city.client_spacing_m);
+
+    let mut mp = Marketplace::new(city.clone(), MarketplaceConfig::default(), 2024);
+    mp.run_for(SimDuration::hours(8)); // warm to mid-morning
+    let mut sys = UberSystem::new(mp, ApiService::new(ProtocolEra::Apr2015, 2024))
+        .with_faults(plan, 7);
+
+    let mut est = SupplyDemandEstimator::new(
+        EstimatorConfig::default(),
+        city.measurement_region.clone(),
+        vec![],
+    );
+    for _ in 0..(4 * 720) {
+        sys.advance_tick();
+        let now = sys.now();
+        for blocks in sys.ping_all(&clients) {
+            est.observe(now, &blocks);
+        }
+        est.end_tick(now);
+    }
+    est.finish(sys.now());
+    let sum = |v: &[u32]| v.iter().map(|&x| x as u64).sum::<u64>();
+    (
+        sum(est.supply_series(CarType::UberX)),
+        sum(est.death_series(CarType::UberX)),
+    )
+}
+
+#[test]
+fn estimates_survive_ten_percent_loss() {
+    let (clean_supply, clean_deaths) = measure_with_faults(FaultPlan::none());
+    let (lossy_supply, lossy_deaths) = measure_with_faults(FaultPlan::lossy(0.10));
+    assert!(clean_supply > 0 && clean_deaths > 0);
+
+    // With 43 clients pinging every 5 s and a 15 s death grace, a 10%
+    // drop rate should barely dent the counts: every car is covered by
+    // many client views and several chances per grace window.
+    let supply_ratio = lossy_supply as f64 / clean_supply as f64;
+    assert!(
+        (0.9..=1.1).contains(&supply_ratio),
+        "supply ratio {supply_ratio} under 10% loss"
+    );
+    let death_ratio = lossy_deaths as f64 / clean_deaths as f64;
+    assert!(
+        (0.7..=1.3).contains(&death_ratio),
+        "death ratio {death_ratio} under 10% loss"
+    );
+}
+
+#[test]
+fn heavy_loss_degrades_gracefully_not_catastrophically() {
+    let (clean_supply, _) = measure_with_faults(FaultPlan::none());
+    let (heavy_supply, _) = measure_with_faults(FaultPlan::lossy(0.5));
+    // Half the pings gone: unique-ID supply counts should still be in the
+    // same ballpark (redundancy across clients), never collapse to zero.
+    let ratio = heavy_supply as f64 / clean_supply as f64;
+    assert!(
+        ratio > 0.6,
+        "supply collapsed to {ratio} of clean under 50% loss"
+    );
+}

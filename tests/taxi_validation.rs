@@ -1,0 +1,74 @@
+//! The §3.5 validation, as a pass/fail gate: measuring a replayed taxi
+//! trace through the client methodology must recover most of the
+//! ground-truth supply and demand (the paper captured 97% of cars and
+//! 95% of deaths).
+
+use surgescope::city::{CarType, CityModel};
+use surgescope::core::estimate::EstimatorConfig;
+use surgescope::core::Campaign;
+use surgescope::taxi::TraceGenerator;
+
+#[test]
+fn taxi_methodology_validation() {
+    let city = CityModel::manhattan_midtown();
+    let trace = TraceGenerator { taxis: 150, days: 1, ..Default::default() }
+        .generate(&city, 555);
+    let (est, truth) = Campaign::run_taxi(
+        &trace,
+        city.measurement_region.clone(),
+        150.0,
+        24,
+        555,
+        EstimatorConfig::default(),
+    );
+
+    let sum32 = |v: &[u32]| v.iter().map(|&x| x as u64).sum::<u64>() as f64;
+    let measured_supply = sum32(est.supply_series(CarType::UberT));
+    let true_supply = sum32(&truth.supply);
+    let measured_deaths = sum32(est.death_series(CarType::UberT));
+    let true_demand = sum32(&truth.demand);
+
+    assert!(true_supply > 0.0 && true_demand > 0.0, "degenerate trace");
+
+    let supply_capture = measured_supply / true_supply;
+    assert!(
+        (0.85..=1.15).contains(&supply_capture),
+        "supply capture {supply_capture:.2} (paper: ~0.97)"
+    );
+
+    let death_capture = measured_deaths / true_demand;
+    assert!(
+        (0.6..=1.3).contains(&death_capture),
+        "death capture {death_capture:.2} (paper: ~0.95)"
+    );
+}
+
+#[test]
+fn sparse_client_lattice_underestimates() {
+    // The calibration rationale (§3.4): clients spaced too far apart see
+    // only a subset of cars. A 700 m lattice must capture clearly less
+    // supply than a 150 m one.
+    let city = CityModel::manhattan_midtown();
+    let trace = TraceGenerator { taxis: 150, days: 1, ..Default::default() }
+        .generate(&city, 556);
+    let run = |spacing: f64| {
+        let (est, _) = Campaign::run_taxi(
+            &trace,
+            city.measurement_region.clone(),
+            spacing,
+            24,
+            556,
+            EstimatorConfig::default(),
+        );
+        est.supply_series(CarType::UberT)
+            .iter()
+            .map(|&x| x as u64)
+            .sum::<u64>() as f64
+    };
+    let dense = run(150.0);
+    let sparse = run(700.0);
+    assert!(
+        sparse < dense,
+        "sparse lattice ({sparse}) should see less than dense ({dense})"
+    );
+}
