@@ -166,7 +166,7 @@ mod tests {
             .map(|i| if i + 3 < 300 { base[i + 3] } else { 0.0 })
             .collect();
         let lags = cross_correlation(&feature, &target, 10);
-        let best = lags.iter().max_by(|a, b| a.corr.r.partial_cmp(&b.corr.r).unwrap()).unwrap();
+        let best = lags.iter().max_by(|a, b| a.corr.r.total_cmp(&b.corr.r)).unwrap();
         assert_eq!(best.lag, 3, "peak at wrong lag: {:?}", best);
         assert!(best.corr.r > 0.99);
     }

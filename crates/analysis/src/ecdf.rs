@@ -26,7 +26,7 @@ impl Ecdf {
     /// upstream code never produces them legitimately).
     pub fn new(mut xs: Vec<f64>) -> Self {
         assert!(xs.iter().all(|x| !x.is_nan()), "NaN in ECDF sample");
-        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs.sort_by(f64::total_cmp);
         Ecdf { sorted: xs }
     }
 

@@ -97,7 +97,7 @@ fn solve(a: &mut [Vec<f64>], b: &mut [f64]) -> Option<Vec<f64>> {
     for col in 0..n {
         // Pivot.
         let pivot = (col..n).max_by(|&i, &j| {
-            a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap()
+            a[i][col].abs().total_cmp(&a[j][col].abs())
         })?;
         if a[pivot][col].abs() < 1e-10 {
             return None; // singular

@@ -12,7 +12,7 @@ use crate::messages::{CarInfo, PingClientResponse, PriceEstimate, TimeEstimate, 
 use crate::ratelimit::{RateLimitError, RateLimiter};
 use serde::{Deserialize, Serialize};
 use surgescope_city::{AreaId, CarType};
-use surgescope_geo::{LatLng, Meters};
+use surgescope_geo::{LatLng, Meters, SpatialGrid};
 use surgescope_marketplace::{Marketplace, SurgeSnapshot, VisibleCar};
 use surgescope_simcore::{SimRng, SimTime};
 
@@ -31,12 +31,15 @@ pub enum ProtocolEra {
 }
 
 /// A read-only view of the marketplace taken once per tick, with visible
-/// cars pre-grouped by tier so a 43-client fleet doesn't rescan the driver
-/// table nine times per client.
+/// cars pre-grouped by tier — and bucketed into a [`SpatialGrid`] per tier
+/// — so a 43-client fleet neither rescans the driver table nine times per
+/// client nor sorts a tier's whole inventory per nearest-8 query.
 pub struct WorldSnapshot<'a> {
     mp: &'a Marketplace,
     now: SimTime,
     by_type: Vec<(CarType, Vec<VisibleCar>)>,
+    /// One spatial index per `by_type` entry, over the same car order.
+    grids: Vec<SpatialGrid<()>>,
 }
 
 impl<'a> WorldSnapshot<'a> {
@@ -54,7 +57,13 @@ impl<'a> WorldSnapshot<'a> {
                 v.push(car);
             }
         }
-        WorldSnapshot { mp, now: mp.now(), by_type }
+        let grids = by_type
+            .iter()
+            .map(|(_, cars)| {
+                SpatialGrid::build_auto(cars.iter().map(|c| (c.position, ())).collect())
+            })
+            .collect();
+        WorldSnapshot { mp, now: mp.now(), by_type, grids }
     }
 
     /// Snapshot time.
@@ -81,27 +90,37 @@ impl<'a> WorldSnapshot<'a> {
         self.by_type.iter().map(|(t, _)| *t)
     }
 
+    fn tier_index(&self, t: CarType) -> Option<usize> {
+        self.by_type.iter().position(|(ct, _)| *ct == t)
+    }
+
+    /// Ring search over the tier's grid; result order — ascending
+    /// `(distance, car index)` — is what the previous full stable sort by
+    /// distance produced (the grid also sidesteps that sort's NaN-unsafe
+    /// `partial_cmp(..).unwrap()` comparator).
     fn nearest(&self, t: CarType, pos: Meters, k: usize) -> Vec<&VisibleCar> {
-        let mut cars: Vec<(&VisibleCar, f64)> =
-            self.cars_of(t).iter().map(|c| (c, c.position.dist2(pos))).collect();
-        cars.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
-        cars.truncate(k);
-        cars.into_iter().map(|(c, _)| c).collect()
+        let Some(ti) = self.tier_index(t) else { return Vec::new() };
+        let cars = &self.by_type[ti].1;
+        self.grids[ti].k_nearest(pos, k).into_iter().map(|i| &cars[i]).collect()
     }
 
     /// EWT in minutes for a tier at a position, from the snapshot's car
-    /// inventory (same formula the marketplace uses internally).
+    /// inventory (same formula the marketplace uses internally). Drive
+    /// time is monotone in rectilinear distance, so the nearest-L1 car
+    /// from the grid yields the same minimum the full scan found.
     pub fn ewt_minutes(&self, pos: Meters, t: CarType) -> f64 {
         let cfg = self.mp.config();
-        let best = self
-            .cars_of(t)
-            .iter()
-            .map(|c| self.mp.city().drive_time_secs(c.position, pos, self.now))
-            .fold(f64::INFINITY, f64::min);
-        if best.is_finite() {
-            ((best + cfg.dispatch_overhead_secs) / 60.0).max(1.0)
-        } else {
-            cfg.default_ewt_min
+        let nearest = self.tier_index(t).and_then(|ti| {
+            self.grids[ti]
+                .nearest_l1(pos, |_| true)
+                .map(|(i, _)| self.by_type[ti].1[i].position)
+        });
+        match nearest {
+            Some(car_pos) => {
+                let best = self.mp.city().drive_time_secs(car_pos, pos, self.now);
+                ((best + cfg.dispatch_overhead_secs) / 60.0).max(1.0)
+            }
+            None => cfg.default_ewt_min,
         }
     }
 }

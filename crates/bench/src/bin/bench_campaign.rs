@@ -1,0 +1,50 @@
+//! End-to-end campaign throughput benchmark.
+//!
+//! Runs a seeded SF-downtown measurement campaign and writes
+//! `BENCH_campaign.json` (wall time, tick throughput, fleet sizes) to the
+//! current directory — run it from the repository root to refresh the
+//! checked-in numbers:
+//!
+//! ```text
+//! cargo run --release -p surgescope-bench --bin bench_campaign
+//! ```
+
+use std::time::Instant;
+use surgescope_api::ProtocolEra;
+use surgescope_city::CityModel;
+use surgescope_core::{Campaign, CampaignConfig};
+
+fn main() {
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cfg = CampaignConfig {
+        hours: 2,
+        era: ProtocolEra::Apr2015,
+        scale: 1.0,
+        parallelism: threads,
+        ..CampaignConfig::test_default(2026)
+    };
+
+    let city = CityModel::san_francisco_downtown();
+    let label = city.name.clone();
+    let start = Instant::now();
+    let data = Campaign::run_uber(city, &cfg);
+    let wall_secs = start.elapsed().as_secs_f64();
+    let ticks_per_sec = data.ticks as f64 / wall_secs;
+
+    let json = format!(
+        "{{\n  \"city\": \"{label}\",\n  \"hours\": {hours},\n  \"scale\": {scale},\n  \
+         \"clients\": {clients},\n  \"ticks\": {ticks},\n  \"parallelism\": {threads},\n  \
+         \"wall_secs\": {wall_secs:.3},\n  \"ticks_per_sec\": {ticks_per_sec:.2}\n}}\n",
+        hours = cfg.hours,
+        scale = cfg.scale,
+        clients = data.clients.len(),
+        ticks = data.ticks,
+    );
+    std::fs::write("BENCH_campaign.json", &json).expect("write BENCH_campaign.json");
+    print!("{json}");
+    eprintln!(
+        "campaign: {} clients x {} ticks in {wall_secs:.2}s ({ticks_per_sec:.1} ticks/s, {threads} threads)",
+        data.clients.len(),
+        data.ticks,
+    );
+}

@@ -53,6 +53,10 @@ pub struct CampaignConfig {
     /// is measured Uber; `Smoothed` evaluates the paper's §8 proposal —
     /// see the `ext01` experiment).
     pub surge_policy: surgescope_marketplace::SurgePolicy,
+    /// Worker threads for the per-tick client fan-out (1 = serial). The
+    /// observation series is bit-identical at any value; this only trades
+    /// wall time.
+    pub parallelism: usize,
 }
 
 impl CampaignConfig {
@@ -66,6 +70,7 @@ impl CampaignConfig {
             spacing_override_m: None,
             scale: 0.3,
             surge_policy: surgescope_marketplace::SurgePolicy::Threshold,
+            parallelism: 1,
         }
     }
 
@@ -79,6 +84,7 @@ impl CampaignConfig {
             spacing_override_m: None,
             scale: 1.0,
             surge_policy: surgescope_marketplace::SurgePolicy::Threshold,
+            parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
         }
     }
 }
@@ -179,7 +185,7 @@ impl Campaign {
             MarketplaceConfig { surge_policy: cfg.surge_policy, ..Default::default() };
         let mp = Marketplace::new(city.clone(), market_cfg, cfg.seed);
         let api = ApiService::new(cfg.era, cfg.seed ^ 0xB0B5);
-        let mut sys = UberSystem::new(mp, api);
+        let mut sys = UberSystem::new(mp, api).with_parallelism(cfg.parallelism);
 
         let mut estimator = SupplyDemandEstimator::new(
             cfg.estimator,

@@ -39,6 +39,11 @@ pub struct UberSystem {
     /// simply yields no observation blocks for that client this tick.
     faults: FaultPlan,
     fault_rng: SimRng,
+    /// Worker threads for the per-client fan-out in `ping_all`; 1 means
+    /// fully serial. Any value produces bit-identical observations: fault
+    /// draws happen on a serial pre-pass and each ping is a pure function
+    /// of the tick snapshot, written back by client index.
+    parallelism: usize,
 }
 
 impl UberSystem {
@@ -50,6 +55,7 @@ impl UberSystem {
             api,
             faults: FaultPlan::none(),
             fault_rng: SimRng::seed_from_u64(seed),
+            parallelism: 1,
         }
     }
 
@@ -57,6 +63,12 @@ impl UberSystem {
     pub fn with_faults(mut self, plan: FaultPlan, seed: u64) -> Self {
         self.faults = plan;
         self.fault_rng = SimRng::seed_from_u64(seed).split("transport-faults");
+        self
+    }
+
+    /// Sets the `ping_all` worker-thread count (clamped to at least 1).
+    pub fn with_parallelism(mut self, threads: usize) -> Self {
+        self.parallelism = threads.max(1);
         self
     }
 
@@ -86,39 +98,76 @@ impl MeasuredSystem for UberSystem {
     fn ping_all(&mut self, clients: &[ClientSpec]) -> Vec<Vec<TypeObservation>> {
         let proj = self.projection();
         let snap = WorldSnapshot::of(&self.marketplace);
+
+        // Serial pre-pass: fault draws consume `fault_rng` in client order,
+        // so the fault pattern is independent of the thread count.
         let faults = self.faults;
         let fault_rng = &mut self.fault_rng;
-        clients
+        let delivered: Vec<bool> = clients
             .iter()
-            .map(|c| {
-                if !faults.is_none()
-                    && matches!(faults.decide(fault_rng), FaultOutcome::Drop | FaultOutcome::Delay(_))
-                {
-                    // Dropped (or late-beyond-the-tick) ping: the client
-                    // sees nothing this round.
-                    return Vec::new();
-                }
-                let loc = proj.to_latlng(c.position);
-                let resp = self.api.ping_client(&snap, c.key, loc);
-                resp.statuses
-                    .into_iter()
-                    .map(|s| TypeObservation {
-                        car_type: s.car_type,
-                        cars: s
-                            .cars
-                            .iter()
-                            .map(|car| ObservedCar {
-                                id: car.id,
-                                position: proj.to_meters(car.position),
-                                displacement: displacement_of(&car.path, &proj),
-                            })
-                            .collect(),
-                        ewt_min: s.ewt_min,
-                        surge: s.surge,
-                    })
-                    .collect()
+            .map(|_| {
+                faults.is_none()
+                    || !matches!(
+                        faults.decide(fault_rng),
+                        FaultOutcome::Drop | FaultOutcome::Delay(_)
+                    )
             })
-            .collect()
+            .collect();
+
+        let api = &self.api;
+        let ping_one = |c: &ClientSpec, delivered: bool| -> Vec<TypeObservation> {
+            if !delivered {
+                // Dropped (or late-beyond-the-tick) ping: the client sees
+                // nothing this round.
+                return Vec::new();
+            }
+            let loc = proj.to_latlng(c.position);
+            let resp = api.ping_client(&snap, c.key, loc);
+            resp.statuses
+                .into_iter()
+                .map(|s| TypeObservation {
+                    car_type: s.car_type,
+                    cars: s
+                        .cars
+                        .iter()
+                        .map(|car| ObservedCar {
+                            id: car.id,
+                            position: proj.to_meters(car.position),
+                            displacement: displacement_of(&car.path, &proj),
+                        })
+                        .collect(),
+                    ewt_min: s.ewt_min,
+                    surge: s.surge,
+                })
+                .collect()
+        };
+
+        let threads = self.parallelism.min(clients.len()).max(1);
+        if threads <= 1 {
+            return clients.iter().zip(&delivered).map(|(c, &ok)| ping_one(c, ok)).collect();
+        }
+
+        // Fan out over contiguous client chunks; each worker writes into
+        // its own pre-sized slice of the output, so ordering (and every
+        // byte of the result) matches the serial path.
+        let mut out: Vec<Vec<TypeObservation>> = Vec::new();
+        out.resize_with(clients.len(), Vec::new);
+        let chunk = clients.len().div_ceil(threads);
+        std::thread::scope(|s| {
+            for ((out_chunk, client_chunk), ok_chunk) in
+                out.chunks_mut(chunk).zip(clients.chunks(chunk)).zip(delivered.chunks(chunk))
+            {
+                let ping_one = &ping_one;
+                s.spawn(move || {
+                    for ((slot, c), &ok) in
+                        out_chunk.iter_mut().zip(client_chunk).zip(ok_chunk)
+                    {
+                        *slot = ping_one(c, ok);
+                    }
+                });
+            }
+        });
+        out
     }
 }
 
@@ -215,6 +264,48 @@ mod tests {
             assert!(x.cars.len() <= NEAREST_CARS_SHOWN);
             assert!(!x.cars.is_empty(), "midtown should have UberX in view");
         }
+    }
+
+    #[test]
+    fn ping_all_parallel_matches_serial_with_faults() {
+        use surgescope_simcore::FaultPlan;
+        let run = |threads: usize| {
+            let mut sys = uber()
+                .with_faults(FaultPlan::lossy(0.3), 91)
+                .with_parallelism(threads);
+            let center = sys.marketplace.city().measurement_region.centroid();
+            let clients: Vec<ClientSpec> = (0..24)
+                .map(|i| ClientSpec {
+                    key: i,
+                    position: Meters::new(
+                        center.x + 150.0 * (i % 6) as f64,
+                        center.y + 150.0 * (i / 6) as f64,
+                    ),
+                })
+                .collect();
+            let mut all = Vec::new();
+            for _ in 0..12 {
+                all.push(sys.ping_all(&clients));
+                sys.advance_tick();
+            }
+            all
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        assert_eq!(serial.len(), parallel.len());
+        for (tick, (a, b)) in serial.iter().zip(&parallel).enumerate() {
+            for (client, (oa, ob)) in a.iter().zip(b).enumerate() {
+                assert_eq!(
+                    oa, ob,
+                    "tick {tick} client {client}: parallel fan-out diverged from serial"
+                );
+            }
+        }
+        // The lossy plan must actually have dropped some pings in both runs.
+        assert!(
+            serial.iter().flatten().any(|per_client| per_client.is_empty()),
+            "fault plan never dropped a ping; test is vacuous"
+        );
     }
 
     #[test]

@@ -85,6 +85,7 @@ impl CampaignCache {
             spacing_override_m: None,
             scale: ctx.scale(),
             surge_policy: surgescope_marketplace::SurgePolicy::Threshold,
+            parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
         };
         let data = Rc::new(Campaign::run_uber(city.model(), &cfg));
         self.campaigns.insert((city, era), Rc::clone(&data));

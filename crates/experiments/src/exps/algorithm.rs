@@ -97,7 +97,7 @@ fn xcorr_experiment(
         // Where is the global |r| max?
         let best_lag = per_city[ci]
             .iter()
-            .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap())
+            .max_by(|a, b| a.1.abs().total_cmp(&b.1.abs()))
             .map(|(l, _, _)| *l)
             .unwrap_or(0);
         metrics.push((format!("{}_peak_lag_min", city.label().to_lowercase()), best_lag as f64));

@@ -18,6 +18,7 @@ mod latlng;
 mod path;
 mod polygon;
 mod project;
+mod spatial;
 
 pub mod grid;
 
@@ -25,6 +26,7 @@ pub use latlng::{haversine_m, LatLng, EARTH_RADIUS_M};
 pub use path::PathVector;
 pub use polygon::{BoundingBox, Polygon};
 pub use project::{LocalProjection, Meters, Vec2};
+pub use spatial::{auto_cell_size, SpatialGrid};
 
 /// Mean walking speed assumed by the surge-avoidance strategy (§6 of the
 /// paper): 5 km/h ≈ 83 m per minute.

@@ -1,0 +1,530 @@
+//! Uniform bucket-grid spatial index.
+//!
+//! The measurement hot loop asks the same three questions thousands of
+//! times per simulated tick: *k nearest cars to a client* (pingClient's
+//! nearest-8), *nearest idle driver within a radius* (dispatch), and
+//! *nearest car of a tier* (EWT). All were answered by scanning — and for
+//! the nearest-k case fully sorting — every visible car. [`SpatialGrid`]
+//! buckets points into uniform square cells (CSR layout: one flat index
+//! array plus per-cell offsets) and answers those queries by expanding
+//! ring search, visiting only the cells that can still matter.
+//!
+//! Queries are **exact**, not approximate: a ring is only ruled out once
+//! the distance from the query point to the nearest unvisited cell
+//! provably exceeds the current best (with ties resolved toward lower
+//! insertion index, matching what a stable sort over the full scan would
+//! produce — so swapping the scan for the grid changes no observable
+//! output, bit for bit).
+
+use crate::project::Meters;
+
+/// A point set bucketed into uniform square cells for fast proximity
+/// queries. `T` is a per-point payload (e.g. a driver index); use `()`
+/// when the insertion index itself is the answer.
+#[derive(Debug, Clone)]
+pub struct SpatialGrid<T> {
+    cell_size: f64,
+    origin: Meters,
+    nx: usize,
+    ny: usize,
+    /// CSR offsets: cell `c` holds `cell_items[cell_start[c]..cell_start[c+1]]`.
+    cell_start: Vec<u32>,
+    /// Insertion indices grouped by cell, ascending within each cell.
+    cell_items: Vec<u32>,
+    /// Point positions in insertion order.
+    points: Vec<Meters>,
+    /// Payloads in insertion order.
+    payloads: Vec<T>,
+}
+
+impl<T> SpatialGrid<T> {
+    /// Builds a grid over `items` with square cells of `cell_size` metres.
+    /// The cell size is doubled as needed so the cell count stays
+    /// proportional to the point count (outlier-stretched bounding boxes
+    /// cannot blow up memory).
+    pub fn build(items: Vec<(Meters, T)>, cell_size: f64) -> Self {
+        assert!(cell_size > 0.0 && cell_size.is_finite(), "bad cell size {cell_size}");
+        let (points, payloads): (Vec<Meters>, Vec<T>) = items.into_iter().unzip();
+        if points.is_empty() {
+            return SpatialGrid {
+                cell_size,
+                origin: Meters::new(0.0, 0.0),
+                nx: 0,
+                ny: 0,
+                cell_start: vec![0],
+                cell_items: Vec::new(),
+                points,
+                payloads,
+            };
+        }
+
+        let mut min = points[0];
+        let mut max = points[0];
+        for p in &points[1..] {
+            min.x = min.x.min(p.x);
+            min.y = min.y.min(p.y);
+            max.x = max.x.max(p.x);
+            max.y = max.y.max(p.y);
+        }
+
+        let max_cells = (4 * points.len()).max(1_024);
+        let mut cell_size = cell_size;
+        let (nx, ny) = loop {
+            let nx = ((max.x - min.x) / cell_size) as usize + 1;
+            let ny = ((max.y - min.y) / cell_size) as usize + 1;
+            if nx.saturating_mul(ny) <= max_cells {
+                break (nx, ny);
+            }
+            cell_size *= 2.0;
+        };
+
+        // Counting sort into cells; iterating in insertion order keeps
+        // each cell's item list ascending (the tie-break invariant).
+        let cell_of = |p: &Meters| {
+            let ix = (((p.x - min.x) / cell_size) as usize).min(nx - 1);
+            let iy = (((p.y - min.y) / cell_size) as usize).min(ny - 1);
+            iy * nx + ix
+        };
+        let mut cell_start = vec![0u32; nx * ny + 1];
+        for p in &points {
+            cell_start[cell_of(p) + 1] += 1;
+        }
+        for c in 1..cell_start.len() {
+            cell_start[c] += cell_start[c - 1];
+        }
+        let mut cursor: Vec<u32> = cell_start[..nx * ny].to_vec();
+        let mut cell_items = vec![0u32; points.len()];
+        for (i, p) in points.iter().enumerate() {
+            let c = cell_of(p);
+            cell_items[cursor[c] as usize] = i as u32;
+            cursor[c] += 1;
+        }
+
+        SpatialGrid { cell_size, origin: min, nx, ny, cell_start, cell_items, points, payloads }
+    }
+
+    /// Builds with a density-derived cell size: roughly one point per
+    /// cell, clamped to a sane metric range.
+    pub fn build_auto(items: Vec<(Meters, T)>) -> Self {
+        let cell = auto_cell_size(items.iter().map(|(p, _)| *p));
+        Self::build(items, cell)
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no points are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Position of the point with insertion index `i`.
+    pub fn point(&self, i: usize) -> Meters {
+        self.points[i]
+    }
+
+    /// Payload of the point with insertion index `i`.
+    pub fn payload(&self, i: usize) -> &T {
+        &self.payloads[i]
+    }
+
+    /// The (possibly adjusted) cell edge length in metres.
+    pub fn cell_size(&self) -> f64 {
+        self.cell_size
+    }
+
+    fn center_cell(&self, pos: Meters) -> (usize, usize) {
+        let fx = (pos.x - self.origin.x) / self.cell_size;
+        let fy = (pos.y - self.origin.y) / self.cell_size;
+        let cx = if fx <= 0.0 { 0 } else { (fx as usize).min(self.nx - 1) };
+        let cy = if fy <= 0.0 { 0 } else { (fy as usize).min(self.ny - 1) };
+        (cx, cy)
+    }
+
+    /// Calls `f` with the item slice of every in-bounds cell on Chebyshev
+    /// ring `r` around `(cx, cy)`.
+    fn for_ring_cells(&self, cx: usize, cy: usize, r: usize, mut f: impl FnMut(&[u32])) {
+        let slice = |ix: usize, iy: usize| {
+            let c = iy * self.nx + ix;
+            &self.cell_items[self.cell_start[c] as usize..self.cell_start[c + 1] as usize]
+        };
+        if r == 0 {
+            f(slice(cx, cy));
+            return;
+        }
+        let (cx, cy, r) = (cx as i64, cy as i64, r as i64);
+        let x_lo = (cx - r).max(0);
+        let x_hi = (cx + r).min(self.nx as i64 - 1);
+        // Top and bottom rows of the ring.
+        for iy in [cy - r, cy + r] {
+            if (0..self.ny as i64).contains(&iy) {
+                for ix in x_lo..=x_hi {
+                    f(slice(ix as usize, iy as usize));
+                }
+            }
+        }
+        // Left and right columns, excluding the corners already visited.
+        let y_lo = (cy - r + 1).max(0);
+        let y_hi = (cy + r - 1).min(self.ny as i64 - 1);
+        for ix in [cx - r, cx + r] {
+            if (0..self.nx as i64).contains(&ix) {
+                for iy in y_lo..=y_hi {
+                    f(slice(ix as usize, iy as usize));
+                }
+            }
+        }
+    }
+
+    /// After visiting rings `0..=r` around `(cx, cy)`: the smallest
+    /// possible distance (valid for both L2 and L1 — leaving an
+    /// axis-aligned box means crossing one side) from `pos` to any
+    /// unvisited in-grid cell. `None` means every cell has been visited.
+    fn next_ring_bound(&self, pos: Meters, cx: usize, cy: usize, r: usize) -> Option<f64> {
+        let (cx, cy, r) = (cx as i64, cy as i64, r as i64);
+        let mut bound = f64::INFINITY;
+        let mut any = false;
+        if cx - r > 0 {
+            any = true;
+            bound = bound.min(pos.x - (self.origin.x + (cx - r) as f64 * self.cell_size));
+        }
+        if cx + r + 1 < self.nx as i64 {
+            any = true;
+            bound = bound.min(self.origin.x + (cx + r + 1) as f64 * self.cell_size - pos.x);
+        }
+        if cy - r > 0 {
+            any = true;
+            bound = bound.min(pos.y - (self.origin.y + (cy - r) as f64 * self.cell_size));
+        }
+        if cy + r + 1 < self.ny as i64 {
+            any = true;
+            bound = bound.min(self.origin.y + (cy + r + 1) as f64 * self.cell_size - pos.y);
+        }
+        any.then(|| bound.max(0.0))
+    }
+
+    /// Insertion indices of the `k` points nearest to `pos` (Euclidean),
+    /// ordered by `(distance, insertion index)` — exactly what a stable
+    /// sort of all points by distance would yield.
+    pub fn k_nearest(&self, pos: Meters, k: usize) -> Vec<usize> {
+        if k == 0 || self.is_empty() {
+            return Vec::new();
+        }
+        let (cx, cy) = self.center_cell(pos);
+        let mut cands: Vec<(f64, u32)> = Vec::new();
+        let mut r = 0;
+        loop {
+            self.for_ring_cells(cx, cy, r, |items| {
+                for &i in items {
+                    cands.push((self.points[i as usize].dist2(pos), i));
+                }
+            });
+            let Some(lb) = self.next_ring_bound(pos, cx, cy, r) else { break };
+            if cands.len() >= k {
+                cands.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+                // A later ring can still matter on an exact tie (a
+                // same-distance point with a lower insertion index), so
+                // only stop on a strict improvement margin.
+                if lb * lb > cands[k - 1].0 {
+                    break;
+                }
+            }
+            r += 1;
+        }
+        cands.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        cands.truncate(k);
+        cands.into_iter().map(|(_, i)| i as usize).collect()
+    }
+
+    /// Insertion indices of all points within `radius` of `pos`
+    /// (Euclidean, inclusive), in ascending insertion order.
+    pub fn within_radius(&self, pos: Meters, radius: f64) -> Vec<usize> {
+        if self.is_empty() || radius < 0.0 {
+            return Vec::new();
+        }
+        let (cx, cy) = self.center_cell(pos);
+        let r2 = radius * radius;
+        let mut hits: Vec<usize> = Vec::new();
+        let mut r = 0;
+        loop {
+            self.for_ring_cells(cx, cy, r, |items| {
+                for &i in items {
+                    if self.points[i as usize].dist2(pos) <= r2 {
+                        hits.push(i as usize);
+                    }
+                }
+            });
+            match self.next_ring_bound(pos, cx, cy, r) {
+                Some(lb) if lb <= radius => r += 1,
+                _ => break,
+            }
+        }
+        hits.sort_unstable();
+        hits
+    }
+
+    /// The point minimizing `(L1 distance to pos, insertion index)`
+    /// among those within `max_dist` (inclusive) that pass `filter`,
+    /// as `(insertion index, L1 distance)`.
+    ///
+    /// The L1 metric matches the city model's rectilinear drive metric,
+    /// and the lexicographic tie-break reproduces a first-strictly-less
+    /// linear scan in insertion order.
+    pub fn nearest_l1_within(
+        &self,
+        pos: Meters,
+        max_dist: f64,
+        mut filter: impl FnMut(&T) -> bool,
+    ) -> Option<(usize, f64)> {
+        if self.is_empty() {
+            return None;
+        }
+        let (cx, cy) = self.center_cell(pos);
+        let mut best: Option<(f64, u32)> = None;
+        let mut r = 0;
+        loop {
+            self.for_ring_cells(cx, cy, r, |items| {
+                for &i in items {
+                    let p = self.points[i as usize];
+                    let dist = (p.x - pos.x).abs() + (p.y - pos.y).abs();
+                    if dist <= max_dist
+                        && best.is_none_or(|(bd, bi)| dist < bd || (dist == bd && i < bi))
+                        && filter(&self.payloads[i as usize])
+                    {
+                        best = Some((dist, i));
+                    }
+                }
+            });
+            let Some(lb) = self.next_ring_bound(pos, cx, cy, r) else { break };
+            // Stop once no unvisited cell can beat (or tie) the best, or
+            // can lie within the radius at all.
+            if lb > max_dist || best.is_some_and(|(bd, _)| lb > bd) {
+                break;
+            }
+            r += 1;
+        }
+        best.map(|(d, i)| (i as usize, d))
+    }
+
+    /// Unbounded variant of [`SpatialGrid::nearest_l1_within`].
+    pub fn nearest_l1(
+        &self,
+        pos: Meters,
+        filter: impl FnMut(&T) -> bool,
+    ) -> Option<(usize, f64)> {
+        self.nearest_l1_within(pos, f64::INFINITY, filter)
+    }
+}
+
+/// Density-derived cell size for a point set: edge of a square holding
+/// one point on average, clamped to `[50, 1500]` metres (city scales).
+pub fn auto_cell_size(points: impl Iterator<Item = Meters>) -> f64 {
+    let mut n = 0usize;
+    let mut min = Meters::new(f64::INFINITY, f64::INFINITY);
+    let mut max = Meters::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
+    for p in points {
+        n += 1;
+        min.x = min.x.min(p.x);
+        min.y = min.y.min(p.y);
+        max.x = max.x.max(p.x);
+        max.y = max.y.max(p.y);
+    }
+    if n == 0 {
+        return 100.0;
+    }
+    let area = (max.x - min.x).max(1.0) * (max.y - min.y).max(1.0);
+    (area / n as f64).sqrt().clamp(50.0, 1_500.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(super) fn brute_k(points: &[Meters], pos: Meters, k: usize) -> Vec<usize> {
+        let mut v: Vec<(f64, usize)> =
+            points.iter().enumerate().map(|(i, p)| (p.dist2(pos), i)).collect();
+        // Stable sort: ties stay in insertion order, the contract the
+        // grid must reproduce.
+        v.sort_by(|a, b| a.0.total_cmp(&b.0));
+        v.truncate(k);
+        v.into_iter().map(|(_, i)| i).collect()
+    }
+
+    pub(super) fn brute_radius(points: &[Meters], pos: Meters, radius: f64) -> Vec<usize> {
+        points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.dist2(pos) <= radius * radius)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    pub(super) fn brute_l1(points: &[Meters], pos: Meters, max_dist: f64) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, p) in points.iter().enumerate() {
+            let dist = (p.x - pos.x).abs() + (p.y - pos.y).abs();
+            if dist <= max_dist && best.is_none_or(|(_, bd)| dist < bd) {
+                best = Some((i, dist));
+            }
+        }
+        best
+    }
+
+    fn grid_of(points: &[Meters], cell: f64) -> SpatialGrid<()> {
+        SpatialGrid::build(points.iter().map(|p| (*p, ())).collect(), cell)
+    }
+
+    #[test]
+    fn empty_grid_answers_empty() {
+        let g: SpatialGrid<u32> = SpatialGrid::build(Vec::new(), 100.0);
+        assert!(g.is_empty());
+        assert!(g.k_nearest(Meters::new(3.0, 4.0), 5).is_empty());
+        assert!(g.within_radius(Meters::new(3.0, 4.0), 1e9).is_empty());
+        assert!(g.nearest_l1(Meters::new(3.0, 4.0), |_| true).is_none());
+    }
+
+    #[test]
+    fn single_point_found_from_anywhere() {
+        let pts = [Meters::new(10.0, -20.0)];
+        let g = grid_of(&pts, 100.0);
+        for pos in [Meters::new(0.0, 0.0), Meters::new(-9e5, 7e5), pts[0]] {
+            assert_eq!(g.k_nearest(pos, 3), vec![0]);
+            assert_eq!(g.nearest_l1(pos, |_| true).map(|(i, _)| i), Some(0));
+        }
+    }
+
+    #[test]
+    fn ties_resolve_to_lowest_insertion_index() {
+        // Four coincident points plus a nearer singleton.
+        let pts = [
+            Meters::new(100.0, 0.0),
+            Meters::new(100.0, 0.0),
+            Meters::new(50.0, 0.0),
+            Meters::new(100.0, 0.0),
+            Meters::new(100.0, 0.0),
+        ];
+        let g = grid_of(&pts, 30.0);
+        let pos = Meters::new(0.0, 0.0);
+        assert_eq!(g.k_nearest(pos, 3), vec![2, 0, 1]);
+        assert_eq!(g.nearest_l1(pos, |_| true), Some((2, 50.0)));
+        // Filter away the singleton: the tie among the rest goes to
+        // insertion index 0.
+        let g2 = SpatialGrid::build(
+            pts.iter().enumerate().map(|(i, p)| (*p, i)).collect(),
+            30.0,
+        );
+        assert_eq!(g2.nearest_l1(pos, |&i| i != 2), Some((0, 100.0)));
+    }
+
+    #[test]
+    fn radius_is_inclusive() {
+        let pts = [Meters::new(300.0, 400.0), Meters::new(301.0, 400.0)];
+        let g = grid_of(&pts, 120.0);
+        // dist to pts[0] is exactly 500.
+        assert_eq!(g.within_radius(Meters::new(0.0, 0.0), 500.0), vec![0]);
+        assert_eq!(g.nearest_l1_within(Meters::new(0.0, 0.0), 700.0, |_| true), Some((0, 700.0)));
+        assert_eq!(g.nearest_l1_within(Meters::new(0.0, 0.0), 699.0, |_| true), None);
+    }
+
+    #[test]
+    fn degenerate_cell_size_is_rescued() {
+        // A millimetre cell over a 10 km span would want 10^14 cells;
+        // the builder must coarsen instead of allocating that.
+        let pts: Vec<Meters> =
+            (0..100).map(|i| Meters::new(i as f64 * 100.0, 0.0)).collect();
+        let g = grid_of(&pts, 0.001);
+        assert!(g.cell_size() > 0.001);
+        assert_eq!(g.k_nearest(Meters::new(4_321.0, 5.0), 1), brute_k(&pts, Meters::new(4_321.0, 5.0), 1));
+    }
+
+    #[test]
+    fn matches_brute_force_on_a_lattice_with_duplicates() {
+        // Points exactly on cell boundaries, including duplicates.
+        let mut pts = Vec::new();
+        for x in 0..12 {
+            for y in 0..12 {
+                pts.push(Meters::new(x as f64 * 100.0, y as f64 * 100.0));
+            }
+        }
+        pts.extend_from_slice(&pts.clone()[..40]);
+        let g = grid_of(&pts, 100.0);
+        for pos in [
+            Meters::new(0.0, 0.0),
+            Meters::new(550.0, 550.0),
+            Meters::new(600.0, 600.0), // exactly on a lattice point
+            Meters::new(-250.0, 1_800.0), // outside the bbox
+        ] {
+            assert_eq!(g.k_nearest(pos, 10), brute_k(&pts, pos, 10), "pos {pos:?}");
+            assert_eq!(g.within_radius(pos, 250.0), brute_radius(&pts, pos, 250.0));
+            assert_eq!(
+                g.nearest_l1(pos, |_| true).map(|(i, d)| (i, d)),
+                brute_l1(&pts, pos, f64::INFINITY)
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::tests::*;
+    use super::*;
+    use proptest::prelude::*;
+
+    // Snapped coordinates land points exactly on cell boundaries and
+    // create duplicates — the tie-break and edge cases that matter.
+    fn arb_points(max_len: usize) -> impl Strategy<Value = Vec<Meters>> {
+        proptest::collection::vec((-2_000.0f64..2_000.0, -2_000.0f64..2_000.0), 0..max_len)
+            .prop_map(|v| {
+                v.into_iter()
+                    .map(|(x, y)| Meters::new((x / 100.0).round() * 100.0, (y / 100.0).round() * 100.0))
+                    .collect()
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn k_nearest_matches_stable_sort(
+            pts in arb_points(120),
+            qx in -3_000.0f64..3_000.0,
+            qy in -3_000.0f64..3_000.0,
+            k in 0usize..12,
+            cell in 40.0f64..400.0,
+        ) {
+            let g = SpatialGrid::build(pts.iter().map(|p| (*p, ())).collect::<Vec<_>>(), cell);
+            let pos = Meters::new(qx, qy);
+            prop_assert_eq!(g.k_nearest(pos, k), brute_k(&pts, pos, k));
+        }
+
+        #[test]
+        fn radius_matches_brute_scan(
+            pts in arb_points(120),
+            qx in -3_000.0f64..3_000.0,
+            qy in -3_000.0f64..3_000.0,
+            radius in 0.0f64..2_500.0,
+            cell in 40.0f64..400.0,
+        ) {
+            let g = SpatialGrid::build(pts.iter().map(|p| (*p, ())).collect::<Vec<_>>(), cell);
+            let pos = Meters::new(qx, qy);
+            prop_assert_eq!(g.within_radius(pos, radius), brute_radius(&pts, pos, radius));
+        }
+
+        #[test]
+        fn nearest_l1_matches_first_min_scan(
+            pts in arb_points(120),
+            qx in -3_000.0f64..3_000.0,
+            qy in -3_000.0f64..3_000.0,
+            max_dist in 0.0f64..4_000.0,
+            cell in 40.0f64..400.0,
+        ) {
+            let g = SpatialGrid::build(pts.iter().map(|p| (*p, ())).collect::<Vec<_>>(), cell);
+            let pos = Meters::new(qx, qy);
+            prop_assert_eq!(
+                g.nearest_l1_within(pos, max_dist, |_| true),
+                brute_l1(&pts, pos, max_dist)
+            );
+        }
+    }
+}

@@ -10,7 +10,7 @@ use crate::driver::{Driver, DriverId, DriverState};
 use crate::metrics::{GroundTruth, IntervalStats, TripRecord};
 use crate::surge::{SurgeEngine, SurgePolicy};
 use surgescope_city::{AreaId, CarType, CityModel};
-use surgescope_geo::{LatLng, Meters, PathVector};
+use surgescope_geo::{LatLng, Meters, PathVector, SpatialGrid};
 use surgescope_simcore::{EventQueue, SimDuration, SimRng, SimTime};
 
 /// Behavioural constants of the marketplace (city-independent).
@@ -118,6 +118,12 @@ pub struct Marketplace {
     rng_demand: SimRng,
     rng_drive: SimRng,
     ticks_run: u64,
+    /// Per-tier spatial index over idle (visible) drivers; payload is the
+    /// driver index. Rebuilt after every phase that changes positions or
+    /// visibility wholesale (shift changes, movement). Queries made while
+    /// the same tick keeps dispatching must re-check `state.is_visible()`
+    /// because matching flips drivers busy without a rebuild.
+    idle_index: Vec<(CarType, SpatialGrid<u32>)>,
 }
 
 impl Marketplace {
@@ -142,7 +148,7 @@ impl Marketplace {
         )
         .with_policy(cfg.surge_policy);
         let acc = vec![AreaAccum::default(); city.area_count()];
-        Marketplace {
+        let mut mp = Marketplace {
             city,
             cfg,
             now: SimTime::EPOCH,
@@ -155,7 +161,10 @@ impl Marketplace {
             rng_demand: root.split("demand"),
             rng_drive: root.split("drive"),
             ticks_run: 0,
-        }
+            idle_index: Vec::new(),
+        };
+        mp.rebuild_idle_index();
+        mp
     }
 
     /// Current simulated time (start of the next tick).
@@ -212,20 +221,41 @@ impl Marketplace {
     /// travel time of the nearest idle car of that tier plus dispatch
     /// overhead, or the configured default when none is in range.
     pub fn ewt_minutes(&self, pos: Meters, car_type: CarType) -> f64 {
-        let mut best: Option<f64> = None;
-        for d in &self.drivers {
-            if d.state.is_visible() && d.car_type == car_type {
-                let t = self.city.drive_time_secs(d.position, pos, self.now);
-                best = Some(match best {
-                    Some(b) => b.min(t),
-                    None => t,
-                });
-            }
-        }
+        // Drive time is rectilinear distance over a speed that depends only
+        // on the clock, so the nearest-L1 idle car from the tier's grid is
+        // exactly the car the old full scan's running minimum settled on.
+        let drivers = &self.drivers;
+        let best = self.idle_grid(car_type).and_then(|g| {
+            g.nearest_l1(pos, |&i| drivers[i as usize].state.is_visible()).map(|(slot, _)| {
+                let d = &drivers[*g.payload(slot) as usize];
+                self.city.drive_time_secs(d.position, pos, self.now)
+            })
+        });
         match best {
             Some(secs) => ((secs + self.cfg.dispatch_overhead_secs) / 60.0).max(1.0),
             None => self.cfg.default_ewt_min,
         }
+    }
+
+    fn idle_grid(&self, car_type: CarType) -> Option<&SpatialGrid<u32>> {
+        self.idle_index.iter().find(|(t, _)| *t == car_type).map(|(_, g)| g)
+    }
+
+    /// Rebuilds the per-tier idle-driver grids from current positions and
+    /// visibility, preserving ascending driver-index order within each
+    /// tier so grid tie-breaks match the old linear scans.
+    fn rebuild_idle_index(&mut self) {
+        let mut by_type: Vec<(CarType, Vec<(Meters, u32)>)> = Vec::new();
+        for (i, d) in self.drivers.iter().enumerate() {
+            if d.state.is_visible() {
+                match by_type.iter_mut().find(|(t, _)| *t == d.car_type) {
+                    Some((_, v)) => v.push((d.position, i as u32)),
+                    None => by_type.push((d.car_type, vec![(d.position, i as u32)])),
+                }
+            }
+        }
+        self.idle_index =
+            by_type.into_iter().map(|(t, items)| (t, SpatialGrid::build_auto(items))).collect();
     }
 
     /// Runs the world for a duration (must be a whole number of ticks).
@@ -243,9 +273,11 @@ impl Marketplace {
         let t = self.now;
 
         self.manage_shifts(t);
+        self.rebuild_idle_index();
         self.process_retries(t);
         self.generate_demand(t, dt);
         self.move_drivers(t, dt);
+        self.rebuild_idle_index();
         self.accumulate(t, dt);
 
         self.now = t + SimDuration::secs(dt);
@@ -401,18 +433,20 @@ impl Marketplace {
         surge: f64,
         area: Option<AreaId>,
     ) {
-        // Nearest idle driver of the requested tier.
-        let mut best: Option<(usize, f64)> = None;
-        for (i, d) in self.drivers.iter().enumerate() {
-            if d.state.is_visible() && d.car_type == car_type {
-                let dist = (d.position.x - pickup.x).abs() + (d.position.y - pickup.y).abs();
-                if dist <= self.cfg.match_radius_m && best.map_or(true, |(_, b)| dist < b) {
-                    best = Some((i, dist));
-                }
-            }
-        }
+        // Nearest idle driver of the requested tier, from the tier's grid.
+        // Positions in the grid are exact until the next movement phase; the
+        // filter drops drivers this tick's earlier matches already took. The
+        // grid breaks distance ties by lowest driver index, which is what
+        // the old first-strictly-closer linear scan kept.
+        let drivers = &self.drivers;
+        let best: Option<usize> = self.idle_grid(car_type).and_then(|g| {
+            g.nearest_l1_within(pickup, self.cfg.match_radius_m, |&i| {
+                drivers[i as usize].state.is_visible()
+            })
+            .map(|(slot, _)| *g.payload(slot) as usize)
+        });
         match best {
-            Some((i, _)) => {
+            Some(i) => {
                 let trip_idx = self.truth.trips.len();
                 let distance_m =
                     (pickup.x - dropoff.x).abs() + (pickup.y - dropoff.y).abs();
@@ -447,77 +481,85 @@ impl Marketplace {
         // Idle drivers cruise slower than dispatched ones.
         let idle_step = step * 0.5;
 
-        // Surge context for repositioning decisions.
-        let base: Vec<f64> = self.surge.current().base.clone();
+        // Split the borrow: repositioning reads the surge base in place
+        // while drivers are mutated, instead of cloning the per-area vector
+        // every tick.
+        let Marketplace { city, cfg, drivers, surge, truth, rng_drive, .. } = self;
+        let base: &[f64] = &surge.current().base;
 
-        for i in 0..self.drivers.len() {
-            let state = self.drivers[i].state;
+        for d in drivers.iter_mut() {
+            let state = d.state;
             match state {
                 DriverState::Offline => continue,
                 DriverState::EnRoute { pickup, dropoff } => {
-                    if self.drivers[i].advance_towards(pickup, step) {
-                        self.drivers[i].state = DriverState::OnTrip { dropoff };
-                        self.drivers[i].trip_started = Some(t);
+                    if d.advance_towards(pickup, step) {
+                        d.state = DriverState::OnTrip { dropoff };
+                        d.trip_started = Some(t);
                     }
                 }
                 DriverState::OnTrip { dropoff } => {
-                    if self.drivers[i].advance_towards(dropoff, step) {
-                        self.complete_trip(i, t);
+                    if d.advance_towards(dropoff, step) {
+                        Self::complete_trip(city, truth, d, t);
                     }
                 }
                 DriverState::Idle => {
-                    self.idle_drift(i, idle_step, &base);
+                    Self::idle_drift(city, cfg, rng_drive, d, idle_step, base);
                 }
             }
             // Record the position into the public path trace.
-            let pos = self.drivers[i].position;
-            let ll = self.city.projection.to_latlng(pos);
-            self.drivers[i].path.push(ll);
+            let ll = city.projection.to_latlng(d.position);
+            d.path.push(ll);
         }
     }
 
-    fn complete_trip(&mut self, i: usize, t: SimTime) {
-        let d = &mut self.drivers[i];
+    fn complete_trip(city: &CityModel, truth: &mut GroundTruth, d: &mut Driver, t: SimTime) {
         d.state = DriverState::Idle;
         d.waypoint = None;
         d.dwell_ticks = 0;
         if let (Some(idx), Some(started)) = (d.trip_idx, d.trip_started) {
             let duration = t.since(started).as_secs() as f64;
-            let rec = &mut self.truth.trips[idx];
-            let schedule = self.city.fare_schedule(rec.car_type);
+            let rec = &mut truth.trips[idx];
+            let schedule = city.fare_schedule(rec.car_type);
             rec.fare = Some(schedule.fare(rec.distance_m, duration, rec.surge.max(1.0)));
         }
         d.trip_idx = None;
         d.trip_started = None;
     }
 
-    fn idle_drift(&mut self, i: usize, step: f64, base: &[f64]) {
+    fn idle_drift(
+        city: &CityModel,
+        cfg: &MarketplaceConfig,
+        rng_drive: &mut SimRng,
+        d: &mut Driver,
+        step: f64,
+        base: &[f64],
+    ) {
         // Pick (or re-pick) a waypoint when none is active.
-        if self.drivers[i].waypoint.is_none() {
-            if self.drivers[i].dwell_ticks > 0 {
-                self.drivers[i].dwell_ticks -= 1;
+        if d.waypoint.is_none() {
+            if d.dwell_ticks > 0 {
+                d.dwell_ticks -= 1;
                 return;
             }
-            let here = self.city.area_of(self.drivers[i].position);
+            let here = city.area_of(d.position);
             let mut target = None;
             // Weak flocking toward a clearly-surging adjacent area.
             if let Some(a) = here {
-                if self.rng_drive.chance(self.cfg.reposition_prob) {
+                if rng_drive.chance(cfg.reposition_prob) {
                     let my_m = base.get(a.0).copied().unwrap_or(1.0);
-                    let candidates: Vec<AreaId> = self.city.adjacency[a.0]
+                    let candidates: Vec<AreaId> = city.adjacency[a.0]
                         .iter()
                         .copied()
                         .filter(|n| base.get(n.0).copied().unwrap_or(1.0) >= my_m + 0.2)
                         .collect();
-                    if let Some(dest) = self.rng_drive.choose(&candidates).copied() {
-                        let poly = &self.city.areas[dest.0].polygon;
+                    if let Some(dest) = rng_drive.choose(&candidates).copied() {
+                        let poly = &city.areas[dest.0].polygon;
                         let bb = poly.bbox();
                         for _ in 0..16 {
                             let p = Meters::new(
-                                self.rng_drive.range_f64(bb.min.x, bb.max.x),
-                                self.rng_drive.range_f64(bb.min.y, bb.max.y),
+                                rng_drive.range_f64(bb.min.x, bb.max.x),
+                                rng_drive.range_f64(bb.min.y, bb.max.y),
                             );
-                            if poly.contains(p) && self.city.service_region.contains(p) {
+                            if poly.contains(p) && city.service_region.contains(p) {
                                 target = Some(p);
                                 break;
                             }
@@ -525,16 +567,15 @@ impl Marketplace {
                     }
                 }
             }
-            let target = target.unwrap_or_else(|| {
-                self.city.sample_point(&mut self.rng_drive, self.cfg.hotspot_bias)
-            });
-            self.drivers[i].waypoint = Some(target);
+            let target =
+                target.unwrap_or_else(|| city.sample_point(rng_drive, cfg.hotspot_bias));
+            d.waypoint = Some(target);
         }
-        if let Some(w) = self.drivers[i].waypoint {
-            if self.drivers[i].advance_towards(w, step) {
-                self.drivers[i].waypoint = None;
+        if let Some(w) = d.waypoint {
+            if d.advance_towards(w, step) {
+                d.waypoint = None;
                 // Dwell 0–5 minutes at the destination.
-                self.drivers[i].dwell_ticks = self.rng_drive.range_u64(0, 60) as u32;
+                d.dwell_ticks = rng_drive.range_u64(0, 60) as u32;
             }
         }
     }

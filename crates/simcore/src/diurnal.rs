@@ -33,7 +33,7 @@ impl DiurnalCurve {
             assert!((0.0..24.0).contains(h), "hour out of range: {h}");
             assert!(v.is_finite(), "non-finite value");
         }
-        points.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        points.sort_by(|a, b| a.0.total_cmp(&b.0));
         DiurnalCurve { points }
     }
 

@@ -243,7 +243,7 @@ impl<'a> TaxiReplay<'a> {
             .into_iter()
             .map(|t| (t.position.dist2(pos), t))
             .collect();
-        v.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        v.sort_by(|a, b| a.0.total_cmp(&b.0));
         v.truncate(k);
         v.into_iter().map(|(_, t)| t).collect()
     }

@@ -33,6 +33,36 @@ fn same_seed_same_campaign() {
     assert_eq!(a.3, b.3);
 }
 
+/// The per-tick client fan-out must be a pure reordering of work: any
+/// `parallelism` value has to reproduce the serial observation series
+/// bit-for-bit (fault draws run on a serial pre-pass; pings are pure
+/// functions of the tick snapshot written back by client index).
+#[test]
+fn parallel_fanout_matches_serial_bit_for_bit() {
+    let run = |threads: usize| {
+        let cfg = CampaignConfig {
+            hours: 1,
+            era: ProtocolEra::Apr2015,
+            parallelism: threads,
+            ..CampaignConfig::test_default(777)
+        };
+        Campaign::run_uber(CityModel::manhattan_midtown(), &cfg)
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    assert_eq!(serial.client_surge, parallel.client_surge, "client surge series diverged");
+    assert_eq!(serial.client_ewt, parallel.client_ewt, "client EWT series diverged");
+    assert_eq!(serial.api_surge, parallel.api_surge, "API surge series diverged");
+    assert_eq!(serial.api_ewt, parallel.api_ewt, "API EWT series diverged");
+    assert_eq!(serial.avg_visible, parallel.avg_visible, "visible-car series diverged");
+    assert_eq!(serial.client_daily_cars, parallel.client_daily_cars);
+    assert_eq!(serial.truth.trips.len(), parallel.truth.trips.len());
+    assert_eq!(
+        serial.estimator.supply_series(CarType::UberX),
+        parallel.estimator.supply_series(CarType::UberX),
+    );
+}
+
 #[test]
 fn different_seeds_differ() {
     let a = fingerprint(1);

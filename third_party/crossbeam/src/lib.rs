@@ -1,0 +1,46 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Since Rust 1.63 the standard library ships scoped threads, which is the
+//! only crossbeam facility this workspace's manifests request, so this stub
+//! delegates to `std::thread::scope`. One signature divergence: the spawn
+//! closure takes no argument (std style) instead of crossbeam's `&Scope`
+//! parameter.
+
+#![forbid(unsafe_code)]
+
+/// Scoped-thread support, mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::thread as stdthread;
+
+    pub use stdthread::{Result, Scope, ScopedJoinHandle};
+
+    /// Runs `f` with a scope in which borrowing spawned threads can be
+    /// created; all are joined before this returns. Unlike crossbeam this
+    /// cannot observe child panics as an `Err` — std's scope re-raises
+    /// them — so the `Result` is always `Ok`.
+    pub fn scope<'env, F, T>(f: F) -> Result<T>
+    where
+        F: for<'scope> FnOnce(&'scope stdthread::Scope<'scope, 'env>) -> T,
+    {
+        Ok(stdthread::scope(f))
+    }
+}
+
+pub use thread::scope;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let mut totals = vec![0u64; 2];
+        super::scope(|s| {
+            let (lo, hi) = totals.split_at_mut(1);
+            let (a, b) = data.split_at(2);
+            s.spawn(|| lo[0] = a.iter().sum());
+            s.spawn(|| hi[0] = b.iter().sum());
+        })
+        .unwrap();
+        assert_eq!(totals, vec![3, 7]);
+    }
+}

@@ -1,0 +1,315 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supplies the subset the workspace uses: the `proptest!` macro with an
+//! optional `#![proptest_config(..)]` header, `prop_assert!` /
+//! `prop_assert_eq!`, range and tuple strategies, `prop_map`, and
+//! `collection::vec`. Inputs are drawn from a splitmix64 stream seeded
+//! deterministically from the test's module path and name, so every run
+//! explores the same cases (no shrinking — a failing case prints its
+//! number and seed instead).
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Everything tests import via `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    pub use crate::{ProptestConfig, Strategy};
+}
+
+/// Deterministic input generator handed to strategies (splitmix64).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the stream.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// Runner configuration; only the case count is honoured.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the suite quick while still
+        // sweeping each input space.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A recipe for generating random values of `Self::Value`.
+pub trait Strategy {
+    /// The value type this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + (self.end - self.start) * rng.next_f64()
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let width = (self.end as i128 - self.start as i128) as u64;
+                assert!(width > 0, "empty integer range strategy");
+                (self.start as i128 + rng.below(width) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng), self.2.generate(rng))
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<T>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors whose elements come from `element` and whose
+    /// length is uniform in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start).max(1) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Drives one property: `cases` deterministic inputs, panicking with the
+/// failing case's number and seed on the first `Err`.
+pub fn run_cases<F>(cfg: ProptestConfig, module: &str, name: &str, mut f: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), String>,
+{
+    // FNV-1a over module::name gives each property its own seed stream.
+    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+    for b in module.as_bytes().iter().chain(b"::").chain(name.as_bytes()) {
+        seed ^= u64::from(*b);
+        seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    for case in 0..cfg.cases {
+        let case_seed = seed.wrapping_add(u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = TestRng::new(case_seed);
+        if let Err(msg) = f(&mut rng) {
+            panic!(
+                "proptest: property `{name}` failed at case {case}/{} (seed {case_seed:#x}): {msg}",
+                cfg.cases
+            );
+        }
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` running the body over random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (@impl $cfg:expr;
+        $(
+            $(#[$meta:meta])*
+            fn $fname:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $fname() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                $crate::run_cases(__cfg, module_path!(), stringify!($fname), |__rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), __rng);)+
+                    (move || -> ::std::result::Result<(), ::std::string::String> {
+                        $body
+                        Ok(())
+                    })()
+                });
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @impl $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! { @impl $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Fails the surrounding property when the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Fails the surrounding property when the two values differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __l = $left;
+        let __r = $right;
+        if __l != __r {
+            return ::std::result::Result::Err(
+                ::std::format!("assertion failed: `{:?}` != `{:?}`", __l, __r),
+            );
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let __l = $left;
+        let __r = $right;
+        if __l != __r {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::TestRng::new(7);
+        let mut b = crate::TestRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in -5.0f64..5.0, n in 3u64..9, m in 0usize..4) {
+            prop_assert!((-5.0..5.0).contains(&x));
+            prop_assert!((3..9).contains(&n));
+            prop_assert!(m < 4);
+        }
+
+        #[test]
+        fn vec_and_map_compose(
+            v in crate::collection::vec((0.0f64..1.0, 0u32..10), 2..6),
+            y in (0u64..100).prop_map(|n| n * 2),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert_eq!(y % 2, 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+
+        #[test]
+        fn config_header_accepted(x in 0u32..10) {
+            prop_assert!(x < 10);
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! provides exactly the API subset the workspace consumes: a small, fast,
+//! seedable generator (`rngs::SmallRng`, here xoshiro256++), the
+//! `SeedableRng` constructor and the `RngExt` sampling surface
+//! (`random::<T>()` and `random_range(lo..hi)`).
+//!
+//! Determinism is the only contract that matters to the simulator: the same
+//! seed must always produce the same stream. The stream does **not** match
+//! upstream `rand`'s byte-for-byte (nothing in the workspace depends on
+//! that; every expectation is derived from in-repo seeds).
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling conveniences over any [`RngCore`] (the subset of upstream
+/// `rand`'s `Rng`/`RngExt` the workspace uses).
+pub trait RngExt: RngCore + Sized {
+    /// Samples a value of `T` from its standard distribution
+    /// (`f64` uniform in `[0, 1)`, integers uniform over their domain).
+    fn random<T: Standard>(&mut self) -> T {
+        T::from_rng(self)
+    }
+
+    /// Uniform sample from a half-open range. Panics on an empty range.
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+}
+
+impl<T: RngCore + Sized> RngExt for T {}
+
+/// Types with a standard distribution for [`RngExt::random`].
+pub trait Standard: Sized {
+    /// Draws one sample.
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges usable with [`RngExt::random_range`].
+pub trait SampleRange {
+    /// The sampled element type.
+    type Output;
+    /// Draws a uniform sample from the range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+/// Unbiased-enough bounded sample via 128-bit widening multiply (Lemire).
+fn bounded_u64<R: RngCore + ?Sized>(rng: &mut R, width: u64) -> u64 {
+    ((rng.next_u64() as u128 * width as u128) >> 64) as u64
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let width = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + bounded_u64(rng, width) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u64, u32, u16, u8, usize);
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + (self.end - self.start) * f64::from_rng(rng)
+    }
+}
+
+/// Small, fast generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — the same family upstream `SmallRng` uses on 64-bit
+    /// targets. Seeded through splitmix64 per the reference implementation.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(x: &mut u64) -> u64 {
+        *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut x = seed;
+            let s = [
+                splitmix64(&mut x),
+                splitmix64(&mut x),
+                splitmix64(&mut x),
+                splitmix64(&mut x),
+            ];
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        let mut c = SmallRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..16).map(|_| a.random::<u64>()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.random::<u64>()).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.random::<u64>()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn f64_unit_interval_and_roughly_uniform() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.random::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = SmallRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let u = r.random_range(3u64..17);
+            assert!((3..17).contains(&u));
+            let s = r.random_range(0usize..4);
+            assert!(s < 4);
+            let f = r.random_range(-2.0f64..2.0);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+}

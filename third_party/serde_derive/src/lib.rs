@@ -1,0 +1,265 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde stub.
+//!
+//! `syn`/`quote` live on crates.io, which this build environment cannot
+//! reach, so the input item is parsed directly off the `proc_macro` token
+//! stream. Supported shapes — the only ones the workspace uses:
+//!
+//! * structs with named fields      -> JSON object, field order preserved
+//! * tuple structs with one field   -> the inner value (newtype)
+//! * tuple structs with 2+ fields   -> JSON array
+//! * enums with only unit variants  -> the variant name as a string
+//!
+//! Anything else (generics, data-carrying enums) is rejected with a
+//! compile error naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What the input item turned out to be.
+enum Shape {
+    /// `struct S { a: A, b: B }` — field names in declaration order.
+    Named(Vec<String>),
+    /// `struct S(A, …);` — number of unnamed fields.
+    Tuple(usize),
+    /// `enum E { V1, V2 }` — unit variant names.
+    UnitEnum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen(&item).parse().expect("serde_derive generated invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ---- parsing --------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut toks = input.into_iter().peekable();
+    // Skip attributes and visibility to reach `struct` / `enum`.
+    let kind = loop {
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next(); // the bracket group of the attribute
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                // `pub`, `pub(crate)` etc: the paren group (if any) is
+                // consumed by the generic skip below.
+            }
+            Some(TokenTree::Group(_)) => {} // visibility restriction group
+            Some(_) => {}
+            None => return Err("serde stub: no struct/enum found".into()),
+        }
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde stub: expected type name, got {other:?}")),
+    };
+    match toks.next() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => Err(format!(
+            "serde stub: generic type `{name}` is not supported by the offline serde derive"
+        )),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if kind == "struct" {
+                Ok(Item { name, shape: Shape::Named(parse_named_fields(g.stream())?) })
+            } else {
+                Ok(Item { name, shape: Shape::UnitEnum(parse_unit_variants(g.stream())?) })
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            if kind != "struct" {
+                return Err("serde stub: unexpected parentheses after enum name".into());
+            }
+            Ok(Item { name, shape: Shape::Tuple(count_tuple_fields(g.stream())) })
+        }
+        other => Err(format!("serde stub: unsupported item body for `{name}`: {other:?}")),
+    }
+}
+
+/// Splits a brace/paren group's stream on top-level commas.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == ',' => chunks.push(Vec::new()),
+            _ => chunks.last_mut().unwrap().push(t),
+        }
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+/// `#[attr] pub name: Type` -> `name` (the first ident after attributes
+/// and visibility that is immediately followed by `:`).
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut i = 0;
+            while i < chunk.len() {
+                match &chunk[i] {
+                    TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // attr + group
+                    TokenTree::Ident(id) if id.to_string() == "pub" => {
+                        i += 1;
+                        if matches!(chunk.get(i), Some(TokenTree::Group(_))) {
+                            i += 1; // pub(crate) etc.
+                        }
+                    }
+                    TokenTree::Ident(id) => {
+                        if matches!(chunk.get(i + 1), Some(TokenTree::Punct(p)) if p.as_char() == ':')
+                        {
+                            return Ok(id.to_string());
+                        }
+                        return Err(format!("serde stub: malformed field near `{id}`"));
+                    }
+                    other => return Err(format!("serde stub: unexpected token {other:?}")),
+                }
+            }
+            Err("serde stub: empty field".into())
+        })
+        .collect()
+}
+
+/// Variant names of an all-unit enum; data-carrying variants are rejected.
+fn parse_unit_variants(stream: TokenStream) -> Result<Vec<String>, String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut name = None;
+            for (i, t) in chunk.iter().enumerate() {
+                match t {
+                    TokenTree::Punct(p) if p.as_char() == '#' => continue,
+                    TokenTree::Group(_) if name.is_none() => continue, // attr payload
+                    TokenTree::Ident(id) if name.is_none() => {
+                        name = Some(id.to_string());
+                        if chunk.len() > i + 1 {
+                            return Err(format!(
+                                "serde stub: enum variant `{id}` carries data; only unit \
+                                 variants are supported by the offline serde derive"
+                            ));
+                        }
+                    }
+                    other => return Err(format!("serde stub: unexpected token {other:?}")),
+                }
+            }
+            name.ok_or_else(|| "serde stub: empty enum variant".to_string())
+        })
+        .collect()
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+// ---- code generation ------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))")
+                })
+                .collect();
+            format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", elems.join(", "))
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::Str({v:?}.to_string())"))
+                .collect();
+            format!("match *self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: ::serde::Deserialize::from_value(__v.field({f:?})?)?")
+                })
+                .collect();
+            format!("Ok({name} {{ {} }})", inits.join(", "))
+        }
+        Shape::Tuple(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                .collect();
+            format!(
+                "let __s = __v.as_seq().ok_or_else(|| ::serde::Error::custom(\
+                     \"expected array for tuple struct {name}\"))?;\n\
+                 if __s.len() != {n} {{\n\
+                     return Err(::serde::Error::custom(\"wrong arity for {name}\"));\n\
+                 }}\n\
+                 Ok({name}({elems}))",
+                elems = elems.join(", ")
+            )
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{v:?} => Ok({name}::{v})"))
+                .collect();
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {},\n\
+                         __other => Err(::serde::Error::custom(format!(\
+                             \"unknown {name} variant {{__other:?}}\"))),\n\
+                     }},\n\
+                     __other => Err(::serde::Error::custom(format!(\
+                         \"expected string for {name}, got {{__other:?}}\"))),\n\
+                 }}",
+                arms.join(",\n")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
