@@ -284,7 +284,9 @@ impl ApiService {
     }
 
     /// `estimates/price`: price ranges (with multipliers) for a reference
-    /// 5-mile / 15-minute trip from `location`. Rate-limited per account.
+    /// 5-mile / 15-minute trip from `location`. Rate-limited per account;
+    /// callers must treat the `Err` as a gap (record NaN, keep running),
+    /// never abort a campaign over one throttled probe.
     pub fn estimates_price(
         &mut self,
         snap: &WorldSnapshot<'_>,

@@ -1,9 +1,10 @@
 //! End-to-end campaign throughput benchmark.
 //!
-//! Runs a seeded SF-downtown measurement campaign and writes
-//! `BENCH_campaign.json` (wall time, tick throughput, fleet sizes) to the
-//! current directory — run it from the repository root to refresh the
-//! checked-in numbers:
+//! Runs a seeded SF-downtown measurement campaign twice — once clean,
+//! once under a faulted transport (drops + delays through the in-flight
+//! queue) — and writes `BENCH_campaign.json` (wall time, tick throughput,
+//! fleet sizes, both datapoints) to the current directory. Run it from the
+//! repository root to refresh the checked-in numbers:
 //!
 //! ```text
 //! cargo run --release -p surgescope-bench --bin bench_campaign
@@ -13,38 +14,91 @@ use std::time::Instant;
 use surgescope_api::ProtocolEra;
 use surgescope_city::CityModel;
 use surgescope_core::{Campaign, CampaignConfig};
+use surgescope_simcore::FaultPlan;
 
-fn main() {
-    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+struct Datapoint {
+    label: &'static str,
+    clients: usize,
+    ticks: usize,
+    wall_secs: f64,
+    ticks_per_sec: f64,
+    gap_frac: f64,
+}
+
+fn run(label: &'static str, faults: FaultPlan, threads: usize) -> Datapoint {
     let cfg = CampaignConfig {
         hours: 2,
         era: ProtocolEra::Apr2015,
         scale: 1.0,
         parallelism: threads,
+        faults,
         ..CampaignConfig::test_default(2026)
     };
-
-    let city = CityModel::san_francisco_downtown();
-    let label = city.name.clone();
     let start = Instant::now();
-    let data = Campaign::run_uber(city, &cfg);
+    let data = Campaign::run_uber(CityModel::san_francisco_downtown(), &cfg);
     let wall_secs = start.elapsed().as_secs_f64();
-    let ticks_per_sec = data.ticks as f64 / wall_secs;
+    let total = (data.ticks * data.clients.len()) as f64;
+    let gaps = data
+        .client_surge
+        .iter()
+        .flatten()
+        .filter(|v| v.is_nan())
+        .count() as f64;
+    Datapoint {
+        label,
+        clients: data.clients.len(),
+        ticks: data.ticks,
+        wall_secs,
+        ticks_per_sec: data.ticks as f64 / wall_secs,
+        gap_frac: gaps / total.max(1.0),
+    }
+}
 
+fn main() {
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let points = [
+        run("clean", FaultPlan::none(), threads),
+        // The faulted datapoint prices the transport layer itself: fault
+        // draws, the in-flight queue, and NaN gap accounting.
+        run(
+            "faulted",
+            FaultPlan { drop_chance: 0.10, delay_chance: 0.10, max_delay_secs: 30 },
+            threads,
+        ),
+    ];
+
+    let mut runs = String::new();
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            runs.push_str(",\n");
+        }
+        runs.push_str(&format!(
+            "    {{\n      \"label\": \"{}\",\n      \"wall_secs\": {:.3},\n      \
+             \"ticks_per_sec\": {:.2},\n      \"gap_frac\": {:.4}\n    }}",
+            p.label, p.wall_secs, p.ticks_per_sec, p.gap_frac,
+        ));
+    }
+    let base = &points[0];
     let json = format!(
-        "{{\n  \"city\": \"{label}\",\n  \"hours\": {hours},\n  \"scale\": {scale},\n  \
+        "{{\n  \"city\": \"SF Downtown\",\n  \"hours\": 2,\n  \"scale\": 1.0,\n  \
          \"clients\": {clients},\n  \"ticks\": {ticks},\n  \"parallelism\": {threads},\n  \
-         \"wall_secs\": {wall_secs:.3},\n  \"ticks_per_sec\": {ticks_per_sec:.2}\n}}\n",
-        hours = cfg.hours,
-        scale = cfg.scale,
-        clients = data.clients.len(),
-        ticks = data.ticks,
+         \"wall_secs\": {wall:.3},\n  \"ticks_per_sec\": {tps:.2},\n  \"runs\": [\n{runs}\n  ]\n}}\n",
+        clients = base.clients,
+        ticks = base.ticks,
+        wall = base.wall_secs,
+        tps = base.ticks_per_sec,
     );
     std::fs::write("BENCH_campaign.json", &json).expect("write BENCH_campaign.json");
     print!("{json}");
-    eprintln!(
-        "campaign: {} clients x {} ticks in {wall_secs:.2}s ({ticks_per_sec:.1} ticks/s, {threads} threads)",
-        data.clients.len(),
-        data.ticks,
-    );
+    for p in &points {
+        eprintln!(
+            "campaign[{}]: {} clients x {} ticks in {:.2}s ({:.1} ticks/s, {threads} threads, {:.1}% gaps)",
+            p.label,
+            p.clients,
+            p.ticks,
+            p.wall_secs,
+            p.ticks_per_sec,
+            p.gap_frac * 100.0,
+        );
+    }
 }

@@ -22,7 +22,7 @@
 
 use crate::calibration::placement;
 use crate::estimate::{EstimatorConfig, SupplyDemandEstimator};
-use crate::observe::ClientSpec;
+use crate::observe::{latest_of_type, ClientSpec};
 use crate::systems::{MeasuredSystem, TaxiSystem, UberSystem};
 use crate::transitions::TransitionTracker;
 use std::collections::HashSet;
@@ -30,7 +30,7 @@ use surgescope_api::{ApiService, ProtocolEra};
 use surgescope_city::{CarType, CityModel};
 use surgescope_geo::Polygon;
 use surgescope_marketplace::{GroundTruth, Marketplace, MarketplaceConfig};
-use surgescope_simcore::SimTime;
+use surgescope_simcore::{FaultPlan, SimTime};
 use surgescope_taxi::{TaxiGroundTruth, TaxiTrace};
 
 /// Campaign parameters.
@@ -57,6 +57,10 @@ pub struct CampaignConfig {
     /// observation series is bit-identical at any value; this only trades
     /// wall time.
     pub parallelism: usize,
+    /// Transport fault injection on client pings ([`FaultPlan::none`] by
+    /// default). Dropped pings leave `NaN` gaps in the per-client series;
+    /// delayed pings arrive ticks late carrying send-time content.
+    pub faults: FaultPlan,
 }
 
 impl CampaignConfig {
@@ -71,6 +75,7 @@ impl CampaignConfig {
             scale: 0.3,
             surge_policy: surgescope_marketplace::SurgePolicy::Threshold,
             parallelism: 1,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -85,6 +90,7 @@ impl CampaignConfig {
             scale: 1.0,
             surge_policy: surgescope_marketplace::SurgePolicy::Threshold,
             parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -99,9 +105,12 @@ pub struct CampaignData {
     pub client_area: Vec<Option<usize>>,
     /// Finished supply/demand estimator.
     pub estimator: SupplyDemandEstimator,
-    /// `[client][tick]` UberX multiplier seen in pings.
+    /// `[client][tick]` UberX multiplier seen in pings. A tick on which
+    /// the client received no response (dropped or still-in-flight ping)
+    /// records `f32::NAN` — a gap, never a fabricated 1.0×.
     pub client_surge: Vec<Vec<f32>>,
-    /// `[client][tick]` UberX EWT (minutes) seen in pings.
+    /// `[client][tick]` UberX EWT (minutes) seen in pings. Undelivered
+    /// ticks record `f32::NAN` (see [`CampaignData::client_surge`]).
     pub client_ewt: Vec<Vec<f32>>,
     /// `[area][interval]` UberX multiplier from the API probe.
     pub api_surge: Vec<Vec<f32>>,
@@ -120,10 +129,16 @@ pub struct CampaignData {
     pub client_daily_cars: Vec<Vec<u32>>,
     /// Mean unique UberX ids seen per 5-minute interval, per client —
     /// a spatial density proxy (the per-day counts homogenize once every
-    /// car has wandered past every client).
+    /// car has wandered past every client). Intervals in which the client
+    /// received no ping at all are excluded from the denominator.
     pub client_interval_cars: Vec<f64>,
-    /// Mean UberX EWT per client over the whole campaign.
+    /// Mean UberX EWT per client over the whole campaign, averaged over
+    /// *delivered* pings only — gaps do not dilute the mean toward zero.
     pub client_mean_ewt: Vec<f64>,
+    /// Delivered-ping count per client (ticks whose response actually
+    /// reached the client, fresh or late). `ticks - client_delivered[i]`
+    /// is the number of `NaN` gaps in that client's series.
+    pub client_delivered: Vec<u64>,
     /// Simulation tick length (5 s).
     pub tick_secs: u64,
     /// Total ticks run.
@@ -185,7 +200,9 @@ impl Campaign {
             MarketplaceConfig { surge_policy: cfg.surge_policy, ..Default::default() };
         let mp = Marketplace::new(city.clone(), market_cfg, cfg.seed);
         let api = ApiService::new(cfg.era, cfg.seed ^ 0xB0B5);
-        let mut sys = UberSystem::new(mp, api).with_parallelism(cfg.parallelism);
+        let mut sys = UberSystem::new(mp, api)
+            .with_faults(cfg.faults, cfg.seed)
+            .with_parallelism(cfg.parallelism);
 
         let mut estimator = SupplyDemandEstimator::new(
             cfg.estimator,
@@ -204,13 +221,19 @@ impl Campaign {
         let mut client_daily_cars: Vec<Vec<u32>> = vec![Vec::new(); n];
         let mut interval_sets: Vec<HashSet<u64>> = vec![HashSet::new(); n];
         let mut interval_car_sum = vec![0.0f64; n];
-        let mut interval_car_n = 0u64;
+        // Per-client count of intervals with at least one delivered ping;
+        // an interval the client never heard from is a gap, not a zero.
+        let mut interval_car_n = vec![0u64; n];
+        let mut interval_seen = vec![false; n];
         let mut avg_visible = vec![Vec::new(); n_areas];
         let mut tick_area_sets: Vec<HashSet<u64>> = vec![HashSet::new(); n_areas];
         let mut inst_sum = vec![0.0f64; n_areas];
         let mut inst_ticks = 0u64;
         let mut ewt_sum = vec![0.0f64; n];
+        let mut ewt_n = vec![0u64; n];
+        let mut client_delivered = vec![0u64; n];
         let mut probe_pending: Option<Vec<f32>> = None;
+        let mut probe_limited_logged = false;
 
         for _ in 0..ticks {
             sys.advance_tick();
@@ -223,10 +246,12 @@ impl Campaign {
             let obs = sys.ping_all(&clients);
             for (i, blocks) in obs.iter().enumerate() {
                 estimator.observe(state_t, blocks);
-                if let Some(x) = blocks.iter().find(|b| b.car_type == CarType::UberX) {
-                    client_surge[i].push(x.surge as f32);
-                    client_ewt[i].push(x.ewt_min as f32);
-                    ewt_sum[i] += x.ewt_min;
+                // Every delivered UberX block contributes car sightings —
+                // a late block re-reports its send-time positions, exactly
+                // as the client's log would. The *displayed* surge/EWT is
+                // the last block to arrive this tick (fresh first, then
+                // late sends in order — stale data displaces fresh).
+                for x in blocks.iter().filter(|b| b.car_type == CarType::UberX) {
                     for car in &x.cars {
                         daily_sets[i].insert(car.id);
                         interval_sets[i].insert(car.id);
@@ -235,9 +260,19 @@ impl Campaign {
                             tick_area_sets[a.0].insert(car.id);
                         }
                     }
+                }
+                if let Some(x) = latest_of_type(blocks, CarType::UberX) {
+                    client_surge[i].push(x.surge as f32);
+                    client_ewt[i].push(x.ewt_min as f32);
+                    ewt_sum[i] += x.ewt_min;
+                    ewt_n[i] += 1;
+                    client_delivered[i] += 1;
+                    interval_seen[i] = true;
                 } else {
-                    client_surge[i].push(1.0);
-                    client_ewt[i].push(0.0);
+                    // No response reached this client this tick (dropped
+                    // or still in flight): a gap, never a fabricated 1.0×.
+                    client_surge[i].push(f32::NAN);
+                    client_ewt[i].push(f32::NAN);
                 }
             }
             estimator.end_tick(now);
@@ -254,22 +289,33 @@ impl Campaign {
                 for (ai, centroid) in centroids.iter().enumerate() {
                     let loc = city.projection.to_latlng(*centroid);
                     let account = 1_000_000 + ai as u64;
-                    let prices = sys
-                        .api
-                        .estimates_price(&snap, account, loc)
-                        .expect("probe budget is far below the rate limit");
-                    let surge = prices
-                        .iter()
-                        .find(|p| p.car_type == CarType::UberX)
-                        .map_or(1.0, |p| p.surge_multiplier);
-                    let times = sys
-                        .api
-                        .estimates_time(&snap, account, loc)
-                        .expect("probe budget is far below the rate limit");
-                    let ewt = times
-                        .iter()
-                        .find(|t| t.car_type == CarType::UberX)
-                        .map_or(0.0, |t| t.estimate_secs as f64 / 60.0);
+                    // The probe budget sits far below the rate limit, but
+                    // a throttled probe must degrade to a gap — one NaN
+                    // interval — rather than abort a multi-day campaign.
+                    let mut limited = |e: &dyn std::fmt::Display| {
+                        if !probe_limited_logged {
+                            eprintln!(
+                                "campaign: API probe rate-limited ({e}); \
+                                 recording NaN for the affected intervals"
+                            );
+                            probe_limited_logged = true;
+                        }
+                        f64::NAN
+                    };
+                    let surge = match sys.api.estimates_price(&snap, account, loc) {
+                        Ok(prices) => prices
+                            .iter()
+                            .find(|p| p.car_type == CarType::UberX)
+                            .map_or(1.0, |p| p.surge_multiplier),
+                        Err(e) => limited(&e),
+                    };
+                    let ewt = match sys.api.estimates_time(&snap, account, loc) {
+                        Ok(times) => times
+                            .iter()
+                            .find(|t| t.car_type == CarType::UberX)
+                            .map_or(0.0, |t| t.estimate_secs as f64 / 60.0),
+                        Err(e) => limited(&e),
+                    };
                     api_surge[ai].push(surge as f32);
                     api_ewt[ai].push(ewt as f32);
                     this_interval.push(surge as f32);
@@ -286,10 +332,16 @@ impl Campaign {
                     transitions.close_interval(&m64);
                 }
                 for (i, set) in interval_sets.iter_mut().enumerate() {
-                    interval_car_sum[i] += set.len() as f64;
+                    // Only intervals with at least one delivered ping
+                    // count: a silent interval is missing data, and a
+                    // zero would bias the density proxy downward.
+                    if interval_seen[i] {
+                        interval_car_sum[i] += set.len() as f64;
+                        interval_car_n[i] += 1;
+                    }
+                    interval_seen[i] = false;
                     set.clear();
                 }
-                interval_car_n += 1;
                 for a in 0..n_areas {
                     avg_visible[a].push((inst_sum[a] / inst_ticks.max(1) as f64) as f32);
                     inst_sum[a] = 0.0;
@@ -316,11 +368,17 @@ impl Campaign {
         }
 
         let intervals = (cfg.hours * 12) as usize;
-        let client_mean_ewt =
-            ewt_sum.iter().map(|s| s / ticks.max(1) as f64).collect();
+        // Delivered-ping denominators: gaps neither dilute the EWT mean
+        // toward zero nor drag the interval density proxy down.
+        let client_mean_ewt = ewt_sum
+            .iter()
+            .zip(&ewt_n)
+            .map(|(s, &k)| s / k.max(1) as f64)
+            .collect();
         let client_interval_cars = interval_car_sum
             .iter()
-            .map(|s| s / interval_car_n.max(1) as f64)
+            .zip(&interval_car_n)
+            .map(|(s, &k)| s / k.max(1) as f64)
             .collect();
         CampaignData {
             city,
@@ -336,6 +394,7 @@ impl Campaign {
             client_daily_cars,
             client_interval_cars,
             client_mean_ewt,
+            client_delivered,
             tick_secs: 5,
             ticks,
             intervals,
@@ -425,6 +484,53 @@ mod tests {
             .map(|a| data.clients_in_area(a).len())
             .sum();
         assert_eq!(total, data.clients.len());
+    }
+
+    #[test]
+    fn clean_campaign_has_no_gaps() {
+        let data = small_campaign();
+        assert!(
+            data.client_surge.iter().flatten().all(|v| v.is_finite()),
+            "a fault-free campaign must not contain NaN gaps"
+        );
+        for &d in &data.client_delivered {
+            assert_eq!(d as usize, data.ticks, "every ping delivered");
+        }
+    }
+
+    #[test]
+    fn faulted_campaign_gaps_match_drop_rate() {
+        let drop = 0.2;
+        let cfg = CampaignConfig {
+            hours: 1,
+            faults: FaultPlan::lossy(drop),
+            ..CampaignConfig::test_default(33)
+        };
+        let data = Campaign::run_uber(CityModel::manhattan_midtown(), &cfg);
+        let total = (data.ticks * data.clients.len()) as f64;
+        let gaps = data
+            .client_surge
+            .iter()
+            .flatten()
+            .filter(|v| v.is_nan())
+            .count();
+        let rate = gaps as f64 / total;
+        assert!(
+            (rate - drop).abs() < 0.02,
+            "NaN gap rate {rate} should track the drop chance {drop}"
+        );
+        for (i, s) in data.client_surge.iter().enumerate() {
+            let delivered = s.iter().filter(|v| !v.is_nan()).count() as u64;
+            assert_eq!(delivered, data.client_delivered[i], "client {i}");
+            // Surge and EWT gap on exactly the same ticks.
+            for (a, b) in s.iter().zip(&data.client_ewt[i]) {
+                assert_eq!(a.is_nan(), b.is_nan());
+            }
+        }
+        // Delivered-ping denominators keep the summaries finite and
+        // undiluted (no fabricated 0.0-minute EWTs pulling means down).
+        assert!(data.client_mean_ewt.iter().all(|m| m.is_finite()));
+        assert!(data.client_interval_cars.iter().all(|m| m.is_finite()));
     }
 
     #[test]

@@ -136,6 +136,13 @@ impl SupplyDemandEstimator {
     /// measurement area". (Boundary clients can see beyond the polygon,
     /// which would otherwise inflate supply against any ground truth
     /// defined over the polygon.)
+    ///
+    /// `blocks` may include transport-delayed responses whose content was
+    /// frozen ticks ago; they are fed at their *delivery* time, exactly as
+    /// a real client's log would record them. A stale re-observation
+    /// refreshes `last_seen` and so keeps a car alive through the death
+    /// grace — dropped and delayed pings thus degrade the estimate
+    /// smoothly instead of fabricating deaths.
     pub fn observe(&mut self, now: SimTime, blocks: &[TypeObservation]) {
         self.dirty = true;
         for block in blocks {
@@ -504,6 +511,31 @@ mod tests {
         est.finish(SimTime(600));
         assert!(est.death_events.is_empty(), "gap within grace must not kill the car");
         assert_eq!(est.lifespans.len(), 1);
+    }
+
+    #[test]
+    fn stale_reobservation_keeps_car_alive() {
+        // A delayed ping re-reports a car at its send-time position; fed
+        // at delivery time it must refresh last_seen like any sighting.
+        let mut est = SupplyDemandEstimator::new(EstimatorConfig::default(), region(), vec![]);
+        let mut t = 0u64;
+        while t < 600 {
+            let now = SimTime(t);
+            if t < 300 {
+                est.observe(now, &[block(40, 800.0, 800.0, None)]);
+            } else if (310..=320).contains(&t) {
+                // Fresh pings for the car stopped at t=300; these are
+                // late deliveries carrying the old (send-time) position —
+                // inside the grace window, they postpone the death.
+                est.observe(now, &[block(40, 800.0, 800.0, None)]);
+            }
+            t += 5;
+            est.end_tick(SimTime(t));
+        }
+        est.finish(SimTime(600));
+        // Death is stamped at the last (stale) sighting, not t=300.
+        assert_eq!(est.death_events.len(), 1);
+        assert_eq!(est.death_events[0].at, SimTime(320));
     }
 
     #[test]

@@ -57,6 +57,16 @@ impl PingObservation {
     }
 }
 
+/// The last block of tier `t` in arrival order — what the client app
+/// displays at the end of a tick. Blocks are ordered by arrival (fresh
+/// response first, then transport-delayed responses in send order), so a
+/// stale late block genuinely displaces fresh data on the display; with a
+/// fault-free transport there is exactly one block per tier and this is
+/// identical to a forward lookup.
+pub fn latest_of_type(blocks: &[TypeObservation], t: CarType) -> Option<&TypeObservation> {
+    blocks.iter().rev().find(|b| b.car_type == t)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -75,6 +85,22 @@ mod tests {
         };
         assert_eq!(obs.of_type(CarType::UberX).unwrap().surge, 1.2);
         assert!(obs.of_type(CarType::UberPool).is_none());
+    }
+
+    #[test]
+    fn latest_of_type_prefers_last_arrival() {
+        let block = |surge: f64| TypeObservation {
+            car_type: CarType::UberX,
+            cars: vec![],
+            ewt_min: 0.0,
+            surge,
+        };
+        // Fresh 2.0× first, then a stale delayed 1.5× arrives — the
+        // display ends the tick showing the stale value.
+        let blocks = vec![block(2.0), block(1.5)];
+        assert_eq!(latest_of_type(&blocks, CarType::UberX).unwrap().surge, 1.5);
+        assert!(latest_of_type(&blocks, CarType::UberPool).is_none());
+        assert!(latest_of_type(&[], CarType::UberX).is_none());
     }
 
     #[test]

@@ -13,11 +13,19 @@
 //!   (Fig. 17).
 
 /// Duration (seconds) of every maximal run of multiplier > 1.
+///
+/// `NaN` entries are transport gaps (dropped pings), not observations: a
+/// gap inside a surge episode extends it (the surge did not end just
+/// because a ping was lost), but a gap never *starts* an episode.
 pub fn episodes(values: &[f32], tick_secs: u64) -> Vec<u64> {
     let mut out = Vec::new();
     let mut run = 0u64;
     for &v in values {
-        if v > 1.0 {
+        if v.is_nan() {
+            if run > 0 {
+                run += tick_secs;
+            }
+        } else if v > 1.0 {
             run += tick_secs;
         } else if run > 0 {
             out.push(run);
@@ -33,21 +41,31 @@ pub fn episodes(values: &[f32], tick_secs: u64) -> Vec<u64> {
 /// For each 5-minute interval (after the first), the offset in seconds at
 /// which the observed series first changed value, or `None` if it did not
 /// change during that interval.
+///
+/// `NaN` gaps cannot witness a change: a change is only registered between
+/// two *delivered* observations (`NaN != x` is vacuously true and would
+/// otherwise turn every gap edge into a spurious change moment).
 pub fn change_moments(values: &[f32], tick_secs: u64) -> Vec<Option<u64>> {
     let ticks_per_interval = (300 / tick_secs) as usize;
     let intervals = values.len() / ticks_per_interval;
     let mut out = Vec::with_capacity(intervals.saturating_sub(1));
     for iv in 1..intervals {
         let start = iv * ticks_per_interval;
-        let mut prev = values[start - 1];
+        // Last delivered value before this interval, if any.
+        let mut prev = values[..start].iter().rev().copied().find(|v| !v.is_nan());
         let mut moment = None;
         for k in 0..ticks_per_interval {
             let v = values[start + k];
-            if v != prev {
-                moment = Some(k as u64 * tick_secs);
-                break;
+            if v.is_nan() {
+                continue;
             }
-            prev = v;
+            if let Some(p) = prev {
+                if v != p {
+                    moment = Some(k as u64 * tick_secs);
+                    break;
+                }
+            }
+            prev = Some(v);
         }
         out.push(moment);
     }
@@ -85,6 +103,11 @@ impl JitterEvent {
 /// (b) differs from the interval's consensus, (c) equals the *previous*
 /// interval's consensus (the signature the paper confirmed with Uber's
 /// engineers), and (d) is shorter than 90 s.
+///
+/// `NaN` gaps cannot witness jitter: a dropped ping says nothing about
+/// what the client would have seen, so gaps neither start, extend, nor
+/// join deviating runs (`NaN != x` is vacuously true and would otherwise
+/// make every gap look like a stale window).
 pub fn detect_jitter(
     values: &[f32],
     api_by_interval: &[f32],
@@ -103,25 +126,30 @@ pub fn detect_jitter(
         let mut k = 0usize;
         while k < ticks_per_interval {
             let v = values[start + k];
-            if v != consensus {
-                let run_start = k;
-                while k < ticks_per_interval && values[start + k] != consensus {
-                    k += 1;
-                }
-                let run_len = (k - run_start) as u64 * tick_secs;
-                let is_delay_run = run_start == 0;
-                let matches_previous = values[start + run_start] == previous;
-                if !is_delay_run && matches_previous && run_len < 90 {
-                    out.push(JitterEvent {
-                        interval: iv as u64,
-                        start_offset: run_start as u64 * tick_secs,
-                        duration: run_len,
-                        stale_value: values[start + run_start],
-                        consensus,
-                    });
-                }
-            } else {
+            if v.is_nan() || v == consensus {
                 k += 1;
+                continue;
+            }
+            // A maximal run of delivered, consensus-deviating ticks; a
+            // gap ends the run just as a consensus tick does.
+            let run_start = k;
+            while k < ticks_per_interval
+                && !values[start + k].is_nan()
+                && values[start + k] != consensus
+            {
+                k += 1;
+            }
+            let run_len = (k - run_start) as u64 * tick_secs;
+            let is_delay_run = run_start == 0;
+            let matches_previous = values[start + run_start] == previous;
+            if !is_delay_run && matches_previous && run_len < 90 {
+                out.push(JitterEvent {
+                    interval: iv as u64,
+                    start_offset: run_start as u64 * tick_secs,
+                    duration: run_len,
+                    stale_value: values[start + run_start],
+                    consensus,
+                });
             }
         }
     }
@@ -253,6 +281,65 @@ mod tests {
         let v = vec![1.0f32; 120];
         let events = detect_jitter(&v, &[1.0, 1.0], T);
         assert!(events.is_empty());
+    }
+
+    #[test]
+    fn episodes_gap_extends_but_never_starts() {
+        // Surge run 1.5×3 with a NaN gap inside: one episode, not two,
+        // and the gap tick counts toward its duration.
+        let v = [1.0, 1.5, f32::NAN, 1.5, 1.5, 1.0];
+        assert_eq!(episodes(&v, T), vec![20]);
+        // Gaps in flat territory never open an episode.
+        let flat = [1.0, f32::NAN, f32::NAN, 1.0];
+        assert!(episodes(&flat, T).is_empty());
+    }
+
+    #[test]
+    fn change_moment_gap_is_not_a_change() {
+        let tpi = 60usize;
+        let mut v = vec![1.0f32; tpi];
+        // Interval 1 is flat 1.0 except for dropped pings — no change.
+        let mut iv1 = vec![1.0f32; tpi];
+        iv1[10] = f32::NAN;
+        iv1[11] = f32::NAN;
+        v.extend(iv1);
+        assert_eq!(change_moments(&v, T), vec![None]);
+        // A real change after a gap is stamped at the delivered tick.
+        let mut v2 = vec![1.0f32; tpi];
+        let mut iv = vec![1.0f32; tpi];
+        iv[5] = f32::NAN;
+        for x in iv.iter_mut().skip(6) {
+            *x = 1.5;
+        }
+        v2.extend(iv);
+        assert_eq!(change_moments(&v2, T), vec![Some(30)]);
+    }
+
+    #[test]
+    fn jitter_gap_is_not_a_stale_window() {
+        let tpi = 60usize;
+        // Interval 0 at 1.5, interval 1 at 1.0: dropped pings mid-interval
+        // must not masquerade as a stale window.
+        let mut v = vec![1.5f32; tpi];
+        let mut iv1 = vec![1.0f32; tpi];
+        for k in 20..25 {
+            iv1[k] = f32::NAN;
+        }
+        v.extend(iv1);
+        assert!(detect_jitter(&v, &[1.5, 1.0], T).is_empty());
+        // A genuine stale window flanked by gaps is still detected.
+        let mut v2 = vec![1.5f32; tpi];
+        let mut iv = vec![1.0f32; tpi];
+        iv[19] = f32::NAN;
+        for k in 20..25 {
+            iv[k] = 1.5;
+        }
+        iv[25] = f32::NAN;
+        v2.extend(iv);
+        let events = detect_jitter(&v2, &[1.5, 1.0], T);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].duration, 25);
+        assert_eq!(events[0].stale_value, 1.5);
     }
 
     #[test]

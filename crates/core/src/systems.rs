@@ -12,7 +12,7 @@ use surgescope_api::{ApiService, WorldSnapshot, NEAREST_CARS_SHOWN};
 use surgescope_city::CarType;
 use surgescope_geo::{LocalProjection, Meters};
 use surgescope_marketplace::Marketplace;
-use surgescope_simcore::{FaultOutcome, FaultPlan, SimRng, SimTime};
+use surgescope_simcore::{ticks_late, FaultOutcome, FaultPlan, SimRng, SimTime, Transport};
 use surgescope_taxi::{TaxiReplay, TaxiTrace};
 
 /// Anything the client fleet can measure.
@@ -36,34 +36,52 @@ pub struct UberSystem {
     pub api: ApiService,
     /// Transport fault injection between clients and the service
     /// (smoltcp-style; [`FaultPlan::none`] by default). A dropped ping
-    /// simply yields no observation blocks for that client this tick.
+    /// yields no observation blocks for that client this tick, ever; a
+    /// delayed ping is answered against the send-time snapshot and parked
+    /// in [`UberSystem::transport`] until its delivery tick.
     faults: FaultPlan,
     fault_rng: SimRng,
+    /// In-flight delayed responses, keyed by delivery tick. Drained at the
+    /// top of every `ping_all`; late arrivals append to the destination
+    /// client's observation vector in `(sent_tick, client)` order.
+    transport: Transport<Vec<TypeObservation>>,
     /// Worker threads for the per-client fan-out in `ping_all`; 1 means
     /// fully serial. Any value produces bit-identical observations: fault
-    /// draws happen on a serial pre-pass and each ping is a pure function
-    /// of the tick snapshot, written back by client index.
+    /// draws happen on a serial pre-pass, each ping is a pure function
+    /// of the tick snapshot written back by client index, and the
+    /// transport queue is fed and drained serially in client order.
     parallelism: usize,
 }
 
 impl UberSystem {
-    /// Couples a marketplace with a protocol endpoint.
+    /// Couples a marketplace with a protocol endpoint. The fault RNG is
+    /// derived from the marketplace's root seed (formerly a hardcoded
+    /// constant, which made every campaign share one fault pattern).
     pub fn new(marketplace: Marketplace, api: ApiService) -> Self {
-        let seed = 0xFA17;
+        let fault_rng =
+            SimRng::seed_from_u64(marketplace.seed()).split("transport-faults");
         UberSystem {
             marketplace,
             api,
             faults: FaultPlan::none(),
-            fault_rng: SimRng::seed_from_u64(seed),
+            fault_rng,
+            transport: Transport::new(),
             parallelism: 1,
         }
     }
 
-    /// Enables transport fault injection on client pings.
+    /// Enables transport fault injection on client pings. Panics on an
+    /// invalid plan (probabilities outside `[0, 1]` or NaN) — this is the
+    /// boundary where struct-literal plans enter the system.
     pub fn with_faults(mut self, plan: FaultPlan, seed: u64) -> Self {
-        self.faults = plan;
+        self.faults = plan.validated();
         self.fault_rng = SimRng::seed_from_u64(seed).split("transport-faults");
         self
+    }
+
+    /// Number of delayed responses currently in flight (diagnostic).
+    pub fn in_flight(&self) -> usize {
+        self.transport.in_flight()
     }
 
     /// Sets the `ping_all` worker-thread count (clamped to at least 1).
@@ -89,38 +107,48 @@ fn displacement_of(path: &[surgescope_geo::LatLng], proj: &LocalProjection) -> O
 impl MeasuredSystem for UberSystem {
     fn advance_tick(&mut self) {
         self.marketplace.tick();
+        self.transport.advance_tick();
     }
 
     fn now(&self) -> SimTime {
         self.marketplace.now()
     }
 
+    /// Answers this tick's pings and merges in any delayed responses that
+    /// are due. Per client the returned vector is ordered by *arrival*:
+    /// the fresh response first (its round trip is negligible, it lands at
+    /// the top of the tick), then late messages in send order — so the
+    /// last block of a tier is what the client app displays at the end of
+    /// the tick, and a stale response genuinely displaces fresh data on
+    /// the screen, which is the §5.2 staleness channel.
     fn ping_all(&mut self, clients: &[ClientSpec]) -> Vec<Vec<TypeObservation>> {
         let proj = self.projection();
         let snap = WorldSnapshot::of(&self.marketplace);
+        let tick_secs = self.marketplace.config().tick_secs;
 
         // Serial pre-pass: fault draws consume `fault_rng` in client order,
         // so the fault pattern is independent of the thread count.
         let faults = self.faults;
         let fault_rng = &mut self.fault_rng;
-        let delivered: Vec<bool> = clients
+        let outcomes: Vec<FaultOutcome> = clients
             .iter()
             .map(|_| {
-                faults.is_none()
-                    || !matches!(
-                        faults.decide(fault_rng),
-                        FaultOutcome::Drop | FaultOutcome::Delay(_)
-                    )
+                if faults.is_none() {
+                    FaultOutcome::Deliver
+                } else {
+                    faults.decide(fault_rng)
+                }
             })
             .collect();
 
         let api = &self.api;
-        let ping_one = |c: &ClientSpec, delivered: bool| -> Vec<TypeObservation> {
-            if !delivered {
-                // Dropped (or late-beyond-the-tick) ping: the client sees
-                // nothing this round.
+        let ping_one = |c: &ClientSpec, outcome: FaultOutcome| -> Vec<TypeObservation> {
+            if outcome == FaultOutcome::Drop {
+                // Dropped ping: never answered, nothing to compute.
                 return Vec::new();
             }
+            // Delivered now or later, the answer is frozen against the
+            // send-time snapshot — a delayed response carries stale data.
             let loc = proj.to_latlng(c.position);
             let resp = api.ping_client(&snap, c.key, loc);
             resp.statuses
@@ -142,31 +170,58 @@ impl MeasuredSystem for UberSystem {
                 .collect()
         };
 
-        let threads = self.parallelism.min(clients.len()).max(1);
+        let threads = self.parallelism.min(clients.len().max(1)).max(1);
+        let mut answered: Vec<Vec<TypeObservation>>;
         if threads <= 1 {
-            return clients.iter().zip(&delivered).map(|(c, &ok)| ping_one(c, ok)).collect();
+            answered = clients
+                .iter()
+                .zip(&outcomes)
+                .map(|(c, &oc)| ping_one(c, oc))
+                .collect();
+        } else {
+            // Fan out over contiguous client chunks; each worker writes
+            // into its own pre-sized slice of the output, so ordering (and
+            // every byte of the result) matches the serial path.
+            answered = Vec::new();
+            answered.resize_with(clients.len(), Vec::new);
+            let chunk = clients.len().div_ceil(threads);
+            std::thread::scope(|s| {
+                for ((out_chunk, client_chunk), oc_chunk) in answered
+                    .chunks_mut(chunk)
+                    .zip(clients.chunks(chunk))
+                    .zip(outcomes.chunks(chunk))
+                {
+                    let ping_one = &ping_one;
+                    s.spawn(move || {
+                        for ((slot, c), &oc) in
+                            out_chunk.iter_mut().zip(client_chunk).zip(oc_chunk)
+                        {
+                            *slot = ping_one(c, oc);
+                        }
+                    });
+                }
+            });
         }
 
-        // Fan out over contiguous client chunks; each worker writes into
-        // its own pre-sized slice of the output, so ordering (and every
-        // byte of the result) matches the serial path.
+        // Serial post-pass in client order: route each answered response
+        // to its destination — now, or into the in-flight queue.
         let mut out: Vec<Vec<TypeObservation>> = Vec::new();
         out.resize_with(clients.len(), Vec::new);
-        let chunk = clients.len().div_ceil(threads);
-        std::thread::scope(|s| {
-            for ((out_chunk, client_chunk), ok_chunk) in
-                out.chunks_mut(chunk).zip(clients.chunks(chunk)).zip(delivered.chunks(chunk))
-            {
-                let ping_one = &ping_one;
-                s.spawn(move || {
-                    for ((slot, c), &ok) in
-                        out_chunk.iter_mut().zip(client_chunk).zip(ok_chunk)
-                    {
-                        *slot = ping_one(c, ok);
-                    }
-                });
+        for (i, (resp, outcome)) in answered.drain(..).zip(&outcomes).enumerate() {
+            match outcome {
+                FaultOutcome::Deliver => out[i] = resp,
+                FaultOutcome::Delay(d) => {
+                    self.transport.send_delayed(i, ticks_late(*d, tick_secs), resp)
+                }
+                FaultOutcome::Drop => {}
             }
-        });
+        }
+        // Merge late arrivals due this tick, `(sent_tick, client)` order.
+        for env in self.transport.take_due() {
+            if let Some(slot) = out.get_mut(env.client) {
+                slot.extend(env.payload);
+            }
+        }
         out
     }
 }
@@ -305,6 +360,55 @@ mod tests {
         assert!(
             serial.iter().flatten().any(|per_client| per_client.is_empty()),
             "fault plan never dropped a ping; test is vacuous"
+        );
+    }
+
+    #[test]
+    fn delayed_ping_surfaces_next_tick_with_send_time_content() {
+        use surgescope_simcore::FaultPlan;
+        // Twin systems over identical marketplaces: one clean, one whose
+        // every ping is delayed 1..=5 s — exactly one 5-s tick late.
+        let mut clean = uber();
+        let mut laggy = uber().with_faults(FaultPlan::laggy(1.0, 5), 17);
+        let center = clean.marketplace.city().measurement_region.centroid();
+        let clients: Vec<ClientSpec> = (0..6)
+            .map(|i| ClientSpec {
+                key: i,
+                position: Meters::new(center.x + 200.0 * (i % 3) as f64, center.y),
+            })
+            .collect();
+        let mut clean_hist: Vec<Vec<Vec<TypeObservation>>> = Vec::new();
+        for tick in 0..8 {
+            let c = clean.ping_all(&clients);
+            let l = laggy.ping_all(&clients);
+            if tick == 0 {
+                assert!(
+                    l.iter().all(Vec::is_empty),
+                    "a delayed response can never arrive within its send tick"
+                );
+                assert_eq!(laggy.in_flight(), clients.len());
+            } else {
+                // The delayed view equals the clean system's *previous*
+                // tick — the payload was frozen at send time, not at
+                // delivery time. Delay is therefore neither Drop (content
+                // arrives) nor a fresh ping (content is one tick stale).
+                assert_eq!(
+                    &l,
+                    clean_hist.last().unwrap(),
+                    "tick {tick}: delayed payload must carry send-time content"
+                );
+            }
+            clean_hist.push(c);
+            clean.advance_tick();
+            laggy.advance_tick();
+        }
+        // Nothing vanished: only the final tick's sends remain in flight.
+        assert_eq!(laggy.in_flight(), clients.len());
+        // Staleness is observable: the world moved between ticks, so the
+        // send-time content differs from the delivery-tick truth.
+        assert!(
+            clean_hist.windows(2).any(|w| w[0] != w[1]),
+            "world never changed between ticks; staleness assertion is vacuous"
         );
     }
 

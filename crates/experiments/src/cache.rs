@@ -86,6 +86,7 @@ impl CampaignCache {
             scale: ctx.scale(),
             surge_policy: surgescope_marketplace::SurgePolicy::Threshold,
             parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            faults: surgescope_simcore::FaultPlan::none(),
         };
         let data = Rc::new(Campaign::run_uber(city.model(), &cfg));
         self.campaigns.insert((city, era), Rc::clone(&data));

@@ -6,5 +6,6 @@ pub mod avoidance_exp;
 pub mod calib;
 pub mod dynamics;
 pub mod extensions;
+pub mod fault_sweep;
 pub mod surge;
 pub mod validation;

@@ -171,10 +171,10 @@ impl TextTable {
 
 /// All experiment ids in run order (`ext01` is an extension beyond the
 /// paper's own evaluation — the §8 smoothing proposal, evaluated).
-pub const ALL_IDS: [&str; 25] = [
+pub const ALL_IDS: [&str; 26] = [
     "fig02", "fig03", "fig04", "fig05", "fig07", "fig08", "fig09", "fig10", "fig11", "fig12",
     "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "tab01",
-    "fig22", "fig23", "fig24", "ext01", "ext02",
+    "fig22", "fig23", "fig24", "ext01", "ext02", "fault_sweep",
 ];
 
 /// Runs one experiment by id against a (shared) campaign cache.
@@ -209,6 +209,7 @@ pub fn run_experiment(
         "fig24" => exps::avoidance_exp::fig24(ctx, cache),
         "ext01" => exps::extensions::ext01(ctx),
         "ext02" => exps::extensions::ext02(ctx, cache),
+        "fault_sweep" => exps::fault_sweep::fault_sweep(ctx),
         _ => return None,
     };
     if let Some(dir) = &ctx.out_dir {

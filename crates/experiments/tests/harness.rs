@@ -13,7 +13,40 @@ fn every_experiment_id_is_routable() {
     let out = run_experiment("fig03", &ctx, &mut cache).expect("fig03 runs");
     assert_eq!(out.id, "fig03");
     assert!(out.metric("uber_manhattan_clients").unwrap() > 40.0);
-    assert_eq!(ALL_IDS.len(), 25);
+    assert_eq!(ALL_IDS.len(), 26);
+}
+
+#[test]
+fn fault_sweep_degrades_gracefully() {
+    let ctx = RunCtx::quick(5);
+    let mut cache = CampaignCache::new();
+    let out = run_experiment("fault_sweep", &ctx, &mut cache).expect("fault_sweep runs");
+    // The zero-drop run is the drift baseline by construction.
+    assert_eq!(out.metric("supply_drift_d00").unwrap(), 0.0);
+    // Even at zero drops the fixed 10% delay leg leaves gaps: a delayed
+    // ping's send tick has no delivery, and its late payload lands on a
+    // tick that usually already had one. So the floor sits a bit under
+    // the 10% delay chance, and each drop increment adds on top.
+    let g00 = out.metric("gap_frac_d00").unwrap();
+    assert!(g00 > 0.0 && g00 < 0.12, "delay-only gap fraction {g00}");
+    let g05 = out.metric("gap_frac_d05").unwrap();
+    let g20 = out.metric("gap_frac_d20").unwrap();
+    assert!(
+        g00 < g05 && g05 < g20,
+        "gap fraction must grow with the drop chance: {g00} {g05} {g20}"
+    );
+    let added = g20 - g00;
+    assert!(
+        (0.10..0.25).contains(&added),
+        "20% drops should add ≈0.18 gap fraction, got {added}"
+    );
+    // The estimator's unique-ID supply count must degrade *gracefully*:
+    // even at 20% drops the grace window absorbs most missed sightings.
+    let drift = out.metric("supply_drift_d20").unwrap();
+    assert!(drift < 0.15, "supply drifted {:.1}% at 20% drops", drift * 100.0);
+    for (k, v) in &out.metrics {
+        assert!(v.is_finite(), "{k} must be finite");
+    }
 }
 
 #[test]

@@ -124,6 +124,10 @@ pub struct Marketplace {
     /// the same tick keeps dispatching must re-check `state.is_visible()`
     /// because matching flips drivers busy without a rebuild.
     idle_index: Vec<(CarType, SpatialGrid<u32>)>,
+    /// The root seed every random stream derives from, kept so coupled
+    /// subsystems (e.g. the transport fault injector) can derive their own
+    /// independent streams from the same campaign seed.
+    seed: u64,
 }
 
 impl Marketplace {
@@ -162,9 +166,15 @@ impl Marketplace {
             rng_drive: root.split("drive"),
             ticks_run: 0,
             idle_index: Vec::new(),
+            seed,
         };
         mp.rebuild_idle_index();
         mp
+    }
+
+    /// The root seed this world was built from.
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// Current simulated time (start of the next tick).

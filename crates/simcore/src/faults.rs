@@ -33,6 +33,23 @@ pub struct FaultPlan {
     pub max_delay_secs: u64,
 }
 
+/// A rejected [`FaultPlan`] (probability outside `[0, 1]` or NaN).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidFaultPlan {
+    /// Which field was rejected.
+    pub field: &'static str,
+    /// Human-readable description of the violation.
+    pub reason: String,
+}
+
+impl std::fmt::Display for InvalidFaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid FaultPlan: {} {}", self.field, self.reason)
+    }
+}
+
+impl std::error::Error for InvalidFaultPlan {}
+
 impl FaultPlan {
     /// No faults: every message delivered immediately.
     pub const fn none() -> Self {
@@ -41,8 +58,43 @@ impl FaultPlan {
 
     /// A lossy plan with the given drop probability and no delays.
     pub fn lossy(drop_chance: f64) -> Self {
-        assert!((0.0..=1.0).contains(&drop_chance), "probability out of range");
-        FaultPlan { drop_chance, delay_chance: 0.0, max_delay_secs: 0 }
+        FaultPlan { drop_chance, delay_chance: 0.0, max_delay_secs: 0 }.validated()
+    }
+
+    /// A laggy plan: no drops, `delay_chance` of an extra latency uniform
+    /// in `[1, max_delay_secs]`.
+    pub fn laggy(delay_chance: f64, max_delay_secs: u64) -> Self {
+        FaultPlan { drop_chance: 0.0, delay_chance, max_delay_secs }.validated()
+    }
+
+    /// Checks both probabilities are finite and within `[0, 1]`. The
+    /// struct is plain data (deserializable, struct-literal constructible),
+    /// so every boundary where a plan *enters* the system — builders,
+    /// `UberSystem::with_faults`, campaign configuration — funnels through
+    /// this instead of trusting the literal.
+    pub fn validate(&self) -> Result<(), InvalidFaultPlan> {
+        for (field, p) in [("drop_chance", self.drop_chance), ("delay_chance", self.delay_chance)]
+        {
+            if p.is_nan() {
+                return Err(InvalidFaultPlan { field, reason: "is NaN".into() });
+            }
+            if !(0.0..=1.0).contains(&p) {
+                return Err(InvalidFaultPlan {
+                    field,
+                    reason: format!("= {p} outside [0, 1]"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Panicking form of [`FaultPlan::validate`] for construction sites
+    /// (an invalid plan is a configuration bug, not a runtime condition).
+    pub fn validated(self) -> Self {
+        if let Err(e) = self.validate() {
+            panic!("probability out of range: {e}");
+        }
+        self
     }
 
     /// Decides the fate of one message.
@@ -121,5 +173,39 @@ mod tests {
     #[should_panic(expected = "probability out of range")]
     fn lossy_rejects_bad_probability() {
         let _ = FaultPlan::lossy(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn laggy_rejects_bad_probability() {
+        let _ = FaultPlan::laggy(-0.1, 10);
+    }
+
+    #[test]
+    fn validate_covers_struct_literals() {
+        // Struct-literal construction bypasses the builders; validate()
+        // is the check those call sites funnel through.
+        let nan = FaultPlan { drop_chance: f64::NAN, delay_chance: 0.0, max_delay_secs: 0 };
+        let err = nan.validate().unwrap_err();
+        assert_eq!(err.field, "drop_chance");
+        let over = FaultPlan { drop_chance: 0.2, delay_chance: 1.5, max_delay_secs: 5 };
+        assert_eq!(over.validate().unwrap_err().field, "delay_chance");
+        let neg = FaultPlan { drop_chance: -0.01, delay_chance: 0.0, max_delay_secs: 0 };
+        assert!(neg.validate().is_err());
+        assert!(FaultPlan::none().validate().is_ok());
+        let full = FaultPlan { drop_chance: 1.0, delay_chance: 1.0, max_delay_secs: 30 };
+        assert!(full.validate().is_ok(), "closed endpoints are legal");
+    }
+
+    #[test]
+    fn laggy_plan_delays_but_never_drops() {
+        let plan = FaultPlan::laggy(1.0, 9);
+        let mut rng = SimRng::seed_from_u64(9);
+        for _ in 0..500 {
+            match plan.decide(&mut rng) {
+                FaultOutcome::Delay(d) => assert!((1..=9).contains(&d.as_secs())),
+                other => panic!("expected delay, got {other:?}"),
+            }
+        }
     }
 }

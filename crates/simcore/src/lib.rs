@@ -15,7 +15,10 @@
 //! * [`DiurnalCurve`]: piecewise-linear rate curves over the day, used for
 //!   demand/supply profiles;
 //! * [`FaultPlan`]: smoltcp-style fault injection (drop / delay) for the
-//!   simulated client↔service transport.
+//!   simulated client↔service transport;
+//! * [`Transport`]: the in-flight message queue that realizes the
+//!   `Delay(d)` outcome — responses answered at send time but surfaced to
+//!   the client `⌈d/tick⌉` ticks later, carrying stale content.
 //!
 //! CPU-bound simulation deliberately uses plain synchronous code (the async
 //! guides' own advice); determinism is enforced by an integration test at
@@ -29,12 +32,14 @@ mod events;
 mod faults;
 mod rng;
 mod time;
+mod transport;
 
 pub use diurnal::DiurnalCurve;
 pub use events::{EventQueue, ScheduledEvent};
-pub use faults::{FaultOutcome, FaultPlan};
+pub use faults::{FaultOutcome, FaultPlan, InvalidFaultPlan};
 pub use rng::SimRng;
 pub use time::{DayOfWeek, SimDuration, SimTime};
+pub use transport::{ticks_late, Envelope, Transport};
 
 #[cfg(test)]
 mod proptests {
@@ -95,6 +100,33 @@ mod proptests {
         fn rng_chance_never_panics(p in -2.0f64..3.0, seed in 0u64..1000) {
             let mut r = SimRng::seed_from_u64(seed);
             let _ = r.chance(p);
+        }
+
+        #[test]
+        fn transport_delivers_everything_exactly_on_time(
+            sends in proptest::collection::vec((0usize..8, 0u64..12), 0..40),
+        ) {
+            let mut t: Transport<u64> = Transport::new();
+            let mut delivered = 0usize;
+            for (client, delay) in &sends {
+                // Payload records the requested delay so delivery can be
+                // checked against the contract: sent_tick + max(1, delay).
+                t.send_delayed(*client, *delay, *delay);
+                t.advance_tick();
+                for e in t.take_due() {
+                    prop_assert_eq!(t.tick(), e.sent_tick + e.payload.max(1));
+                    delivered += 1;
+                }
+            }
+            for _ in 0..16 {
+                t.advance_tick();
+                for e in t.take_due() {
+                    prop_assert_eq!(t.tick(), e.sent_tick + e.payload.max(1));
+                    delivered += 1;
+                }
+            }
+            prop_assert_eq!(delivered, sends.len(), "a queued message never vanishes");
+            prop_assert_eq!(t.in_flight(), 0);
         }
 
         #[test]

@@ -1,0 +1,176 @@
+//! A simulated client↔service transport with late delivery.
+//!
+//! The real study's clients rode on cellular/Wi-Fi links: a ping's
+//! response can be lost outright, or arrive *late* — still carrying the
+//! world state from the moment it was answered. [`FaultPlan`] decides the
+//! fate of each message; this module provides the queue that makes the
+//! `Delay(d)` outcome actually happen. A delayed message is answered
+//! against the send-time snapshot, parked in flight, and surfaced to its
+//! client `⌈d / tick⌉` ticks later. That is the stale-data channel the
+//! paper's §5.2 consistency analysis measured: old multipliers showing up
+//! at new timestamps, not missing samples.
+//!
+//! Determinism: the queue is advanced and drained by the single-threaded
+//! simulation loop. Deliveries due on the same tick come back ordered by
+//! `(sent_tick, client)` — the order they were enqueued — so the merged
+//! observation stream is a pure function of the fault draws, independent
+//! of any worker-thread fan-out used to *compute* the payloads.
+
+use crate::time::SimDuration;
+use std::collections::BTreeMap;
+
+/// A message parked in (or popped from) the transport queue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope<T> {
+    /// Tick on which the message was sent (and answered).
+    pub sent_tick: u64,
+    /// Index of the destination client.
+    pub client: usize,
+    /// The response content, frozen at send time.
+    pub payload: T,
+}
+
+/// In-flight message queue keyed by delivery tick.
+#[derive(Debug, Clone)]
+pub struct Transport<T> {
+    tick: u64,
+    in_flight: BTreeMap<u64, Vec<Envelope<T>>>,
+}
+
+impl<T> Default for Transport<T> {
+    fn default() -> Self {
+        Transport::new()
+    }
+}
+
+impl<T> Transport<T> {
+    /// An empty queue at tick 0.
+    pub fn new() -> Self {
+        Transport { tick: 0, in_flight: BTreeMap::new() }
+    }
+
+    /// The queue's current tick.
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Number of messages currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.values().map(Vec::len).sum()
+    }
+
+    /// Advances the queue clock by one tick. Call once per simulation
+    /// tick, before draining deliveries for that tick.
+    pub fn advance_tick(&mut self) {
+        self.tick += 1;
+    }
+
+    /// Parks `payload` for `client`, to be delivered `delay_ticks` ticks
+    /// from now (clamped to at least 1 — a delayed message never arrives
+    /// within its own send tick).
+    pub fn send_delayed(&mut self, client: usize, delay_ticks: u64, payload: T) {
+        let due = self.tick + delay_ticks.max(1);
+        self.in_flight
+            .entry(due)
+            .or_default()
+            .push(Envelope { sent_tick: self.tick, client, payload });
+    }
+
+    /// Drains every message due at or before the current tick, ordered by
+    /// `(sent_tick, client)`. Messages sent on an earlier tick were
+    /// enqueued earlier, and within one tick clients are enqueued in
+    /// index order, so plain enqueue order already is that ordering.
+    pub fn take_due(&mut self) -> Vec<Envelope<T>> {
+        let mut due = Vec::new();
+        let ready: Vec<u64> =
+            self.in_flight.range(..=self.tick).map(|(k, _)| *k).collect();
+        for k in ready {
+            due.extend(self.in_flight.remove(&k).unwrap());
+        }
+        due.sort_by_key(|e| (e.sent_tick, e.client));
+        due
+    }
+}
+
+/// How many ticks late a message with injected latency `d` surfaces:
+/// `⌈d / tick_secs⌉`, never less than one full tick.
+pub fn ticks_late(d: SimDuration, tick_secs: u64) -> u64 {
+    debug_assert!(tick_secs > 0, "tick length must be positive");
+    d.as_secs().div_ceil(tick_secs.max(1)).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nothing_due_on_empty_queue() {
+        let mut t: Transport<u32> = Transport::new();
+        assert!(t.take_due().is_empty());
+        t.advance_tick();
+        assert!(t.take_due().is_empty());
+        assert_eq!(t.in_flight(), 0);
+    }
+
+    #[test]
+    fn message_surfaces_exactly_delay_ticks_later() {
+        let mut t: Transport<&str> = Transport::new();
+        t.send_delayed(3, 2, "hello");
+        assert_eq!(t.in_flight(), 1);
+        t.advance_tick(); // tick 1
+        assert!(t.take_due().is_empty(), "one tick early");
+        t.advance_tick(); // tick 2
+        let due = t.take_due();
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].client, 3);
+        assert_eq!(due[0].sent_tick, 0);
+        assert_eq!(due[0].payload, "hello");
+        assert_eq!(t.in_flight(), 0);
+        // Draining is not idempotent within the tick: the message is gone.
+        assert!(t.take_due().is_empty());
+    }
+
+    #[test]
+    fn zero_delay_clamped_to_one_tick() {
+        let mut t: Transport<u8> = Transport::new();
+        t.send_delayed(0, 0, 9);
+        assert!(t.take_due().is_empty(), "never delivered on the send tick");
+        t.advance_tick();
+        assert_eq!(t.take_due().len(), 1);
+    }
+
+    #[test]
+    fn deliveries_ordered_by_send_tick_then_client() {
+        let mut t: Transport<u8> = Transport::new();
+        // Tick 0: clients 5 and 1 send with delay 2.
+        t.send_delayed(5, 2, 0);
+        t.send_delayed(1, 2, 1);
+        t.advance_tick(); // tick 1: client 2 sends with delay 1.
+        t.send_delayed(2, 1, 2);
+        t.advance_tick(); // tick 2: all three are due.
+        let order: Vec<(u64, usize)> =
+            t.take_due().iter().map(|e| (e.sent_tick, e.client)).collect();
+        assert_eq!(order, vec![(0, 1), (0, 5), (1, 2)]);
+    }
+
+    #[test]
+    fn overdue_messages_still_surface() {
+        // A consumer that skips a tick must not lose mail.
+        let mut t: Transport<u8> = Transport::new();
+        t.send_delayed(0, 1, 7);
+        t.advance_tick();
+        t.advance_tick();
+        t.advance_tick();
+        assert_eq!(t.take_due().len(), 1);
+    }
+
+    #[test]
+    fn ticks_late_is_ceiling_division() {
+        let tick = 5;
+        for (d, want) in [(1, 1), (4, 1), (5, 1), (6, 2), (10, 2), (11, 3), (29, 6)] {
+            assert_eq!(ticks_late(SimDuration::secs(d), tick), want, "d = {d}");
+        }
+        // Degenerate zero-latency input still costs a full tick.
+        assert_eq!(ticks_late(SimDuration::secs(0), tick), 1);
+    }
+}

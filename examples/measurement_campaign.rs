@@ -92,4 +92,35 @@ fn main() {
         data.estimator.lifespans.len(),
         data.truth.sessions_started
     );
+
+    // --- the same campaign on a faulty link --------------------------------
+    // Real clients rode cellular networks: pings get dropped and delayed.
+    // Dropped ticks are NaN gaps (never fabricated 1.0× samples); delayed
+    // responses surface ticks late carrying send-time content.
+    println!("\n== campaign replay over a lossy transport (10% drop, 10% delay ≤30 s) ==");
+    let faulted = Campaign::run_uber(
+        CityModel::manhattan_midtown(),
+        &CampaignConfig {
+            faults: surgescope::simcore::FaultPlan {
+                drop_chance: 0.10,
+                delay_chance: 0.10,
+                max_delay_secs: 30,
+            },
+            ..cfg
+        },
+    );
+    let total = (faulted.ticks * faulted.clients.len()) as f64;
+    let gaps = faulted
+        .client_surge
+        .iter()
+        .flatten()
+        .filter(|v| v.is_nan())
+        .count() as f64;
+    let clean = sum(measured_supply) as f64;
+    let lossy = sum(faulted.estimator.supply_series(CarType::UberX)) as f64;
+    println!(
+        "gaps: {:.1}% of ticks   measured supply: {lossy:.0} vs clean {clean:.0} ({:+.1}%)",
+        100.0 * gaps / total,
+        100.0 * (lossy - clean) / clean.max(1.0)
+    );
 }

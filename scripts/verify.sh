@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate plus the transport/fault determinism checks.
+#
+# Usage: scripts/verify.sh
+# Runs from any directory; everything executes at the repository root.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier 1: build =="
+cargo build --release
+
+echo "== tier 1: full test suite =="
+cargo test -q
+
+echo "== transport: parallelism determinism (clean + faulted) =="
+# The campaign observation series must be bit-identical at any thread
+# count, with and without transport faults (NaN gaps compare as bits).
+cargo test -q --release --test determinism \
+  parallel_fanout_matches_serial_bit_for_bit \
+  faulted_campaign_bit_identical_across_parallelism
+
+echo "== transport: fault-tolerance gate =="
+cargo test -q --release --test fault_tolerance
+
+echo "verify: all gates passed"

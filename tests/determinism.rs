@@ -63,6 +63,57 @@ fn parallel_fanout_matches_serial_bit_for_bit() {
     );
 }
 
+/// The guarantee must also hold with transport faults on: drops punch NaN
+/// gaps and delays reroute payloads through the in-flight queue, but both
+/// happen on serial passes in client order, so the faulted series too is a
+/// pure function of the seed. (`Vec<f32>` equality can't be used — NaN
+/// gaps fail `==` against themselves — so series compare as bit patterns.)
+#[test]
+fn faulted_campaign_bit_identical_across_parallelism() {
+    use surgescope::simcore::FaultPlan;
+    let run = |threads: usize| {
+        let cfg = CampaignConfig {
+            hours: 1,
+            era: ProtocolEra::Apr2015,
+            parallelism: threads,
+            faults: FaultPlan { drop_chance: 0.15, delay_chance: 0.15, max_delay_secs: 30 },
+            ..CampaignConfig::test_default(888)
+        };
+        Campaign::run_uber(CityModel::manhattan_midtown(), &cfg)
+    };
+    let bits = |series: &[Vec<f32>]| -> Vec<Vec<u32>> {
+        series.iter().map(|s| s.iter().map(|v| v.to_bits()).collect()).collect()
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    assert_eq!(
+        bits(&serial.client_surge),
+        bits(&parallel.client_surge),
+        "faulted surge series diverged"
+    );
+    assert_eq!(
+        bits(&serial.client_ewt),
+        bits(&parallel.client_ewt),
+        "faulted EWT series diverged"
+    );
+    assert_eq!(serial.client_delivered, parallel.client_delivered);
+    assert_eq!(serial.api_surge, parallel.api_surge, "API probes diverged");
+    assert_eq!(serial.avg_visible, parallel.avg_visible);
+    assert_eq!(serial.client_daily_cars, parallel.client_daily_cars);
+    assert_eq!(
+        serial.estimator.supply_series(CarType::UberX),
+        parallel.estimator.supply_series(CarType::UberX),
+    );
+    // The plan must have actually perturbed something.
+    let gaps: usize = serial
+        .client_surge
+        .iter()
+        .flatten()
+        .filter(|v| v.is_nan())
+        .count();
+    assert!(gaps > 0, "fault plan never dropped a ping; test is vacuous");
+}
+
 #[test]
 fn different_seeds_differ() {
     let a = fingerprint(1);

@@ -76,3 +76,60 @@ fn heavy_loss_degrades_gracefully_not_catastrophically() {
         "supply collapsed to {ratio} of clean under 50% loss"
     );
 }
+
+/// Campaign-level gap accounting: a dropped ping is a `NaN` hole in the
+/// per-client series — never a fabricated 1.0× / 0.0-minute sample — and
+/// the number of holes tracks the fault plan's drop chance.
+#[test]
+fn campaign_records_drops_as_nan_gaps() {
+    use surgescope::core::{Campaign, CampaignConfig};
+    let drop = 0.15;
+    let cfg = CampaignConfig {
+        hours: 1,
+        faults: FaultPlan::lossy(drop),
+        ..CampaignConfig::test_default(52)
+    };
+    let data = Campaign::run_uber(CityModel::manhattan_midtown(), &cfg);
+    let total = data.ticks * data.clients.len();
+    let gaps: usize = data
+        .client_surge
+        .iter()
+        .flatten()
+        .filter(|v| v.is_nan())
+        .count();
+    let rate = gaps as f64 / total as f64;
+    assert!(
+        (rate - drop).abs() < 0.02,
+        "NaN gap rate {rate} should track drop chance {drop}"
+    );
+    // The delivered-ping ledger agrees exactly with the series' holes.
+    let delivered: u64 = data.client_delivered.iter().sum();
+    assert_eq!(delivered as usize, total - gaps);
+    // No survivor tick carries a fabricated placeholder pair (1.0×, 0.0
+    // min would be the old bug's signature on *every* faulted tick; here
+    // delivered ticks carry whatever the marketplace actually served).
+    assert!(data.client_mean_ewt.iter().all(|m| m.is_finite() && *m > 0.0));
+}
+
+/// Delay is not Drop at campaign level: with every ping delayed exactly
+/// one tick, each client misses only the very first tick (nothing has
+/// arrived yet) and sees stale-but-real data from then on.
+#[test]
+fn campaign_delayed_pings_fill_later_ticks() {
+    use surgescope::core::{Campaign, CampaignConfig};
+    let cfg = CampaignConfig {
+        hours: 1,
+        // delay ≤ 5 s at a 5 s tick: everything exactly one tick late.
+        faults: FaultPlan::laggy(1.0, 5),
+        ..CampaignConfig::test_default(53)
+    };
+    let data = Campaign::run_uber(CityModel::manhattan_midtown(), &cfg);
+    for (i, s) in data.client_surge.iter().enumerate() {
+        assert!(s[0].is_nan(), "client {i}: tick 0 cannot have a delivery");
+        assert!(
+            s[1..].iter().all(|v| v.is_finite()),
+            "client {i}: delayed pings must surface on every later tick"
+        );
+        assert_eq!(data.client_delivered[i] as usize, data.ticks - 1);
+    }
+}
