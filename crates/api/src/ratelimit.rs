@@ -6,6 +6,7 @@
 //! faithfully: a fixed 3,600-second window per account keyed on the hour
 //! of the request.
 
+use serde::{Deserialize, Error, Serialize, Value};
 use std::collections::HashMap;
 use surgescope_simcore::SimTime;
 
@@ -82,6 +83,37 @@ impl Default for RateLimiter {
     }
 }
 
+impl Serialize for RateLimiter {
+    fn to_value(&self) -> Value {
+        // Sort windows by account so the serialized form is canonical —
+        // checkpoint bytes must not depend on HashMap iteration order.
+        let mut windows: Vec<(u64, u64, u32)> = self
+            .windows
+            .iter()
+            .map(|(account, (hour, count))| (*account, *hour, *count))
+            .collect();
+        windows.sort_unstable();
+        Value::Map(vec![
+            ("limit_per_hour".into(), self.limit_per_hour.to_value()),
+            ("windows".into(), windows.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for RateLimiter {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let limit_per_hour = u32::from_value(v.field("limit_per_hour")?)?;
+        if limit_per_hour == 0 {
+            return Err(Error::custom("rate limiter: limit must be positive"));
+        }
+        let windows = Vec::<(u64, u64, u32)>::from_value(v.field("windows")?)?
+            .into_iter()
+            .map(|(account, hour, count)| (account, (hour, count)))
+            .collect();
+        Ok(RateLimiter { limit_per_hour, windows })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,5 +167,44 @@ mod tests {
     fn paper_default_limit() {
         let rl = RateLimiter::default();
         assert_eq!(rl.remaining(0, SimTime(0)), 1_000);
+    }
+
+    #[test]
+    fn checkpoint_round_trip_preserves_spent_quota() {
+        // A resumed campaign must not get a free burst of probe quota:
+        // quota spent before the checkpoint stays spent after restore.
+        let mut rl = RateLimiter::new(4);
+        let t = SimTime(1800); // mid-hour
+        rl.check(1, t).unwrap();
+        rl.check(1, t).unwrap();
+        rl.check(1, t).unwrap();
+        rl.check(9, t).unwrap();
+
+        let v = rl.to_value();
+        let mut restored = RateLimiter::from_value(&v).expect("round trip");
+        assert_eq!(restored.remaining(1, t), 1, "no refill across checkpoint");
+        assert_eq!(restored.remaining(9, t), 3);
+        restored.check(1, t).unwrap();
+        assert!(restored.check(1, t).is_err(), "budget exhausted as original");
+        // Both limiters refill at the same hour boundary, not before.
+        let boundary = SimTime(3600);
+        assert_eq!(rl.remaining(1, SimTime(3599)), 1);
+        assert_eq!(restored.remaining(1, boundary), 4);
+        rl.check(1, boundary).unwrap();
+        assert_eq!(rl.remaining(1, boundary), 3);
+    }
+
+    #[test]
+    fn serialized_form_is_canonical_regardless_of_insertion_order() {
+        let t = SimTime(0);
+        let mut a = RateLimiter::new(7);
+        let mut b = RateLimiter::new(7);
+        for acct in [5u64, 1, 9, 3] {
+            a.check(acct, t).unwrap();
+        }
+        for acct in [3u64, 9, 1, 5] {
+            b.check(acct, t).unwrap();
+        }
+        assert_eq!(a.to_value(), b.to_value());
     }
 }

@@ -180,6 +180,18 @@ impl ApiService {
         self.era
     }
 
+    /// The rate limiter's current state — the only mutable state the
+    /// service owns, exposed so campaign checkpoints can persist it.
+    pub fn limiter(&self) -> &RateLimiter {
+        &self.limiter
+    }
+
+    /// Replaces the limiter state (checkpoint restore). Quota spent
+    /// before a checkpoint stays spent after resume.
+    pub fn set_limiter(&mut self, limiter: RateLimiter) {
+        self.limiter = limiter;
+    }
+
     /// Per-interval propagation delay: multipliers recompute exactly on
     /// the 5-minute boundary but reach consumers a little later — within a
     /// ~35 s range for the API (and Feb-era clients), within ~2 min for

@@ -13,7 +13,8 @@
 use std::time::Instant;
 use surgescope_api::ProtocolEra;
 use surgescope_city::CityModel;
-use surgescope_core::{Campaign, CampaignConfig};
+use surgescope_core::persist::replay_campaign;
+use surgescope_core::{Campaign, CampaignConfig, CampaignRunner};
 use surgescope_simcore::FaultPlan;
 
 struct Datapoint {
@@ -54,6 +55,53 @@ fn run(label: &'static str, faults: FaultPlan, threads: usize) -> Datapoint {
     }
 }
 
+/// Runs the same campaign streamed into an event log, then times the
+/// deterministic replay of that log back into a `CampaignData` — the
+/// store layer's read path, with no simulation in the loop.
+struct ReplayPoint {
+    logged_wall_secs: f64,
+    replay_wall_secs: f64,
+    replay_ticks_per_sec: f64,
+    log_bytes: u64,
+    log_bytes_per_tick: f64,
+}
+
+fn run_replay(threads: usize) -> ReplayPoint {
+    let log = std::env::temp_dir().join(format!("bench-campaign-{}.sslog", std::process::id()));
+    let mut cfg = CampaignConfig {
+        hours: 2,
+        era: ProtocolEra::Apr2015,
+        scale: 1.0,
+        parallelism: threads,
+        ..CampaignConfig::test_default(2026)
+    };
+    cfg.store.log_path = Some(log.clone());
+    let start = Instant::now();
+    let mut runner = CampaignRunner::new(CityModel::san_francisco_downtown(), &cfg)
+        .expect("open bench log");
+    runner.run_to_end().expect("stream bench log");
+    let data = runner.finish().expect("seal bench log");
+    let logged_wall_secs = start.elapsed().as_secs_f64();
+
+    let log_bytes = std::fs::metadata(&log).map_or(0, |m| m.len());
+    let start = Instant::now();
+    let replayed = replay_campaign(&log).expect("replay bench log");
+    let replay_wall_secs = start.elapsed().as_secs_f64();
+    assert_eq!(
+        surgescope_core::persist::campaign_encoded(&replayed),
+        surgescope_core::persist::campaign_encoded(&data),
+        "replay must reconstruct the logged campaign bit-for-bit"
+    );
+    let _ = std::fs::remove_file(&log);
+    ReplayPoint {
+        logged_wall_secs,
+        replay_wall_secs,
+        replay_ticks_per_sec: data.ticks as f64 / replay_wall_secs.max(1e-9),
+        log_bytes,
+        log_bytes_per_tick: log_bytes as f64 / data.ticks.max(1) as f64,
+    }
+}
+
 fn main() {
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let points = [
@@ -66,6 +114,7 @@ fn main() {
             threads,
         ),
     ];
+    let replay = run_replay(threads);
 
     let mut runs = String::new();
     for (i, p) in points.iter().enumerate() {
@@ -82,11 +131,19 @@ fn main() {
     let json = format!(
         "{{\n  \"city\": \"SF Downtown\",\n  \"hours\": 2,\n  \"scale\": 1.0,\n  \
          \"clients\": {clients},\n  \"ticks\": {ticks},\n  \"parallelism\": {threads},\n  \
-         \"wall_secs\": {wall:.3},\n  \"ticks_per_sec\": {tps:.2},\n  \"runs\": [\n{runs}\n  ]\n}}\n",
+         \"wall_secs\": {wall:.3},\n  \"ticks_per_sec\": {tps:.2},\n  \"runs\": [\n{runs}\n  ],\n  \
+         \"store\": {{\n    \"logged_wall_secs\": {lw:.3},\n    \"replay_wall_secs\": {rw:.3},\n    \
+         \"replay_ticks_per_sec\": {rtps:.2},\n    \"log_bytes\": {lb},\n    \
+         \"log_bytes_per_tick\": {lbpt:.1}\n  }}\n}}\n",
         clients = base.clients,
         ticks = base.ticks,
         wall = base.wall_secs,
         tps = base.ticks_per_sec,
+        lw = replay.logged_wall_secs,
+        rw = replay.replay_wall_secs,
+        rtps = replay.replay_ticks_per_sec,
+        lb = replay.log_bytes,
+        lbpt = replay.log_bytes_per_tick,
     );
     std::fs::write("BENCH_campaign.json", &json).expect("write BENCH_campaign.json");
     print!("{json}");
@@ -101,4 +158,12 @@ fn main() {
             p.gap_frac * 100.0,
         );
     }
+    eprintln!(
+        "campaign[replay]: {} log bytes ({:.1} B/tick) replayed in {:.3}s ({:.0} ticks/s; live+log run took {:.2}s)",
+        replay.log_bytes,
+        replay.log_bytes_per_tick,
+        replay.replay_wall_secs,
+        replay.replay_ticks_per_sec,
+        replay.logged_wall_secs,
+    );
 }

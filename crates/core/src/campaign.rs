@@ -23,15 +23,46 @@
 use crate::calibration::placement;
 use crate::estimate::{EstimatorConfig, SupplyDemandEstimator};
 use crate::observe::{latest_of_type, ClientSpec};
+use crate::persist;
 use crate::systems::{MeasuredSystem, TaxiSystem, UberSystem};
 use crate::transitions::TransitionTracker;
+use serde::{Deserialize, Serialize, Value};
 use std::collections::HashSet;
-use surgescope_api::{ApiService, ProtocolEra};
+use std::path::{Path, PathBuf};
+use surgescope_api::{ApiService, ProtocolEra, RateLimiter};
 use surgescope_city::{CarType, CityModel};
-use surgescope_geo::Polygon;
+use surgescope_geo::{Meters, Polygon};
 use surgescope_marketplace::{GroundTruth, Marketplace, MarketplaceConfig};
-use surgescope_simcore::{FaultPlan, SimTime};
+use surgescope_simcore::{FaultPlan, SimRng, SimTime, Transport};
+use surgescope_store::{LogWriter, StoreError};
+
 use surgescope_taxi::{TaxiGroundTruth, TaxiTrace};
+
+/// Durable-store hooks for a campaign run. All fields default to off;
+/// the campaign then runs fully in memory, exactly as before the store
+/// existed.
+#[derive(Debug, Clone, Default)]
+pub struct StoreHooks {
+    /// Stream the campaign into an append-only event log at this path
+    /// (one TICK record per simulated tick, a FINISH record at the end).
+    /// The finished log replays into the same `CampaignData` via
+    /// [`crate::persist::replay_campaign`] without re-simulation.
+    pub log_path: Option<PathBuf>,
+    /// Write a full-state checkpoint to this path (atomically, via a
+    /// `.tmp` sibling and rename) every [`StoreHooks::checkpoint_every_ticks`].
+    pub checkpoint_path: Option<PathBuf>,
+    /// Checkpoint cadence in ticks; `None` disables periodic checkpoints
+    /// even when a path is set (explicit [`CampaignRunner::write_checkpoint`]
+    /// calls still work).
+    pub checkpoint_every_ticks: Option<u64>,
+}
+
+impl StoreHooks {
+    /// Hooks with everything disabled (the `Default`).
+    pub fn none() -> Self {
+        Self::default()
+    }
+}
 
 /// Campaign parameters.
 #[derive(Debug, Clone)]
@@ -61,6 +92,9 @@ pub struct CampaignConfig {
     /// default). Dropped pings leave `NaN` gaps in the per-client series;
     /// delayed pings arrive ticks late carrying send-time content.
     pub faults: FaultPlan,
+    /// Durable-store hooks (event log / checkpoints); off by default.
+    /// Runtime-only: excluded from serialization and [`CampaignConfig::config_hash`].
+    pub store: StoreHooks,
 }
 
 impl CampaignConfig {
@@ -76,6 +110,7 @@ impl CampaignConfig {
             surge_policy: surgescope_marketplace::SurgePolicy::Threshold,
             parallelism: 1,
             faults: FaultPlan::none(),
+            store: StoreHooks::none(),
         }
     }
 
@@ -91,7 +126,62 @@ impl CampaignConfig {
             surge_policy: surgescope_marketplace::SurgePolicy::Threshold,
             parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
             faults: FaultPlan::none(),
+            store: StoreHooks::none(),
         }
+    }
+
+    /// Identity hash of the *measured* configuration: every field that
+    /// changes what a campaign observes (seed, horizon, era, estimator
+    /// tuning, spacing, scale, surge policy, fault plan) and none that
+    /// only change how it runs (`parallelism` — the series is
+    /// bit-identical at any thread count — and the store hooks). Two
+    /// configs with equal hashes produce bit-identical campaigns; the
+    /// disk cache and the log/checkpoint headers key on this.
+    pub fn config_hash(&self) -> u64 {
+        surgescope_store::value_hash(&self.semantic_value())
+    }
+
+    /// The hash-relevant subset of the config (see [`CampaignConfig::config_hash`]).
+    fn semantic_value(&self) -> Value {
+        Value::Map(vec![
+            ("seed".into(), self.seed.to_value()),
+            ("hours".into(), self.hours.to_value()),
+            ("era".into(), self.era.to_value()),
+            ("estimator".into(), self.estimator.to_value()),
+            ("spacing_override_m".into(), self.spacing_override_m.to_value()),
+            ("scale".into(), self.scale.to_value()),
+            ("surge_policy".into(), self.surge_policy.to_value()),
+            ("faults".into(), self.faults.to_value()),
+        ])
+    }
+}
+
+impl Serialize for CampaignConfig {
+    fn to_value(&self) -> Value {
+        let Value::Map(mut fields) = self.semantic_value() else { unreachable!() };
+        // Parallelism is carried for information but overridden on
+        // resume; store hooks are runtime-only and never serialized.
+        fields.push(("parallelism".into(), (self.parallelism as u64).to_value()));
+        Value::Map(fields)
+    }
+}
+
+impl Deserialize for CampaignConfig {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        Ok(CampaignConfig {
+            seed: u64::from_value(v.field("seed")?)?,
+            hours: u64::from_value(v.field("hours")?)?,
+            era: ProtocolEra::from_value(v.field("era")?)?,
+            estimator: EstimatorConfig::from_value(v.field("estimator")?)?,
+            spacing_override_m: Option::<f64>::from_value(v.field("spacing_override_m")?)?,
+            scale: f64::from_value(v.field("scale")?)?,
+            surge_policy: surgescope_marketplace::SurgePolicy::from_value(
+                v.field("surge_policy")?,
+            )?,
+            parallelism: u64::from_value(v.field("parallelism")?)? as usize,
+            faults: FaultPlan::from_value(v.field("faults")?)?,
+            store: StoreHooks::none(),
+        })
     }
 }
 
@@ -172,234 +262,596 @@ impl CampaignData {
 /// settled multiplier.
 const PROBE_OFFSET_SECS: u64 = 45;
 
-/// Campaign runners.
-pub struct Campaign;
+/// A measurement campaign as a resumable state machine.
+///
+/// [`Campaign::run_uber`] used to be one monolithic loop; the runner
+/// splits it into [`CampaignRunner::tick`] steps so the campaign can be
+/// streamed into a durable log, checkpointed at any tick boundary, and
+/// resumed from a checkpoint — the resumed run continues **bit-identically**
+/// (NaN payloads included) to the uninterrupted one, at any parallelism.
+pub struct CampaignRunner {
+    cfg: CampaignConfig,
+    city: CityModel,
+    clients: Vec<ClientSpec>,
+    client_area: Vec<Option<usize>>,
+    centroids: Vec<Meters>,
+    n_areas: usize,
+    sys: UberSystem,
+    estimator: SupplyDemandEstimator,
+    transitions: TransitionTracker,
+    client_surge: Vec<Vec<f32>>,
+    client_ewt: Vec<Vec<f32>>,
+    api_surge: Vec<Vec<f32>>,
+    api_ewt: Vec<Vec<f32>>,
+    daily_sets: Vec<HashSet<u64>>,
+    client_daily_cars: Vec<Vec<u32>>,
+    interval_sets: Vec<HashSet<u64>>,
+    interval_car_sum: Vec<f64>,
+    // Per-client count of intervals with at least one delivered ping;
+    // an interval the client never heard from is a gap, not a zero.
+    interval_car_n: Vec<u64>,
+    interval_seen: Vec<bool>,
+    avg_visible: Vec<Vec<f32>>,
+    /// Scratch, cleared within every tick — always empty at checkpoint
+    /// boundaries, so never serialized.
+    tick_area_sets: Vec<HashSet<u64>>,
+    inst_sum: Vec<f64>,
+    inst_ticks: u64,
+    ewt_sum: Vec<f64>,
+    ewt_n: Vec<u64>,
+    client_delivered: Vec<u64>,
+    probe_pending: Option<Vec<f32>>,
+    probe_limited_logged: bool,
+    ticks_total: usize,
+    ticks_done: usize,
+    log: Option<LogWriter>,
+}
 
-impl Campaign {
-    /// Runs a full measurement campaign against a simulated marketplace.
-    pub fn run_uber(mut city: CityModel, cfg: &CampaignConfig) -> CampaignData {
+/// Client lattice and surge-area geometry, derived deterministically from
+/// the (post-scale) city and config — never serialized.
+fn geometry(
+    city: &CityModel,
+    cfg: &CampaignConfig,
+) -> (Vec<ClientSpec>, Vec<Option<usize>>, Vec<Polygon>, Vec<Vec<usize>>, Vec<Meters>) {
+    let spacing = cfg.spacing_override_m.unwrap_or(city.client_spacing_m);
+    let clients = placement(&city.measurement_region, spacing);
+    let client_area: Vec<Option<usize>> =
+        clients.iter().map(|c| city.area_of(c.position).map(|a| a.0)).collect();
+    let area_polys = persist::area_polys(city);
+    let adjacency = persist::area_adjacency(city);
+    let centroids: Vec<Meters> = area_polys.iter().map(|p| p.centroid()).collect();
+    (clients, client_area, area_polys, adjacency, centroids)
+}
+
+impl CampaignRunner {
+    /// Builds a fresh campaign over `city` (pre-scale; `cfg.scale` is
+    /// applied here). Opens the event log if `cfg.store.log_path` is set.
+    pub fn new(mut city: CityModel, cfg: &CampaignConfig) -> Result<Self, StoreError> {
         if (cfg.scale - 1.0).abs() > 1e-9 {
             city.supply = city.supply.scaled(cfg.scale);
             city.demand = city.demand.scaled(cfg.scale);
         }
-        let spacing = cfg.spacing_override_m.unwrap_or(city.client_spacing_m);
-        let clients = placement(&city.measurement_region, spacing);
-        let client_area: Vec<Option<usize>> =
-            clients.iter().map(|c| city.area_of(c.position).map(|a| a.0)).collect();
+        let cfg = cfg.clone();
+        let (clients, client_area, area_polys, adjacency, centroids) =
+            geometry(&city, &cfg);
         let n_areas = city.area_count();
-        let area_polys: Vec<Polygon> =
-            city.areas.iter().map(|a| a.polygon.clone()).collect();
-        let adjacency: Vec<Vec<usize>> = city
-            .adjacency
-            .iter()
-            .map(|v| v.iter().map(|a| a.0).collect())
-            .collect();
-        let centroids: Vec<_> = area_polys.iter().map(|p| p.centroid()).collect();
 
         let market_cfg =
             MarketplaceConfig { surge_policy: cfg.surge_policy, ..Default::default() };
         let mp = Marketplace::new(city.clone(), market_cfg, cfg.seed);
         let api = ApiService::new(cfg.era, cfg.seed ^ 0xB0B5);
-        let mut sys = UberSystem::new(mp, api)
+        let sys = UberSystem::new(mp, api)
             .with_faults(cfg.faults, cfg.seed)
             .with_parallelism(cfg.parallelism);
 
-        let mut estimator = SupplyDemandEstimator::new(
+        let estimator = SupplyDemandEstimator::new(
             cfg.estimator,
             city.measurement_region.clone(),
             area_polys.clone(),
         );
-        let mut transitions = TransitionTracker::new(area_polys, adjacency);
+        let transitions = TransitionTracker::new(area_polys, adjacency);
 
         let n = clients.len();
-        let ticks = (cfg.hours * 3600 / 5) as usize;
-        let mut client_surge = vec![Vec::with_capacity(ticks); n];
-        let mut client_ewt = vec![Vec::with_capacity(ticks); n];
-        let mut api_surge = vec![Vec::new(); n_areas];
-        let mut api_ewt = vec![Vec::new(); n_areas];
-        let mut daily_sets: Vec<HashSet<u64>> = vec![HashSet::new(); n];
-        let mut client_daily_cars: Vec<Vec<u32>> = vec![Vec::new(); n];
-        let mut interval_sets: Vec<HashSet<u64>> = vec![HashSet::new(); n];
-        let mut interval_car_sum = vec![0.0f64; n];
-        // Per-client count of intervals with at least one delivered ping;
-        // an interval the client never heard from is a gap, not a zero.
-        let mut interval_car_n = vec![0u64; n];
-        let mut interval_seen = vec![false; n];
-        let mut avg_visible = vec![Vec::new(); n_areas];
-        let mut tick_area_sets: Vec<HashSet<u64>> = vec![HashSet::new(); n_areas];
-        let mut inst_sum = vec![0.0f64; n_areas];
-        let mut inst_ticks = 0u64;
-        let mut ewt_sum = vec![0.0f64; n];
-        let mut ewt_n = vec![0u64; n];
-        let mut client_delivered = vec![0u64; n];
-        let mut probe_pending: Option<Vec<f32>> = None;
-        let mut probe_limited_logged = false;
-
-        for _ in 0..ticks {
-            sys.advance_tick();
-            let now = sys.now();
-            // The tick advanced the world from `state_t` to `now`; the
-            // observations describe the state at `state_t`. Stamping them
-            // with `now` would smear each interval's last tick into the
-            // next interval and inflate per-interval unique counts.
-            let state_t = now.saturating_sub(surgescope_simcore::SimDuration::secs(5));
-            let obs = sys.ping_all(&clients);
-            for (i, blocks) in obs.iter().enumerate() {
-                estimator.observe(state_t, blocks);
-                // Every delivered UberX block contributes car sightings —
-                // a late block re-reports its send-time positions, exactly
-                // as the client's log would. The *displayed* surge/EWT is
-                // the last block to arrive this tick (fresh first, then
-                // late sends in order — stale data displaces fresh).
-                for x in blocks.iter().filter(|b| b.car_type == CarType::UberX) {
-                    for car in &x.cars {
-                        daily_sets[i].insert(car.id);
-                        interval_sets[i].insert(car.id);
-                        transitions.observe(car.id, car.position);
-                        if let Some(a) = city.area_of(car.position) {
-                            tick_area_sets[a.0].insert(car.id);
-                        }
-                    }
-                }
-                if let Some(x) = latest_of_type(blocks, CarType::UberX) {
-                    client_surge[i].push(x.surge as f32);
-                    client_ewt[i].push(x.ewt_min as f32);
-                    ewt_sum[i] += x.ewt_min;
-                    ewt_n[i] += 1;
-                    client_delivered[i] += 1;
-                    interval_seen[i] = true;
-                } else {
-                    // No response reached this client this tick (dropped
-                    // or still in flight): a gap, never a fabricated 1.0×.
-                    client_surge[i].push(f32::NAN);
-                    client_ewt[i].push(f32::NAN);
-                }
-            }
-            estimator.end_tick(now);
-            for (a, set) in tick_area_sets.iter_mut().enumerate() {
-                inst_sum[a] += set.len() as f64;
-                set.clear();
-            }
-            inst_ticks += 1;
-
-            // API probe once per interval, after the propagation delay.
-            if now.seconds_into_surge_interval() == PROBE_OFFSET_SECS {
-                let snap = surgescope_api::WorldSnapshot::of(&sys.marketplace);
-                let mut this_interval = Vec::with_capacity(n_areas);
-                for (ai, centroid) in centroids.iter().enumerate() {
-                    let loc = city.projection.to_latlng(*centroid);
-                    let account = 1_000_000 + ai as u64;
-                    // The probe budget sits far below the rate limit, but
-                    // a throttled probe must degrade to a gap — one NaN
-                    // interval — rather than abort a multi-day campaign.
-                    let mut limited = |e: &dyn std::fmt::Display| {
-                        if !probe_limited_logged {
-                            eprintln!(
-                                "campaign: API probe rate-limited ({e}); \
-                                 recording NaN for the affected intervals"
-                            );
-                            probe_limited_logged = true;
-                        }
-                        f64::NAN
-                    };
-                    let surge = match sys.api.estimates_price(&snap, account, loc) {
-                        Ok(prices) => prices
-                            .iter()
-                            .find(|p| p.car_type == CarType::UberX)
-                            .map_or(1.0, |p| p.surge_multiplier),
-                        Err(e) => limited(&e),
-                    };
-                    let ewt = match sys.api.estimates_time(&snap, account, loc) {
-                        Ok(times) => times
-                            .iter()
-                            .find(|t| t.car_type == CarType::UberX)
-                            .map_or(0.0, |t| t.estimate_secs as f64 / 60.0),
-                        Err(e) => limited(&e),
-                    };
-                    api_surge[ai].push(surge as f32);
-                    api_ewt[ai].push(ewt as f32);
-                    this_interval.push(surge as f32);
-                }
-                probe_pending = Some(this_interval);
-            }
-
-            // Interval boundary: close the transition tally with the
-            // multipliers measured *during* the closed interval, and
-            // flush the per-client interval car sets.
-            if now.seconds_into_surge_interval() == 0 {
-                if let Some(m) = probe_pending.take() {
-                    let m64: Vec<f64> = m.iter().map(|x| *x as f64).collect();
-                    transitions.close_interval(&m64);
-                }
-                for (i, set) in interval_sets.iter_mut().enumerate() {
-                    // Only intervals with at least one delivered ping
-                    // count: a silent interval is missing data, and a
-                    // zero would bias the density proxy downward.
-                    if interval_seen[i] {
-                        interval_car_sum[i] += set.len() as f64;
-                        interval_car_n[i] += 1;
-                    }
-                    interval_seen[i] = false;
-                    set.clear();
-                }
-                for a in 0..n_areas {
-                    avg_visible[a].push((inst_sum[a] / inst_ticks.max(1) as f64) as f32);
-                    inst_sum[a] = 0.0;
-                }
-                inst_ticks = 0;
-            }
-
-            // Day boundary: flush per-client unique-car counts.
-            if now.seconds_into_day() == 0 && now.as_secs() > 0 {
-                for (i, set) in daily_sets.iter_mut().enumerate() {
-                    client_daily_cars[i].push(set.len() as u32);
-                    set.clear();
-                }
-            }
-        }
-        let end = sys.now();
-        estimator.finish(end);
-        // Flush a partial final day if any ids remain.
-        if end.seconds_into_day() != 0 {
-            for (i, set) in daily_sets.iter_mut().enumerate() {
-                client_daily_cars[i].push(set.len() as u32);
-                set.clear();
-            }
-        }
-
-        let intervals = (cfg.hours * 12) as usize;
-        // Delivered-ping denominators: gaps neither dilute the EWT mean
-        // toward zero nor drag the interval density proxy down.
-        let client_mean_ewt = ewt_sum
-            .iter()
-            .zip(&ewt_n)
-            .map(|(s, &k)| s / k.max(1) as f64)
-            .collect();
-        let client_interval_cars = interval_car_sum
-            .iter()
-            .zip(&interval_car_n)
-            .map(|(s, &k)| s / k.max(1) as f64)
-            .collect();
-        CampaignData {
+        let ticks_total = (cfg.hours * 3600 / 5) as usize;
+        let log = match &cfg.store.log_path {
+            Some(p) => Some(LogWriter::create(p, cfg.config_hash())?),
+            None => None,
+        };
+        Ok(CampaignRunner {
             city,
             clients,
             client_area,
+            centroids,
+            n_areas,
+            sys,
             estimator,
+            transitions,
+            client_surge: vec![Vec::with_capacity(ticks_total); n],
+            client_ewt: vec![Vec::with_capacity(ticks_total); n],
+            api_surge: vec![Vec::new(); n_areas],
+            api_ewt: vec![Vec::new(); n_areas],
+            daily_sets: vec![HashSet::new(); n],
+            client_daily_cars: vec![Vec::new(); n],
+            interval_sets: vec![HashSet::new(); n],
+            interval_car_sum: vec![0.0; n],
+            interval_car_n: vec![0; n],
+            interval_seen: vec![false; n],
+            avg_visible: vec![Vec::new(); n_areas],
+            tick_area_sets: vec![HashSet::new(); n_areas],
+            inst_sum: vec![0.0; n_areas],
+            inst_ticks: 0,
+            ewt_sum: vec![0.0; n],
+            ewt_n: vec![0; n],
+            client_delivered: vec![0; n],
+            probe_pending: None,
+            probe_limited_logged: false,
+            ticks_total,
+            ticks_done: 0,
+            log,
+            cfg,
+        })
+    }
+
+    /// Total ticks this campaign will run.
+    pub fn ticks_total(&self) -> usize {
+        self.ticks_total
+    }
+
+    /// Ticks completed so far.
+    pub fn ticks_done(&self) -> usize {
+        self.ticks_done
+    }
+
+    /// The configuration in force (store hooks included).
+    pub fn config(&self) -> &CampaignConfig {
+        &self.cfg
+    }
+
+    /// Bytes written to the event log so far (0 without a log).
+    pub fn log_bytes_written(&self) -> u64 {
+        self.log.as_ref().map_or(0, LogWriter::bytes_written)
+    }
+
+    /// Delayed responses currently in flight (diagnostic; non-zero at a
+    /// checkpoint boundary exercises the transport-restore path).
+    pub fn in_flight(&self) -> usize {
+        self.sys.in_flight()
+    }
+
+    /// Runs one 5-second tick: advance the world, ping every client,
+    /// stream the observations into the estimators, and append this
+    /// tick's record to the event log (if one is open).
+    pub fn tick(&mut self) -> Result<(), StoreError> {
+        self.sys.advance_tick();
+        let now = self.sys.now();
+        // The tick advanced the world from `state_t` to `now`; the
+        // observations describe the state at `state_t`. Stamping them
+        // with `now` would smear each interval's last tick into the
+        // next interval and inflate per-interval unique counts.
+        let state_t = now.saturating_sub(surgescope_simcore::SimDuration::secs(5));
+        let obs = self.sys.ping_all(&self.clients);
+        for (i, blocks) in obs.iter().enumerate() {
+            self.estimator.observe(state_t, blocks);
+            // Every delivered UberX block contributes car sightings —
+            // a late block re-reports its send-time positions, exactly
+            // as the client's log would. The *displayed* surge/EWT is
+            // the last block to arrive this tick (fresh first, then
+            // late sends in order — stale data displaces fresh).
+            for x in blocks.iter().filter(|b| b.car_type == CarType::UberX) {
+                for car in &x.cars {
+                    self.daily_sets[i].insert(car.id);
+                    self.interval_sets[i].insert(car.id);
+                    self.transitions.observe(car.id, car.position);
+                    if let Some(a) = self.city.area_of(car.position) {
+                        self.tick_area_sets[a.0].insert(car.id);
+                    }
+                }
+            }
+            if let Some(x) = latest_of_type(blocks, CarType::UberX) {
+                self.client_surge[i].push(x.surge as f32);
+                self.client_ewt[i].push(x.ewt_min as f32);
+                self.ewt_sum[i] += x.ewt_min;
+                self.ewt_n[i] += 1;
+                self.client_delivered[i] += 1;
+                self.interval_seen[i] = true;
+            } else {
+                // No response reached this client this tick (dropped
+                // or still in flight): a gap, never a fabricated 1.0×.
+                self.client_surge[i].push(f32::NAN);
+                self.client_ewt[i].push(f32::NAN);
+            }
+        }
+        self.estimator.end_tick(now);
+        for (a, set) in self.tick_area_sets.iter_mut().enumerate() {
+            self.inst_sum[a] += set.len() as f64;
+            set.clear();
+        }
+        self.inst_ticks += 1;
+
+        // API probe once per interval, after the propagation delay.
+        if now.seconds_into_surge_interval() == PROBE_OFFSET_SECS {
+            let snap = surgescope_api::WorldSnapshot::of(&self.sys.marketplace);
+            let mut this_interval = Vec::with_capacity(self.n_areas);
+            let mut limited_logged = self.probe_limited_logged;
+            for (ai, centroid) in self.centroids.iter().enumerate() {
+                let loc = self.city.projection.to_latlng(*centroid);
+                let account = 1_000_000 + ai as u64;
+                // The probe budget sits far below the rate limit, but
+                // a throttled probe must degrade to a gap — one NaN
+                // interval — rather than abort a multi-day campaign.
+                let mut limited = |e: &dyn std::fmt::Display| {
+                    if !limited_logged {
+                        eprintln!(
+                            "campaign: API probe rate-limited ({e}); \
+                             recording NaN for the affected intervals"
+                        );
+                        limited_logged = true;
+                    }
+                    f64::NAN
+                };
+                let surge = match self.sys.api.estimates_price(&snap, account, loc) {
+                    Ok(prices) => prices
+                        .iter()
+                        .find(|p| p.car_type == CarType::UberX)
+                        .map_or(1.0, |p| p.surge_multiplier),
+                    Err(e) => limited(&e),
+                };
+                let ewt = match self.sys.api.estimates_time(&snap, account, loc) {
+                    Ok(times) => times
+                        .iter()
+                        .find(|t| t.car_type == CarType::UberX)
+                        .map_or(0.0, |t| t.estimate_secs as f64 / 60.0),
+                    Err(e) => limited(&e),
+                };
+                self.api_surge[ai].push(surge as f32);
+                self.api_ewt[ai].push(ewt as f32);
+                this_interval.push(surge as f32);
+            }
+            self.probe_limited_logged = limited_logged;
+            self.probe_pending = Some(this_interval);
+        }
+
+        // Interval boundary: close the transition tally with the
+        // multipliers measured *during* the closed interval, and
+        // flush the per-client interval car sets.
+        if now.seconds_into_surge_interval() == 0 {
+            if let Some(m) = self.probe_pending.take() {
+                let m64: Vec<f64> = m.iter().map(|x| *x as f64).collect();
+                self.transitions.close_interval(&m64);
+            }
+            for (i, set) in self.interval_sets.iter_mut().enumerate() {
+                // Only intervals with at least one delivered ping
+                // count: a silent interval is missing data, and a
+                // zero would bias the density proxy downward.
+                if self.interval_seen[i] {
+                    self.interval_car_sum[i] += set.len() as f64;
+                    self.interval_car_n[i] += 1;
+                }
+                self.interval_seen[i] = false;
+                set.clear();
+            }
+            for a in 0..self.n_areas {
+                avg_flush(&mut self.avg_visible[a], &mut self.inst_sum[a], self.inst_ticks);
+            }
+            self.inst_ticks = 0;
+        }
+
+        // Day boundary: flush per-client unique-car counts.
+        if now.seconds_into_day() == 0 && now.as_secs() > 0 {
+            for (i, set) in self.daily_sets.iter_mut().enumerate() {
+                self.client_daily_cars[i].push(set.len() as u32);
+                set.clear();
+            }
+        }
+
+        if self.log.is_some() {
+            let t = self.ticks_done;
+            let surge_row: Vec<f32> = self.client_surge.iter().map(|s| s[t]).collect();
+            let ewt_row: Vec<f32> = self.client_ewt.iter().map(|s| s[t]).collect();
+            let rec = persist::tick_record(&surge_row, &ewt_row);
+            self.log.as_mut().unwrap().append(persist::REC_TICK, &rec)?;
+        }
+        self.ticks_done += 1;
+        Ok(())
+    }
+
+    /// Runs every remaining tick, writing periodic checkpoints when the
+    /// store hooks ask for them. A checkpoint is never written after the
+    /// final tick — at that point [`CampaignRunner::finish`] is the only
+    /// sensible continuation.
+    pub fn run_to_end(&mut self) -> Result<(), StoreError> {
+        let cadence = match (&self.cfg.store.checkpoint_path, self.cfg.store.checkpoint_every_ticks)
+        {
+            (Some(_), Some(k)) if k > 0 => Some(k as usize),
+            _ => None,
+        };
+        while self.ticks_done < self.ticks_total {
+            self.tick()?;
+            if let Some(k) = cadence {
+                if self.ticks_done % k == 0 && self.ticks_done < self.ticks_total {
+                    self.write_checkpoint()?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes the complete mutable campaign state at the current tick
+    /// boundary. Self-contained: carries the config and the post-scale
+    /// city, so [`CampaignRunner::resume`] needs nothing else.
+    pub fn checkpoint_value(&self) -> Value {
+        let sorted = |sets: &[HashSet<u64>]| -> Value {
+            sets.iter()
+                .map(|s| {
+                    let mut ids: Vec<u64> = s.iter().copied().collect();
+                    ids.sort_unstable();
+                    ids
+                })
+                .collect::<Vec<_>>()
+                .to_value()
+        };
+        Value::Map(vec![
+            ("config".into(), self.cfg.to_value()),
+            ("city".into(), self.city.to_value()),
+            ("ticks_done".into(), (self.ticks_done as u64).to_value()),
+            ("marketplace".into(), self.sys.marketplace.save_state()),
+            ("limiter".into(), self.sys.api.limiter().to_value()),
+            ("fault_rng".into(), self.sys.fault_rng().to_value()),
+            ("transport".into(), self.sys.transport().to_value()),
+            ("estimator".into(), self.estimator.to_value()),
+            ("transitions".into(), self.transitions.save_state()),
+            ("client_surge".into(), persist::f32_rows_to_bits(&self.client_surge)),
+            ("client_ewt".into(), persist::f32_rows_to_bits(&self.client_ewt)),
+            ("api_surge".into(), persist::f32_rows_to_bits(&self.api_surge)),
+            ("api_ewt".into(), persist::f32_rows_to_bits(&self.api_ewt)),
+            ("avg_visible".into(), persist::f32_rows_to_bits(&self.avg_visible)),
+            ("daily_sets".into(), sorted(&self.daily_sets)),
+            ("client_daily_cars".into(), self.client_daily_cars.to_value()),
+            ("interval_sets".into(), sorted(&self.interval_sets)),
+            ("interval_car_sum".into(), self.interval_car_sum.to_value()),
+            ("interval_car_n".into(), self.interval_car_n.to_value()),
+            ("interval_seen".into(), self.interval_seen.to_value()),
+            ("inst_sum".into(), self.inst_sum.to_value()),
+            ("inst_ticks".into(), self.inst_ticks.to_value()),
+            ("ewt_sum".into(), self.ewt_sum.to_value()),
+            ("ewt_n".into(), self.ewt_n.to_value()),
+            ("client_delivered".into(), self.client_delivered.to_value()),
+            ("probe_pending".into(), match &self.probe_pending {
+                Some(m) => persist::f32s_to_bits(m),
+                None => Value::Null,
+            }),
+            ("probe_limited_logged".into(), self.probe_limited_logged.to_value()),
+        ])
+    }
+
+    /// Writes a checkpoint to `cfg.store.checkpoint_path` (atomic:
+    /// written to a `.tmp` sibling, then renamed).
+    pub fn write_checkpoint(&self) -> Result<(), StoreError> {
+        let path = self.cfg.store.checkpoint_path.as_ref().ok_or_else(|| {
+            StoreError::Schema("write_checkpoint: no checkpoint_path configured".into())
+        })?;
+        surgescope_store::write_checkpoint(path, self.cfg.config_hash(), &self.checkpoint_value())
+    }
+
+    /// Rebuilds a runner from [`CampaignRunner::checkpoint_value`] output.
+    /// `parallelism` and `hooks` are runtime knobs supplied afresh — the
+    /// continuation is bit-identical at any thread count. When
+    /// `hooks.log_path` is set, the log's tick prefix is rewritten from
+    /// the checkpointed series, so the finished log replays the *whole*
+    /// campaign even though this process only ran its tail.
+    pub fn resume(
+        v: &Value,
+        parallelism: usize,
+        hooks: StoreHooks,
+    ) -> Result<Self, StoreError> {
+        let mut cfg = CampaignConfig::from_value(v.field("config")?)?;
+        cfg.parallelism = parallelism.max(1);
+        cfg.store = hooks;
+        let city = CityModel::from_value(v.field("city")?)?;
+        let (clients, client_area, area_polys, adjacency, centroids) =
+            geometry(&city, &cfg);
+        let n = clients.len();
+        let n_areas = city.area_count();
+        let ticks_total = (cfg.hours * 3600 / 5) as usize;
+        let ticks_done = u64::from_value(v.field("ticks_done")?)? as usize;
+        if ticks_done > ticks_total {
+            return Err(StoreError::Schema(format!(
+                "checkpoint at tick {ticks_done} beyond campaign horizon {ticks_total}"
+            )));
+        }
+
+        let market_cfg =
+            MarketplaceConfig { surge_policy: cfg.surge_policy, ..Default::default() };
+        // The checkpointed city is already scaled; restore_state rebuilds
+        // the world around it directly (no re-scaling).
+        let mp = Marketplace::restore_state(city.clone(), market_cfg, v.field("marketplace")?)?;
+        let mut api = ApiService::new(cfg.era, cfg.seed ^ 0xB0B5);
+        api.set_limiter(RateLimiter::from_value(v.field("limiter")?)?);
+        let mut sys = UberSystem::new(mp, api)
+            .with_faults(cfg.faults, cfg.seed)
+            .with_parallelism(cfg.parallelism);
+        sys.set_fault_rng(SimRng::from_value(v.field("fault_rng")?)?);
+        sys.set_transport(Transport::from_value(v.field("transport")?)?);
+
+        let estimator = SupplyDemandEstimator::from_value(v.field("estimator")?)?;
+        let transitions =
+            TransitionTracker::restore_state(area_polys, adjacency, v.field("transitions")?)?;
+
+        let from_sets = |v: &Value| -> Result<Vec<HashSet<u64>>, serde::Error> {
+            Ok(Vec::<Vec<u64>>::from_value(v)?
+                .into_iter()
+                .map(|ids| ids.into_iter().collect())
+                .collect())
+        };
+        let client_surge = persist::bits_to_f32_rows(v.field("client_surge")?)?;
+        let client_ewt = persist::bits_to_f32_rows(v.field("client_ewt")?)?;
+        if client_surge.len() != n || client_ewt.len() != n {
+            return Err(StoreError::Schema(format!(
+                "checkpoint covers {} clients, lattice has {n}",
+                client_surge.len()
+            )));
+        }
+        if client_surge.iter().chain(&client_ewt).any(|s| s.len() != ticks_done) {
+            return Err(StoreError::Schema(
+                "checkpointed series length != ticks_done".into(),
+            ));
+        }
+
+        let log = match &cfg.store.log_path {
+            Some(p) => {
+                // Rewrite the prefix the interrupted process had streamed:
+                // the checkpointed series *is* those TICK records.
+                let mut w = LogWriter::create(p, cfg.config_hash())?;
+                for t in 0..ticks_done {
+                    let surge_row: Vec<f32> =
+                        client_surge.iter().map(|s| s[t]).collect();
+                    let ewt_row: Vec<f32> = client_ewt.iter().map(|s| s[t]).collect();
+                    w.append(persist::REC_TICK, &persist::tick_record(&surge_row, &ewt_row))?;
+                }
+                Some(w)
+            }
+            None => None,
+        };
+
+        Ok(CampaignRunner {
+            city,
+            clients,
+            client_area,
+            centroids,
+            n_areas,
+            sys,
+            estimator,
+            transitions,
             client_surge,
             client_ewt,
-            api_surge,
-            api_ewt,
-            avg_visible,
-            transitions,
-            client_daily_cars,
+            api_surge: persist::bits_to_f32_rows(v.field("api_surge")?)?,
+            api_ewt: persist::bits_to_f32_rows(v.field("api_ewt")?)?,
+            avg_visible: persist::bits_to_f32_rows(v.field("avg_visible")?)?,
+            daily_sets: from_sets(v.field("daily_sets")?)?,
+            client_daily_cars: Vec::<Vec<u32>>::from_value(v.field("client_daily_cars")?)?,
+            interval_sets: from_sets(v.field("interval_sets")?)?,
+            interval_car_sum: Vec::<f64>::from_value(v.field("interval_car_sum")?)?,
+            interval_car_n: Vec::<u64>::from_value(v.field("interval_car_n")?)?,
+            interval_seen: Vec::<bool>::from_value(v.field("interval_seen")?)?,
+            tick_area_sets: vec![HashSet::new(); n_areas],
+            inst_sum: Vec::<f64>::from_value(v.field("inst_sum")?)?,
+            inst_ticks: u64::from_value(v.field("inst_ticks")?)?,
+            ewt_sum: Vec::<f64>::from_value(v.field("ewt_sum")?)?,
+            ewt_n: Vec::<u64>::from_value(v.field("ewt_n")?)?,
+            client_delivered: Vec::<u64>::from_value(v.field("client_delivered")?)?,
+            probe_pending: match v.field("probe_pending")? {
+                Value::Null => None,
+                bits => Some(persist::bits_to_f32s(bits)?),
+            },
+            probe_limited_logged: bool::from_value(v.field("probe_limited_logged")?)?,
+            ticks_total,
+            ticks_done,
+            log,
+            cfg,
+        })
+    }
+
+    /// Loads a checkpoint file and resumes from it. The file's recorded
+    /// config hash is cross-checked against the restored config.
+    pub fn resume_from_file(
+        path: &Path,
+        parallelism: usize,
+        hooks: StoreHooks,
+    ) -> Result<Self, StoreError> {
+        let (hash, v) = surgescope_store::read_checkpoint(path)?;
+        let runner = Self::resume(&v, parallelism, hooks)?;
+        let expect = runner.cfg.config_hash();
+        if hash != expect {
+            return Err(StoreError::Schema(format!(
+                "checkpoint config hash {hash:#018x} != restored config hash {expect:#018x}"
+            )));
+        }
+        Ok(runner)
+    }
+
+    /// Finalizes the campaign: finishes the estimator, flushes the last
+    /// partial day, computes the summary series, appends the FINISH
+    /// record and seals the log. Panics if ticks remain (finishing early
+    /// would silently truncate every series — call
+    /// [`CampaignRunner::run_to_end`] first).
+    pub fn finish(mut self) -> Result<CampaignData, StoreError> {
+        assert_eq!(
+            self.ticks_done, self.ticks_total,
+            "finish() before the campaign horizon"
+        );
+        let end = self.sys.now();
+        self.estimator.finish(end);
+        // Flush a partial final day if any ids remain.
+        if end.seconds_into_day() != 0 {
+            for (i, set) in self.daily_sets.iter_mut().enumerate() {
+                self.client_daily_cars[i].push(set.len() as u32);
+                set.clear();
+            }
+        }
+
+        let intervals = (self.cfg.hours * 12) as usize;
+        // Delivered-ping denominators: gaps neither dilute the EWT mean
+        // toward zero nor drag the interval density proxy down.
+        let client_mean_ewt = self
+            .ewt_sum
+            .iter()
+            .zip(&self.ewt_n)
+            .map(|(s, &k)| s / k.max(1) as f64)
+            .collect();
+        let client_interval_cars = self
+            .interval_car_sum
+            .iter()
+            .zip(&self.interval_car_n)
+            .map(|(s, &k)| s / k.max(1) as f64)
+            .collect();
+        let data = CampaignData {
+            city: self.city,
+            clients: self.clients,
+            client_area: self.client_area,
+            estimator: self.estimator,
+            client_surge: self.client_surge,
+            client_ewt: self.client_ewt,
+            api_surge: self.api_surge,
+            api_ewt: self.api_ewt,
+            avg_visible: self.avg_visible,
+            transitions: self.transitions,
+            client_daily_cars: self.client_daily_cars,
             client_interval_cars,
             client_mean_ewt,
-            client_delivered,
+            client_delivered: self.client_delivered,
             tick_secs: 5,
-            ticks,
+            ticks: self.ticks_done,
             intervals,
-            truth: sys.marketplace.into_truth(),
+            truth: self.sys.marketplace.into_truth(),
+        };
+        if let Some(mut log) = self.log {
+            log.append(persist::REC_FINISH, &persist::finish_value(&data))?;
+            log.finish()?;
         }
+        Ok(data)
+    }
+}
+
+/// Closes one interval of the per-area mean instantaneous visible count.
+fn avg_flush(series: &mut Vec<f32>, sum: &mut f64, ticks: u64) {
+    series.push((*sum / ticks.max(1) as f64) as f32);
+    *sum = 0.0;
+}
+
+/// Campaign runners.
+pub struct Campaign;
+
+impl Campaign {
+    /// Runs a full measurement campaign against a simulated marketplace.
+    ///
+    /// Panics on store I/O errors — only possible when `cfg.store` hooks
+    /// are enabled; callers that need to handle those use
+    /// [`CampaignRunner`] directly.
+    pub fn run_uber(city: CityModel, cfg: &CampaignConfig) -> CampaignData {
+        let mut runner =
+            CampaignRunner::new(city, cfg).expect("campaign store: open log");
+        runner.run_to_end().expect("campaign store: stream log/checkpoints");
+        runner.finish().expect("campaign store: seal log")
     }
 
     /// Runs the §3.5 validation campaign against a taxi replay. Returns

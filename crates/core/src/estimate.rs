@@ -14,13 +14,14 @@
 //! * Per-ID **lifespans** feed the Fig. 7 CDFs.
 
 use crate::observe::TypeObservation;
+use serde::{Deserialize, Error, Serialize, Value};
 use std::collections::{HashMap, HashSet};
 use surgescope_city::CarType;
 use surgescope_geo::{Meters, Polygon};
 use surgescope_simcore::SimTime;
 
 /// Estimator tuning.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct EstimatorConfig {
     /// A car unseen for this long is declared dead (the ping cadence is
     /// 5 s; a small grace absorbs transport faults).
@@ -49,7 +50,7 @@ impl Default for EstimatorConfig {
     }
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct LiveCar {
     car_type: CarType,
     last_seen: SimTime,
@@ -58,7 +59,7 @@ struct LiveCar {
 }
 
 /// A finalized death event.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct DeathEvent {
     /// When the car was last seen.
     pub at: SimTime,
@@ -197,7 +198,13 @@ impl SupplyDemandEstimator {
     /// closes.
     pub fn finish(&mut self, now: SimTime) {
         self.live.clear();
-        for (_, (first, last, tier)) in self.history.drain() {
+        // Drain in sorted-ID order: HashMap iteration order would make the
+        // lifespans vec differ between runs, breaking the bit-identical
+        // checkpoint/resume comparison of full campaign outputs.
+        let mut history: Vec<(u64, (SimTime, SimTime, CarType))> =
+            self.history.drain().collect();
+        history.sort_unstable_by_key(|(id, _)| *id);
+        for (_, (first, last, tier)) in history {
             let span = last.as_secs().saturating_sub(first.as_secs());
             if span < self.cfg.short_lived_secs {
                 self.short_lived_filtered += 1;
@@ -213,12 +220,16 @@ impl SupplyDemandEstimator {
 
     fn reap(&mut self, now: SimTime) {
         let grace = self.cfg.death_grace_secs;
-        let stale: Vec<u64> = self
+        let mut stale: Vec<u64> = self
             .live
             .iter()
             .filter(|(_, c)| now.as_secs().saturating_sub(c.last_seen.as_secs()) > grace)
             .map(|(id, _)| *id)
             .collect();
+        // Sorted so death_events order (and per-interval tallies' insertion
+        // order) is a pure function of the observations, not of HashMap
+        // iteration order — required for bit-identical resume comparisons.
+        stale.sort_unstable();
         for id in stale {
             let car = self.live.remove(&id).unwrap();
             // Short-lived filter on the *total* span this ID has been
@@ -328,6 +339,94 @@ impl SupplyDemandEstimator {
         let mut v: Vec<CarType> = self.supply.keys().copied().collect();
         v.sort();
         v
+    }
+}
+
+/// Canonicalizes a hash map as a key-sorted pair vec so the serialized
+/// bytes never depend on `HashMap` iteration order.
+fn sorted_pairs<K: Copy + Ord, V: Clone>(m: &HashMap<K, V>) -> Vec<(K, V)> {
+    let mut v: Vec<(K, V)> = m.iter().map(|(k, val)| (*k, val.clone())).collect();
+    v.sort_unstable_by_key(|(k, _)| *k);
+    v
+}
+
+fn sorted_ids(s: &HashSet<u64>) -> Vec<u64> {
+    let mut v: Vec<u64> = s.iter().copied().collect();
+    v.sort_unstable();
+    v
+}
+
+impl Serialize for SupplyDemandEstimator {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("cfg".into(), self.cfg.to_value()),
+            ("region".into(), self.region.to_value()),
+            ("areas".into(), self.areas.to_value()),
+            ("live".into(), sorted_pairs(&self.live).to_value()),
+            ("history".into(), sorted_pairs(&self.history).to_value()),
+            ("open_interval".into(), self.open_interval.to_value()),
+            (
+                "ids_by_type".into(),
+                sorted_pairs(&self.ids_by_type)
+                    .into_iter()
+                    .map(|(t, ids)| (t, sorted_ids(&ids)))
+                    .collect::<Vec<_>>()
+                    .to_value(),
+            ),
+            (
+                "ids_by_area".into(),
+                self.ids_by_area.iter().map(sorted_ids).collect::<Vec<_>>().to_value(),
+            ),
+            ("supply".into(), sorted_pairs(&self.supply).to_value()),
+            ("supply_area".into(), self.supply_area.to_value()),
+            ("deaths".into(), sorted_pairs(&self.deaths).to_value()),
+            ("deaths_area".into(), self.deaths_area.to_value()),
+            ("death_events".into(), self.death_events.to_value()),
+            ("lifespans".into(), self.lifespans.to_value()),
+            ("short_lived_filtered".into(), self.short_lived_filtered.to_value()),
+            ("edge_filtered".into(), self.edge_filtered.to_value()),
+            ("dirty".into(), self.dirty.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for SupplyDemandEstimator {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(SupplyDemandEstimator {
+            cfg: EstimatorConfig::from_value(v.field("cfg")?)?,
+            region: Polygon::from_value(v.field("region")?)?,
+            areas: Vec::<Polygon>::from_value(v.field("areas")?)?,
+            live: Vec::<(u64, LiveCar)>::from_value(v.field("live")?)?
+                .into_iter()
+                .collect(),
+            history: Vec::<(u64, (SimTime, SimTime, CarType))>::from_value(
+                v.field("history")?,
+            )?
+            .into_iter()
+            .collect(),
+            open_interval: u64::from_value(v.field("open_interval")?)?,
+            ids_by_type: Vec::<(CarType, Vec<u64>)>::from_value(v.field("ids_by_type")?)?
+                .into_iter()
+                .map(|(t, ids)| (t, ids.into_iter().collect()))
+                .collect(),
+            ids_by_area: Vec::<Vec<u64>>::from_value(v.field("ids_by_area")?)?
+                .into_iter()
+                .map(|ids| ids.into_iter().collect())
+                .collect(),
+            supply: Vec::<(CarType, Vec<u32>)>::from_value(v.field("supply")?)?
+                .into_iter()
+                .collect(),
+            supply_area: Vec::<Vec<u32>>::from_value(v.field("supply_area")?)?,
+            deaths: Vec::<(CarType, Vec<u32>)>::from_value(v.field("deaths")?)?
+                .into_iter()
+                .collect(),
+            deaths_area: Vec::<Vec<u32>>::from_value(v.field("deaths_area")?)?,
+            death_events: Vec::<DeathEvent>::from_value(v.field("death_events")?)?,
+            lifespans: Vec::<(CarType, u64)>::from_value(v.field("lifespans")?)?,
+            short_lived_filtered: u64::from_value(v.field("short_lived_filtered")?)?,
+            edge_filtered: u64::from_value(v.field("edge_filtered")?)?,
+            dirty: bool::from_value(v.field("dirty")?)?,
+        })
     }
 }
 
@@ -597,6 +696,53 @@ mod tests {
         est.finish(SimTime(600));
         assert!(est.death_events.is_empty());
         assert_eq!(est.lifespans.len(), 1);
+    }
+
+    #[test]
+    fn serde_round_trip_mid_campaign_continues_identically() {
+        // Serialize with live cars, an open interval and accumulated
+        // outputs; the restored estimator must finish the campaign with
+        // byte-identical results.
+        let mk = |est: &mut SupplyDemandEstimator| {
+            let mut t = 0u64;
+            while t < 450 {
+                let now = SimTime(t);
+                est.observe(now, &[block(1, 1000.0, 1000.0, None)]);
+                if t < 200 {
+                    est.observe(now, &[block(2, 600.0, 400.0, None)]);
+                }
+                t += 5;
+                est.end_tick(SimTime(t));
+            }
+        };
+        let areas = vec![
+            Polygon::rect(Meters::new(0.0, 0.0), Meters::new(1000.0, 2000.0)),
+            Polygon::rect(Meters::new(1000.0, 0.0), Meters::new(2000.0, 2000.0)),
+        ];
+        let mut a =
+            SupplyDemandEstimator::new(EstimatorConfig::default(), region(), areas);
+        mk(&mut a);
+        let v = a.to_value();
+        let mut b = SupplyDemandEstimator::from_value(&v).expect("round trip");
+        // Same serialized form on the round-tripped copy (canonical).
+        assert_eq!(b.to_value(), v);
+        let run_tail = |est: &mut SupplyDemandEstimator| {
+            let mut t = 450u64;
+            while t < 900 {
+                let now = SimTime(t);
+                est.observe(now, &[block(1, 1010.0, 1000.0, None)]);
+                t += 5;
+                est.end_tick(SimTime(t));
+            }
+            est.finish(SimTime(900));
+        };
+        run_tail(&mut a);
+        run_tail(&mut b);
+        assert_eq!(a.supply_series(CarType::UberX), b.supply_series(CarType::UberX));
+        assert_eq!(a.death_events, b.death_events);
+        assert_eq!(a.lifespans, b.lifespans);
+        assert_eq!(a.short_lived_filtered, b.short_lived_filtered);
+        assert_eq!(a.to_value(), b.to_value());
     }
 
     #[test]

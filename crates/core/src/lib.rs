@@ -33,12 +33,13 @@ pub mod campaign;
 pub mod estimate;
 pub mod forecast;
 pub mod logs;
+pub mod persist;
 pub mod surge_obs;
 pub mod transitions;
 
 mod observe;
 mod systems;
 
-pub use campaign::{Campaign, CampaignConfig, CampaignData};
+pub use campaign::{Campaign, CampaignConfig, CampaignData, CampaignRunner, StoreHooks};
 pub use observe::{ClientSpec, ObservedCar, PingObservation, TypeObservation};
 pub use systems::{MeasuredSystem, TaxiSystem, UberSystem};

@@ -1,0 +1,228 @@
+//! Campaign persistence: the on-disk schema shared by the durable event
+//! log, checkpoints and deterministic replay.
+//!
+//! A campaign log (see [`surgescope_store::LogWriter`]) is a header
+//! followed by one [`REC_TICK`] record per simulated tick and a single
+//! trailing [`REC_FINISH`] record:
+//!
+//! * **TICK** carries the per-client displayed UberX surge and EWT for
+//!   that tick, as raw `f32` bit patterns — `NaN` gaps survive byte-exact.
+//! * **FINISH** carries every other [`CampaignData`] field (estimator,
+//!   transition tallies, API probe series, ground truth, …).
+//!
+//! [`replay_campaign`] folds the TICK records back into the per-client
+//! series and merges the FINISH record, reconstructing the `CampaignData`
+//! **without re-running the simulation**. Because every collection is
+//! serialized in a canonical order (maps sorted, sets sorted, floats as
+//! bit patterns), two `CampaignData` values are bit-identical iff their
+//! [`campaign_encoded`] bytes are equal — which is how the
+//! checkpoint/resume tests assert equality down to NaN payloads.
+
+use crate::campaign::CampaignData;
+use crate::estimate::SupplyDemandEstimator;
+use crate::observe::ClientSpec;
+use crate::transitions::TransitionTracker;
+use serde::{Deserialize, Serialize, Value};
+use std::path::Path;
+use surgescope_city::CityModel;
+use surgescope_geo::Polygon;
+use surgescope_marketplace::GroundTruth;
+use surgescope_store::{encode_to_vec, LogReader, StoreError};
+
+/// Record kind: one simulated tick's per-client surge/EWT row.
+pub const REC_TICK: u8 = 0x10;
+/// Record kind: the closing record carrying the rest of `CampaignData`.
+pub const REC_FINISH: u8 = 0x20;
+
+/// Encodes an `f32` slice as its exact bit patterns (`NaN`-safe).
+pub(crate) fn f32s_to_bits(xs: &[f32]) -> Value {
+    Value::Seq(xs.iter().map(|x| Value::U64(x.to_bits() as u64)).collect())
+}
+
+/// Decodes [`f32s_to_bits`] output.
+pub(crate) fn bits_to_f32s(v: &Value) -> Result<Vec<f32>, serde::Error> {
+    Ok(Vec::<u32>::from_value(v)?.into_iter().map(f32::from_bits).collect())
+}
+
+/// Encodes a ragged `f32` matrix as bit patterns.
+pub(crate) fn f32_rows_to_bits(rows: &[Vec<f32>]) -> Value {
+    Value::Seq(rows.iter().map(|r| f32s_to_bits(r)).collect())
+}
+
+/// Decodes [`f32_rows_to_bits`] output.
+pub(crate) fn bits_to_f32_rows(v: &Value) -> Result<Vec<Vec<f32>>, serde::Error> {
+    match v {
+        Value::Seq(rows) => rows.iter().map(bits_to_f32s).collect(),
+        _ => Err(serde::Error::custom("expected seq of f32 bit rows")),
+    }
+}
+
+/// Surge-area polygons of a city, in area order.
+pub(crate) fn area_polys(city: &CityModel) -> Vec<Polygon> {
+    city.areas.iter().map(|a| a.polygon.clone()).collect()
+}
+
+/// Surge-area adjacency lists of a city, as plain indices.
+pub(crate) fn area_adjacency(city: &CityModel) -> Vec<Vec<usize>> {
+    city.adjacency.iter().map(|v| v.iter().map(|a| a.0).collect()).collect()
+}
+
+/// Builds one TICK record from this tick's per-client rows.
+pub(crate) fn tick_record(surge_row: &[f32], ewt_row: &[f32]) -> Value {
+    Value::Map(vec![
+        ("s".into(), f32s_to_bits(surge_row)),
+        ("e".into(), f32s_to_bits(ewt_row)),
+    ])
+}
+
+/// Parses a TICK record back into `(surge_row, ewt_row)`.
+pub(crate) fn parse_tick(v: &Value) -> Result<(Vec<f32>, Vec<f32>), serde::Error> {
+    Ok((bits_to_f32s(v.field("s")?)?, bits_to_f32s(v.field("e")?)?))
+}
+
+/// Serializes everything in a [`CampaignData`] *except* the per-tick
+/// `client_surge`/`client_ewt` series (those live in the TICK records).
+pub(crate) fn finish_value(data: &CampaignData) -> Value {
+    Value::Map(vec![
+        ("city".into(), data.city.to_value()),
+        ("clients".into(), data.clients.to_value()),
+        ("client_area".into(), data.client_area.to_value()),
+        ("estimator".into(), data.estimator.to_value()),
+        ("api_surge".into(), f32_rows_to_bits(&data.api_surge)),
+        ("api_ewt".into(), f32_rows_to_bits(&data.api_ewt)),
+        ("avg_visible".into(), f32_rows_to_bits(&data.avg_visible)),
+        ("transitions".into(), data.transitions.save_state()),
+        ("client_daily_cars".into(), data.client_daily_cars.to_value()),
+        ("client_interval_cars".into(), data.client_interval_cars.to_value()),
+        ("client_mean_ewt".into(), data.client_mean_ewt.to_value()),
+        ("client_delivered".into(), data.client_delivered.to_value()),
+        ("tick_secs".into(), data.tick_secs.to_value()),
+        ("ticks".into(), (data.ticks as u64).to_value()),
+        ("intervals".into(), (data.intervals as u64).to_value()),
+        ("truth".into(), data.truth.to_value()),
+    ])
+}
+
+/// Full canonical serialization of a [`CampaignData`] (finish fields plus
+/// the per-tick series). Equal values ⇔ equal bytes under
+/// [`campaign_encoded`].
+pub fn campaign_to_value(data: &CampaignData) -> Value {
+    let Value::Map(mut fields) = finish_value(data) else { unreachable!() };
+    fields.push(("client_surge".into(), f32_rows_to_bits(&data.client_surge)));
+    fields.push(("client_ewt".into(), f32_rows_to_bits(&data.client_ewt)));
+    Value::Map(fields)
+}
+
+/// Canonical byte encoding of a campaign; two campaigns are bit-identical
+/// (down to NaN payloads) iff these byte strings are equal.
+pub fn campaign_encoded(data: &CampaignData) -> Vec<u8> {
+    encode_to_vec(&campaign_to_value(data))
+}
+
+/// Rebuilds a [`CampaignData`] from a FINISH record plus the per-client
+/// series (either replayed from TICK records or parsed from a full value).
+fn campaign_from_parts(
+    finish: &Value,
+    client_surge: Vec<Vec<f32>>,
+    client_ewt: Vec<Vec<f32>>,
+) -> Result<CampaignData, StoreError> {
+    let city = CityModel::from_value(finish.field("city")?)?;
+    let transitions = TransitionTracker::restore_state(
+        area_polys(&city),
+        area_adjacency(&city),
+        finish.field("transitions")?,
+    )?;
+    let data = CampaignData {
+        clients: Vec::<ClientSpec>::from_value(finish.field("clients")?)?,
+        client_area: Vec::<Option<usize>>::from_value(finish.field("client_area")?)?,
+        estimator: SupplyDemandEstimator::from_value(finish.field("estimator")?)?,
+        client_surge,
+        client_ewt,
+        api_surge: bits_to_f32_rows(finish.field("api_surge")?)?,
+        api_ewt: bits_to_f32_rows(finish.field("api_ewt")?)?,
+        avg_visible: bits_to_f32_rows(finish.field("avg_visible")?)?,
+        transitions,
+        client_daily_cars: Vec::<Vec<u32>>::from_value(finish.field("client_daily_cars")?)?,
+        client_interval_cars: Vec::<f64>::from_value(finish.field("client_interval_cars")?)?,
+        client_mean_ewt: Vec::<f64>::from_value(finish.field("client_mean_ewt")?)?,
+        client_delivered: Vec::<u64>::from_value(finish.field("client_delivered")?)?,
+        tick_secs: u64::from_value(finish.field("tick_secs")?)?,
+        ticks: u64::from_value(finish.field("ticks")?)? as usize,
+        intervals: u64::from_value(finish.field("intervals")?)? as usize,
+        truth: GroundTruth::from_value(finish.field("truth")?)?,
+        city,
+    };
+    if data.client_surge.len() != data.clients.len()
+        || data.client_ewt.len() != data.clients.len()
+    {
+        return Err(StoreError::Schema(format!(
+            "series cover {} clients, campaign has {}",
+            data.client_surge.len(),
+            data.clients.len()
+        )));
+    }
+    if data.client_surge.iter().chain(&data.client_ewt).any(|s| s.len() != data.ticks) {
+        return Err(StoreError::Schema("per-client series length != ticks".into()));
+    }
+    Ok(data)
+}
+
+/// Parses [`campaign_to_value`] output back into a [`CampaignData`].
+pub fn campaign_from_value(v: &Value) -> Result<CampaignData, StoreError> {
+    campaign_from_parts(
+        v,
+        bits_to_f32_rows(v.field("client_surge")?)?,
+        bits_to_f32_rows(v.field("client_ewt")?)?,
+    )
+}
+
+/// Deterministically replays a campaign log into the [`CampaignData`] it
+/// recorded, **without re-running the simulation**: TICK records are
+/// transposed into the per-client series and the FINISH record supplies
+/// everything else. Errors cleanly (no panic) on truncated or corrupt
+/// logs, or if the FINISH record is missing (an interrupted run — resume
+/// from its checkpoint instead).
+pub fn replay_campaign(path: &Path) -> Result<CampaignData, StoreError> {
+    let reader = LogReader::open(path)?;
+    let mut surge_rows: Vec<Vec<f32>> = Vec::new();
+    let mut ewt_rows: Vec<Vec<f32>> = Vec::new();
+    let mut finish: Option<Value> = None;
+    for rec in reader.iter() {
+        let rec = rec?;
+        match rec.kind {
+            REC_TICK => {
+                if finish.is_some() {
+                    return Err(StoreError::Schema("TICK record after FINISH".into()));
+                }
+                let (s, e) = parse_tick(&rec.value()?)?;
+                surge_rows.push(s);
+                ewt_rows.push(e);
+            }
+            REC_FINISH => {
+                if finish.replace(rec.value()?).is_some() {
+                    return Err(StoreError::Schema("duplicate FINISH record".into()));
+                }
+            }
+            k => return Err(StoreError::Schema(format!("unknown record kind {k:#04x}"))),
+        }
+    }
+    let finish = finish.ok_or_else(|| {
+        StoreError::Schema("log has no FINISH record (interrupted run?)".into())
+    })?;
+    // Transpose [tick][client] rows into [client][tick] series.
+    let n = surge_rows.first().map_or(0, Vec::len);
+    if surge_rows.iter().chain(&ewt_rows).any(|r| r.len() != n) {
+        return Err(StoreError::Schema("ragged TICK rows".into()));
+    }
+    let ticks = surge_rows.len();
+    let transpose = |rows: &[Vec<f32>]| -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|c| {
+                let mut series = Vec::with_capacity(ticks);
+                series.extend(rows.iter().map(|r| r[c]));
+                series
+            })
+            .collect()
+    };
+    campaign_from_parts(&finish, transpose(&surge_rows), transpose(&ewt_rows))
+}

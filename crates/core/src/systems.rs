@@ -93,6 +93,31 @@ impl UberSystem {
     fn projection(&self) -> LocalProjection {
         self.marketplace.city().projection
     }
+
+    /// Fault plan in force (checkpoint access).
+    pub fn faults(&self) -> FaultPlan {
+        self.faults
+    }
+
+    /// Transport fault RNG (checkpoint access).
+    pub fn fault_rng(&self) -> &SimRng {
+        &self.fault_rng
+    }
+
+    /// Restores the fault RNG mid-stream (checkpoint resume).
+    pub fn set_fault_rng(&mut self, rng: SimRng) {
+        self.fault_rng = rng;
+    }
+
+    /// In-flight delayed responses (checkpoint access).
+    pub fn transport(&self) -> &Transport<Vec<TypeObservation>> {
+        &self.transport
+    }
+
+    /// Restores the in-flight queue (checkpoint resume).
+    pub fn set_transport(&mut self, transport: Transport<Vec<TypeObservation>>) {
+        self.transport = transport;
+    }
 }
 
 fn displacement_of(path: &[surgescope_geo::LatLng], proj: &LocalProjection) -> Option<Meters> {

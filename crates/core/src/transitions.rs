@@ -9,6 +9,7 @@
 //! area's multiplier was at least 0.2 above every neighbour's — the paper
 //! compares the two to quantify surge's effect on supply and demand.
 
+use serde::{Deserialize, Serialize, Value};
 use std::collections::HashSet;
 use surgescope_geo::{Meters, Polygon};
 
@@ -184,6 +185,58 @@ impl TransitionTracker {
     pub fn area_count(&self) -> usize {
         self.areas.len()
     }
+
+    /// Serializes the mutable tally state. Areas and adjacency are derived
+    /// from the city model and are *not* stored; [`restore_state`] takes
+    /// them as arguments (same split as `Marketplace::save_state`).
+    /// ID sets are emitted sorted so the bytes are canonical.
+    ///
+    /// [`restore_state`]: TransitionTracker::restore_state
+    pub fn save_state(&self) -> Value {
+        let sets = |v: &[HashSet<u64>]| -> Value {
+            v.iter()
+                .map(|s| {
+                    let mut ids: Vec<u64> = s.iter().copied().collect();
+                    ids.sort_unstable();
+                    ids
+                })
+                .collect::<Vec<_>>()
+                .to_value()
+        };
+        Value::Map(vec![
+            ("prev_sets".into(), sets(&self.prev_sets)),
+            ("cur_sets".into(), sets(&self.cur_sets)),
+            ("prev_multipliers".into(), self.prev_multipliers.to_value()),
+            ("counts".into(), self.counts.to_value()),
+        ])
+    }
+
+    /// Rebuilds a tracker from `save_state` output plus the (re-derived)
+    /// areas and adjacency.
+    pub fn restore_state(
+        areas: Vec<Polygon>,
+        adjacency: Vec<Vec<usize>>,
+        v: &Value,
+    ) -> Result<Self, serde::Error> {
+        let mut tr = TransitionTracker::new(areas, adjacency);
+        let sets = |v: &Value| -> Result<Vec<HashSet<u64>>, serde::Error> {
+            Ok(Vec::<Vec<u64>>::from_value(v)?
+                .into_iter()
+                .map(|ids| ids.into_iter().collect())
+                .collect())
+        };
+        tr.prev_sets = sets(v.field("prev_sets")?)?;
+        tr.cur_sets = sets(v.field("cur_sets")?)?;
+        tr.prev_multipliers = Option::<Vec<f64>>::from_value(v.field("prev_multipliers")?)?;
+        tr.counts = Vec::<[[u64; 5]; 2]>::from_value(v.field("counts")?)?;
+        if tr.prev_sets.len() != tr.areas.len() || tr.cur_sets.len() != tr.areas.len() {
+            return Err(serde::Error::custom("transition set count mismatch"));
+        }
+        if tr.counts.len() != tr.areas.len() {
+            return Err(serde::Error::custom("transition counts length mismatch"));
+        }
+        Ok(tr)
+    }
 }
 
 #[cfg(test)]
@@ -259,6 +312,40 @@ mod tests {
         assert!((p[1] - 0.5).abs() < 1e-12);
         assert!((p[4] - 0.5).abs() < 1e-12);
         assert!(tr.probabilities(1, 1).is_none(), "empty cell");
+    }
+
+    #[test]
+    fn save_restore_continues_identically() {
+        let mut a = two_areas();
+        // One closed interval plus a half-open one so both prev and cur
+        // sets are non-empty at checkpoint time.
+        a.observe(1, Meters::new(50.0, 50.0));
+        a.observe(2, Meters::new(150.0, 50.0));
+        a.close_interval(&[1.5, 1.0]);
+        a.observe(1, Meters::new(55.0, 50.0));
+        a.observe(3, Meters::new(150.0, 60.0));
+
+        let v = a.save_state();
+        let mut b = {
+            let areas = vec![
+                Polygon::rect(Meters::new(0.0, 0.0), Meters::new(100.0, 100.0)),
+                Polygon::rect(Meters::new(100.0, 0.0), Meters::new(200.0, 100.0)),
+            ];
+            TransitionTracker::restore_state(areas, vec![vec![1], vec![0]], &v).unwrap()
+        };
+        assert_eq!(b.save_state(), v, "canonical round trip");
+
+        for tr in [&mut a, &mut b] {
+            tr.close_interval(&[1.5, 1.0]);
+            tr.observe(1, Meters::new(150.0, 50.0));
+            tr.close_interval(&[1.0, 1.0]);
+        }
+        for area in 0..2 {
+            for ctx in 0..2 {
+                assert_eq!(a.counts(area, ctx), b.counts(area, ctx));
+            }
+        }
+        assert_eq!(a.save_state(), b.save_state());
     }
 
     #[test]

@@ -3,14 +3,88 @@
 //! Usage:
 //!   repro [--quick] [--seed N] <id>...   run specific experiments
 //!   repro [--quick] [--seed N] all       run everything
+//!   repro --resume <checkpoint> [<id>...]  finish an interrupted campaign
+//!                                          first, then run experiments
 //!   repro list                           list experiment ids
+//!
+//! `--resume` loads a campaign checkpoint written by the store layer
+//! (see `results/campaign-cache/*.ckpt`), runs the remaining ticks —
+//! continuing bit-identically to the uninterrupted run — streams the
+//! completed event log into the disk cache, and seeds the in-process
+//! cache so the listed experiments reuse the finished campaign.
 
-use surgescope_experiments::{cache::CampaignCache, run_experiment, RunCtx, ALL_IDS};
+use std::path::PathBuf;
+use surgescope_core::{CampaignConfig, CampaignRunner, StoreHooks};
+use surgescope_experiments::{cache, cache::CampaignCache, run_experiment, RunCtx, ALL_IDS};
+
+fn usage() -> ! {
+    eprintln!("usage: repro [--quick] [--seed N] [--resume CKPT] <id>... | all | list");
+    std::process::exit(2);
+}
+
+/// Finishes the campaign checkpointed at `ckpt` and seeds `cache` with it.
+fn resume_campaign(ckpt: &PathBuf, ctx: &RunCtx, campaigns: &mut CampaignCache) {
+    use serde::Deserialize;
+    let (_, state) = surgescope_store::read_checkpoint(ckpt).unwrap_or_else(|e| {
+        eprintln!("--resume: cannot read {}: {e}", ckpt.display());
+        std::process::exit(1);
+    });
+    fn die(ckpt: &PathBuf, e: &dyn std::fmt::Display) -> ! {
+        eprintln!("--resume: bad checkpoint {}: {e}", ckpt.display());
+        std::process::exit(1);
+    }
+    let cfg = state
+        .field("config")
+        .and_then(CampaignConfig::from_value)
+        .unwrap_or_else(|e| die(ckpt, &e));
+    let city_name = state
+        .field("city")
+        .and_then(|c| c.field("name"))
+        .and_then(String::from_value)
+        .unwrap_or_else(|e| die(ckpt, &e));
+    // Stream the finished log into the disk cache so later processes
+    // replay it instead of re-simulating.
+    let hooks = match cache::cache_dir(ctx) {
+        Some(dir) if std::fs::create_dir_all(&dir).is_ok() => {
+            let key = cache::cache_key(&city_name, &cfg);
+            StoreHooks {
+                log_path: Some(cache::log_path(&dir, key)),
+                checkpoint_path: Some(cache::checkpoint_path(&dir, key)),
+                checkpoint_every_ticks: Some(((cfg.hours * 720) / 8).max(720)),
+            }
+        }
+        _ => StoreHooks::none(),
+    };
+    let parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut runner = CampaignRunner::resume(&state, parallelism, hooks)
+        .unwrap_or_else(|e| die(ckpt, &e));
+    eprintln!(
+        "[resume] {} campaign at tick {}/{} — running the remaining {}…",
+        city_name,
+        runner.ticks_done(),
+        runner.ticks_total(),
+        runner.ticks_total() - runner.ticks_done()
+    );
+    let cfg = runner.config().clone();
+    let data = runner
+        .run_to_end()
+        .and_then(|()| runner.finish())
+        .unwrap_or_else(|e| die(ckpt, &e));
+    if let Some(cp) = &cfg.store.checkpoint_path {
+        let _ = std::fs::remove_file(cp);
+    }
+    if ckpt.exists() && Some(ckpt) != cfg.store.checkpoint_path.as_ref() {
+        let _ = std::fs::remove_file(ckpt);
+    }
+    eprintln!("[resume] campaign finished ({} ticks); cache seeded", data.ticks);
+    campaigns.insert(&cfg, data);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut seed = 2015u64;
+    let mut resume: Option<PathBuf> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -25,6 +99,12 @@ fn main() {
                         std::process::exit(2);
                     })
             }
+            "--resume" => {
+                resume = Some(PathBuf::from(it.next().unwrap_or_else(|| {
+                    eprintln!("--resume needs a checkpoint path");
+                    std::process::exit(2);
+                })))
+            }
             "list" => {
                 for id in ALL_IDS {
                     println!("{id}");
@@ -35,13 +115,15 @@ fn main() {
             other => ids.push(other.to_string()),
         }
     }
-    if ids.is_empty() {
-        eprintln!("usage: repro [--quick] [--seed N] <id>... | all | list");
-        std::process::exit(2);
+    if ids.is_empty() && resume.is_none() {
+        usage();
     }
     let mut ctx = RunCtx::full(seed);
     ctx.quick = quick;
     let mut cache = CampaignCache::new();
+    if let Some(ckpt) = &resume {
+        resume_campaign(ckpt, &ctx, &mut cache);
+    }
     let mut failed = false;
     for id in &ids {
         match run_experiment(id, &ctx, &mut cache) {

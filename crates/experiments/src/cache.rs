@@ -1,16 +1,29 @@
 //! Campaign sharing across experiments.
 //!
 //! A full campaign is minutes of CPU; ten experiments read from the same
-//! one. The cache keys campaigns by (city, protocol era) and taxi
-//! validations by city, and builds each at most once per process.
+//! one. The cache has two layers:
+//!
+//! * **In-process** — campaigns keyed by the full semantic config hash
+//!   ([`CampaignConfig::config_hash`] folded with the city), so *any*
+//!   config difference (estimator tuning, fault plan, scale, …) gets its
+//!   own entry. The old key was `(city, era)` only, which silently served
+//!   stale data to callers that varied anything else.
+//! * **On disk** — when the run context has an output directory, each
+//!   campaign is streamed into a durable event log under
+//!   `results/campaign-cache/` (override with `SURGESCOPE_CACHE_DIR`).
+//!   A later process replays the log into the identical `CampaignData`
+//!   without re-simulation, and an interrupted campaign resumes from its
+//!   periodic checkpoint instead of starting over.
 
 use crate::RunCtx;
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::rc::Rc;
 use surgescope_api::ProtocolEra;
 use surgescope_city::CityModel;
 use surgescope_core::estimate::{EstimatorConfig, SupplyDemandEstimator};
-use surgescope_core::{Campaign, CampaignConfig, CampaignData};
+use surgescope_core::persist::replay_campaign;
+use surgescope_core::{Campaign, CampaignConfig, CampaignData, CampaignRunner, StoreHooks};
 use surgescope_taxi::{TaxiGroundTruth, TaxiTrace, TraceGenerator};
 
 /// Which study city.
@@ -56,8 +69,40 @@ pub struct TaxiValidation {
 /// Lazily built, shared campaign results.
 #[derive(Default)]
 pub struct CampaignCache {
-    campaigns: HashMap<(City, ProtocolEra), Rc<CampaignData>>,
+    campaigns: HashMap<u64, Rc<CampaignData>>,
     taxi: Option<Rc<TaxiValidation>>,
+}
+
+/// Cache identity of one campaign: the semantic config hash folded with
+/// the city name (the config alone does not identify the city).
+pub fn cache_key(city_name: &str, cfg: &CampaignConfig) -> u64 {
+    use serde::{Serialize, Value};
+    surgescope_store::value_hash(&Value::Map(vec![
+        ("city".into(), city_name.to_value()),
+        ("config".into(), cfg.config_hash().to_value()),
+    ]))
+}
+
+/// Directory of the on-disk campaign cache for this run context, if any:
+/// `SURGESCOPE_CACHE_DIR` when set, else `<out_dir>/campaign-cache`, else
+/// `None` (no output directory ⇒ memory-only cache).
+pub fn cache_dir(ctx: &RunCtx) -> Option<PathBuf> {
+    if let Ok(d) = std::env::var("SURGESCOPE_CACHE_DIR") {
+        if !d.is_empty() {
+            return Some(PathBuf::from(d));
+        }
+    }
+    ctx.out_dir.as_ref().map(|d| d.join("campaign-cache"))
+}
+
+/// Event-log path for a cache key inside `dir`.
+pub fn log_path(dir: &std::path::Path, key: u64) -> PathBuf {
+    dir.join(format!("campaign-{key:016x}.sslog"))
+}
+
+/// Checkpoint path for a cache key inside `dir`.
+pub fn checkpoint_path(dir: &std::path::Path, key: u64) -> PathBuf {
+    dir.join(format!("campaign-{key:016x}.ckpt"))
 }
 
 impl CampaignCache {
@@ -66,18 +111,11 @@ impl CampaignCache {
         Self::default()
     }
 
-    /// The campaign for (city, era), building it on first use.
-    pub fn campaign(&mut self, city: City, era: ProtocolEra, ctx: &RunCtx) -> Rc<CampaignData> {
-        if let Some(c) = self.campaigns.get(&(city, era)) {
-            return Rc::clone(c);
-        }
-        eprintln!(
-            "[cache] running {} campaign ({} h, {:?} era)…",
-            city.label(),
-            ctx.hours(),
-            era
-        );
-        let cfg = CampaignConfig {
+    /// The standard campaign configuration for (city, era) under `ctx` —
+    /// shared by the cache and the `repro --resume` path so both compute
+    /// the same identity hash.
+    pub fn campaign_config(city: City, era: ProtocolEra, ctx: &RunCtx) -> CampaignConfig {
+        CampaignConfig {
             seed: ctx.seed ^ (city as u64 + 1) ^ ((era == ProtocolEra::Apr2015) as u64) << 8,
             hours: ctx.hours(),
             era,
@@ -87,10 +125,126 @@ impl CampaignCache {
             surge_policy: surgescope_marketplace::SurgePolicy::Threshold,
             parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
             faults: surgescope_simcore::FaultPlan::none(),
-        };
-        let data = Rc::new(Campaign::run_uber(city.model(), &cfg));
-        self.campaigns.insert((city, era), Rc::clone(&data));
+            store: StoreHooks::none(),
+        }
+    }
+
+    /// Seeds the in-process layer with an externally produced campaign
+    /// (e.g. one finished via `repro --resume <checkpoint>`).
+    pub fn insert(&mut self, cfg: &CampaignConfig, data: CampaignData) -> Rc<CampaignData> {
+        let key = cache_key(&data.city.name, cfg);
+        let rc = Rc::new(data);
+        self.campaigns.insert(key, Rc::clone(&rc));
+        rc
+    }
+
+    /// The campaign for (city, era), building it on first use. Checks the
+    /// layers in order: in-process map, on-disk log (replayed, no
+    /// re-simulation), leftover checkpoint (resumed from the interruption
+    /// point), and only then runs the campaign from scratch — streaming
+    /// it into the disk cache when one is configured.
+    pub fn campaign(&mut self, city: City, era: ProtocolEra, ctx: &RunCtx) -> Rc<CampaignData> {
+        let mut cfg = Self::campaign_config(city, era, ctx);
+        let key = cache_key(&city.model().name, &cfg);
+        if let Some(c) = self.campaigns.get(&key) {
+            return Rc::clone(c);
+        }
+
+        let dir = cache_dir(ctx);
+        if let Some(dir) = &dir {
+            let lp = log_path(dir, key);
+            if lp.exists() {
+                match replay_campaign(&lp) {
+                    Ok(data) => {
+                        eprintln!(
+                            "[cache] replayed {} campaign ({:?} era) from {}",
+                            city.label(),
+                            era,
+                            lp.display()
+                        );
+                        let data = Rc::new(data);
+                        self.campaigns.insert(key, Rc::clone(&data));
+                        return data;
+                    }
+                    Err(e) => {
+                        eprintln!(
+                            "[cache] cached log {} unusable ({e}); re-running",
+                            lp.display()
+                        );
+                        let _ = std::fs::remove_file(&lp);
+                    }
+                }
+            }
+            if std::fs::create_dir_all(dir).is_ok() {
+                cfg.store = StoreHooks {
+                    log_path: Some(lp),
+                    checkpoint_path: Some(checkpoint_path(dir, key)),
+                    // ~8 checkpoints per campaign, at least hourly chunks.
+                    checkpoint_every_ticks: Some(((cfg.hours * 720) / 8).max(720)),
+                };
+            }
+        }
+
+        let data = self.run_campaign(city, era, ctx, &cfg);
+        if let Some(cp) = &cfg.store.checkpoint_path {
+            let _ = std::fs::remove_file(cp);
+        }
+        let data = Rc::new(data);
+        self.campaigns.insert(key, Rc::clone(&data));
         data
+    }
+
+    /// Runs (or crash-resumes) one campaign, degrading to a memory-only
+    /// run if the store layer fails — a broken disk must cost the cache,
+    /// never the run.
+    fn run_campaign(
+        &mut self,
+        city: City,
+        era: ProtocolEra,
+        ctx: &RunCtx,
+        cfg: &CampaignConfig,
+    ) -> CampaignData {
+        if let Some(cp) = cfg.store.checkpoint_path.as_ref().filter(|p| p.exists()) {
+            match CampaignRunner::resume_from_file(cp, cfg.parallelism, cfg.store.clone()) {
+                Ok(mut runner) => {
+                    eprintln!(
+                        "[cache] resuming {} campaign ({:?} era) from checkpoint at tick {}/{}…",
+                        city.label(),
+                        era,
+                        runner.ticks_done(),
+                        runner.ticks_total()
+                    );
+                    match runner.run_to_end().and_then(|()| runner.finish()) {
+                        Ok(data) => return data,
+                        Err(e) => {
+                            eprintln!("[cache] resumed run failed to persist ({e}); re-running")
+                        }
+                    }
+                }
+                Err(e) => eprintln!(
+                    "[cache] checkpoint {} unusable ({e}); re-running from scratch",
+                    cp.display()
+                ),
+            }
+        }
+        eprintln!(
+            "[cache] running {} campaign ({} h, {:?} era)…",
+            city.label(),
+            ctx.hours(),
+            era
+        );
+        let fallible = CampaignRunner::new(city.model(), cfg)
+            .and_then(|mut r| r.run_to_end().map(|()| r))
+            .and_then(CampaignRunner::finish);
+        match fallible {
+            Ok(data) => data,
+            Err(e) => {
+                eprintln!("[cache] store layer failed ({e}); running without persistence");
+                let mut plain = cfg.clone();
+                plain.store = StoreHooks::none();
+                Campaign::run_uber(city.model(), &plain)
+            }
+        }
     }
 
     /// The §3.5 taxi validation (Manhattan), building it on first use.

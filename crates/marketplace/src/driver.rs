@@ -16,7 +16,7 @@
 //! comes online — exactly the behaviour that prevents the paper's clients
 //! from tracking drivers over time (§3.3, limitation 4).
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error, Serialize, Value};
 use surgescope_city::CarType;
 use surgescope_geo::{Meters, PathVector};
 use surgescope_simcore::{SimRng, SimTime};
@@ -70,8 +70,45 @@ impl DriverState {
     }
 }
 
+impl Serialize for DriverState {
+    fn to_value(&self) -> Value {
+        // Data-carrying enum: the derive stub only handles unit variants,
+        // so encode as {"k": variant, ...payload fields}.
+        match self {
+            DriverState::Offline => Value::Map(vec![("k".into(), "Offline".to_value())]),
+            DriverState::Idle => Value::Map(vec![("k".into(), "Idle".to_value())]),
+            DriverState::EnRoute { pickup, dropoff } => Value::Map(vec![
+                ("k".into(), "EnRoute".to_value()),
+                ("pickup".into(), pickup.to_value()),
+                ("dropoff".into(), dropoff.to_value()),
+            ]),
+            DriverState::OnTrip { dropoff } => Value::Map(vec![
+                ("k".into(), "OnTrip".to_value()),
+                ("dropoff".into(), dropoff.to_value()),
+            ]),
+        }
+    }
+}
+
+impl Deserialize for DriverState {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match String::from_value(v.field("k")?)?.as_str() {
+            "Offline" => Ok(DriverState::Offline),
+            "Idle" => Ok(DriverState::Idle),
+            "EnRoute" => Ok(DriverState::EnRoute {
+                pickup: Meters::from_value(v.field("pickup")?)?,
+                dropoff: Meters::from_value(v.field("dropoff")?)?,
+            }),
+            "OnTrip" => Ok(DriverState::OnTrip {
+                dropoff: Meters::from_value(v.field("dropoff")?)?,
+            }),
+            other => Err(Error::custom(format!("unknown driver state `{other}`"))),
+        }
+    }
+}
+
 /// A driver agent.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Driver {
     /// Stable internal identity.
     pub id: DriverId,
@@ -261,6 +298,37 @@ mod tests {
         }
         // L1 distance 60 at 10 m per step → exactly 6 steps (last one lands).
         assert_eq!(steps + 1, 6);
+    }
+
+    #[test]
+    fn driver_serde_round_trip_bit_exact() {
+        let mut d = mk();
+        let mut rng = SimRng::seed_from_u64(5);
+        d.come_online(Meters::new(12.5, -7.25), SimTime(3600), &mut rng);
+        d.path.push(surgescope_geo::LatLng::new(40.75, -73.98));
+        d.dispatch(Meters::new(100.0, 0.0), Meters::new(500.0, 500.0));
+        d.trip_idx = Some(3);
+        d.shift_secs = 14_400;
+        let v = d.to_value();
+        let r = Driver::from_value(&v).expect("round trip");
+        assert_eq!(r.id, d.id);
+        assert_eq!(r.state, d.state);
+        assert_eq!(r.position.x.to_bits(), d.position.x.to_bits());
+        assert_eq!(r.session, d.session);
+        assert_eq!(
+            r.path.points().collect::<Vec<_>>(),
+            d.path.points().collect::<Vec<_>>()
+        );
+        assert_eq!(r.trip_idx, d.trip_idx);
+        assert_eq!(r.shift_secs, d.shift_secs);
+        for state in [
+            DriverState::Offline,
+            DriverState::Idle,
+            DriverState::OnTrip { dropoff: Meters::new(1.0, 2.0) },
+        ] {
+            let back = DriverState::from_value(&state.to_value()).unwrap();
+            assert_eq!(back, state);
+        }
     }
 
     #[test]

@@ -18,11 +18,12 @@
 //! April-2015 consistency bug served exactly those stale values to random
 //! clients, and the `api` crate needs them to reproduce it.
 
+use serde::{Deserialize, Error, Serialize, Value};
 use surgescope_city::{AreaId, CarType, SurgeTuning};
 use surgescope_simcore::{SimRng, SimTime};
 
 /// Per-area aggregates accumulated over one 5-minute window by the world.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
 pub(crate) struct AreaWindow {
     /// Driver-seconds spent online in the area.
     pub online_secs: f64,
@@ -63,7 +64,7 @@ impl AreaWindow {
 }
 
 /// A read-only view of the multipliers in force during one interval.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SurgeSnapshot {
     /// The 5-minute interval index these multipliers apply to.
     pub interval: u64,
@@ -110,6 +111,32 @@ pub enum SurgePolicy {
 impl Default for SurgePolicy {
     fn default() -> Self {
         SurgePolicy::Threshold
+    }
+}
+
+impl Serialize for SurgePolicy {
+    fn to_value(&self) -> Value {
+        match self {
+            SurgePolicy::Threshold => {
+                Value::Map(vec![("k".into(), "Threshold".to_value())])
+            }
+            SurgePolicy::Smoothed { alpha } => Value::Map(vec![
+                ("k".into(), "Smoothed".to_value()),
+                ("alpha".into(), alpha.to_value()),
+            ]),
+        }
+    }
+}
+
+impl Deserialize for SurgePolicy {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match String::from_value(v.field("k")?)?.as_str() {
+            "Threshold" => Ok(SurgePolicy::Threshold),
+            "Smoothed" => Ok(SurgePolicy::Smoothed {
+                alpha: f64::from_value(v.field("alpha")?)?,
+            }),
+            other => Err(Error::custom(format!("unknown surge policy `{other}`"))),
+        }
     }
 }
 
@@ -280,6 +307,38 @@ impl SurgeEngine {
             *w = AreaWindow::default();
         }
         &self.current
+    }
+}
+
+impl Serialize for SurgeEngine {
+    fn to_value(&self) -> Value {
+        // Manual impl: the derive stub cannot handle the data-carrying
+        // `SurgePolicy` enum nested here. Every field is mutable mid-run
+        // state (windows, EMA, RNG) and must round-trip bit-exactly for
+        // checkpoint/resume determinism.
+        Value::Map(vec![
+            ("tuning".into(), self.tuning.to_value()),
+            ("policy".into(), self.policy.to_value()),
+            ("current".into(), self.current.to_value()),
+            ("previous".into(), self.previous.to_value()),
+            ("windows".into(), self.windows.to_value()),
+            ("ema".into(), self.ema.to_value()),
+            ("rng".into(), self.rng.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for SurgeEngine {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(SurgeEngine {
+            tuning: SurgeTuning::from_value(v.field("tuning")?)?,
+            policy: SurgePolicy::from_value(v.field("policy")?)?,
+            current: SurgeSnapshot::from_value(v.field("current")?)?,
+            previous: SurgeSnapshot::from_value(v.field("previous")?)?,
+            windows: Vec::<AreaWindow>::from_value(v.field("windows")?)?,
+            ema: Vec::<f64>::from_value(v.field("ema")?)?,
+            rng: SimRng::from_value(v.field("rng")?)?,
+        })
     }
 }
 
@@ -531,5 +590,41 @@ mod tests {
         assert_eq!(quantize(1.05), 1.1);
         assert_eq!(quantize(1.26), 1.3);
         assert_eq!(quantize(0.8), 1.0);
+    }
+
+    #[test]
+    fn serde_round_trip_continues_bit_identically() {
+        // The restored engine must produce the same future multipliers as
+        // the original, including mid-window accumulations, EMA state and
+        // the noise RNG stream (the checkpoint/resume determinism gate).
+        let mut tuning = SurgeTuning::default_test();
+        tuning.noise_sigma = 0.05;
+        let mut a = SurgeEngine::new(3, tuning, SimRng::seed_from_u64(77))
+            .with_policy(SurgePolicy::Smoothed { alpha: 0.4 });
+        for i in 0..4u64 {
+            a.accumulate(AreaId(0), 1000.0, 900.0 + i as f64 * 10.0);
+            a.record_request(AreaId(0));
+            a.record_ewt(AreaId(1), 6.5);
+            a.recompute(SimTime(300 * (i + 1)));
+        }
+        // Leave a half-accumulated window in place before snapshotting.
+        a.accumulate(AreaId(2), 500.0, 480.0);
+        a.record_request(AreaId(2));
+
+        let mut b = SurgeEngine::from_value(&a.to_value()).expect("round trip");
+        assert_eq!(b.policy(), a.policy());
+        for i in 5..9u64 {
+            a.accumulate(AreaId(2), 800.0, 760.0);
+            b.accumulate(AreaId(2), 800.0, 760.0);
+            a.recompute(SimTime(300 * i));
+            b.recompute(SimTime(300 * i));
+            for area in 0..3 {
+                assert_eq!(
+                    a.multiplier(AreaId(area), CarType::UberX).to_bits(),
+                    b.multiplier(AreaId(area), CarType::UberX).to_bits(),
+                    "area {area} interval {i}"
+                );
+            }
+        }
     }
 }

@@ -9,6 +9,7 @@
 use crate::driver::{Driver, DriverId, DriverState};
 use crate::metrics::{GroundTruth, IntervalStats, TripRecord};
 use crate::surge::{SurgeEngine, SurgePolicy};
+use serde::{Deserialize, Serialize, Value};
 use surgescope_city::{AreaId, CarType, CityModel};
 use surgescope_geo::{LatLng, Meters, PathVector, SpatialGrid};
 use surgescope_simcore::{EventQueue, SimDuration, SimRng, SimTime};
@@ -84,7 +85,7 @@ pub struct VisibleCar {
 }
 
 /// A rider who was priced out and chose to wait for the next interval.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 struct RetryRequest {
     pickup: Meters,
     dropoff: Meters,
@@ -92,7 +93,7 @@ struct RetryRequest {
 }
 
 /// Per-area accumulators for the open 5-minute interval.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
 struct AreaAccum {
     online_ticks: f64,
     idle_ticks: f64,
@@ -175,6 +176,57 @@ impl Marketplace {
     /// The root seed this world was built from.
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    /// Serializes every piece of mutable world state — drivers, surge
+    /// engine (including its RNG), retry queue, ground truth, interval
+    /// accumulators, the three world RNG streams and the clock. The city
+    /// model and behaviour config are *not* included: they are pure
+    /// functions of the campaign config and are supplied again on
+    /// [`restore_state`](Marketplace::restore_state). The idle index is
+    /// derived state, rebuilt on restore.
+    pub fn save_state(&self) -> Value {
+        Value::Map(vec![
+            ("now".into(), self.now.to_value()),
+            ("drivers".into(), self.drivers.to_value()),
+            ("surge".into(), self.surge.to_value()),
+            ("retries".into(), self.retries.to_value()),
+            ("truth".into(), self.truth.to_value()),
+            ("acc".into(), self.acc.to_value()),
+            ("rng_shift".into(), self.rng_shift.to_value()),
+            ("rng_demand".into(), self.rng_demand.to_value()),
+            ("rng_drive".into(), self.rng_drive.to_value()),
+            ("ticks_run".into(), self.ticks_run.to_value()),
+            ("seed".into(), self.seed.to_value()),
+        ])
+    }
+
+    /// Rebuilds a world from [`save_state`](Marketplace::save_state)
+    /// output plus the (re-derived) city model and config. The restored
+    /// world continues bit-identically to the original.
+    pub fn restore_state(
+        city: CityModel,
+        cfg: MarketplaceConfig,
+        v: &Value,
+    ) -> Result<Self, serde::Error> {
+        let mut mp = Marketplace {
+            city,
+            cfg,
+            now: SimTime::from_value(v.field("now")?)?,
+            drivers: Vec::<Driver>::from_value(v.field("drivers")?)?,
+            surge: SurgeEngine::from_value(v.field("surge")?)?,
+            retries: EventQueue::from_value(v.field("retries")?)?,
+            truth: GroundTruth::from_value(v.field("truth")?)?,
+            acc: Vec::<AreaAccum>::from_value(v.field("acc")?)?,
+            rng_shift: SimRng::from_value(v.field("rng_shift")?)?,
+            rng_demand: SimRng::from_value(v.field("rng_demand")?)?,
+            rng_drive: SimRng::from_value(v.field("rng_drive")?)?,
+            ticks_run: u64::from_value(v.field("ticks_run")?)?,
+            idle_index: Vec::new(),
+            seed: u64::from_value(v.field("seed")?)?,
+        };
+        mp.rebuild_idle_index();
+        Ok(mp)
     }
 
     /// Current simulated time (start of the next tick).
@@ -707,6 +759,47 @@ mod tests {
         let mut intervals: Vec<u64> = w.truth().intervals.iter().map(|s| s.interval).collect();
         intervals.dedup();
         assert_eq!(intervals, (0..per_area as u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn save_restore_continues_bit_identically() {
+        // Run 40 minutes, checkpoint, run both worlds 40 more minutes:
+        // every downstream observable must match bit-for-bit.
+        let mut a = world();
+        a.run_for(SimDuration::mins(40));
+        let state = a.save_state();
+        let mut b = Marketplace::restore_state(
+            small_city(),
+            MarketplaceConfig::default(),
+            &state,
+        )
+        .expect("restore");
+        assert_eq!(b.now(), a.now());
+        a.run_for(SimDuration::mins(40));
+        b.run_for(SimDuration::mins(40));
+
+        let (va, vb) = (a.visible_cars(), b.visible_cars());
+        assert_eq!(va.len(), vb.len());
+        for (x, y) in va.iter().zip(&vb) {
+            assert_eq!(x.session, y.session);
+            assert_eq!(x.position.x.to_bits(), y.position.x.to_bits());
+            assert_eq!(x.position.y.to_bits(), y.position.y.to_bits());
+        }
+        assert_eq!(a.truth().trips.len(), b.truth().trips.len());
+        for (x, y) in a.truth().trips.iter().zip(&b.truth().trips) {
+            assert_eq!(x.requested_at, y.requested_at);
+            assert_eq!(
+                x.fare.map(f64::to_bits),
+                y.fare.map(f64::to_bits),
+                "fares must match bit-for-bit"
+            );
+            assert_eq!(x.surge.to_bits(), y.surge.to_bits());
+        }
+        assert_eq!(a.truth().intervals.len(), b.truth().intervals.len());
+        assert_eq!(
+            a.surge_engine().current().base.iter().map(|m| m.to_bits()).collect::<Vec<_>>(),
+            b.surge_engine().current().base.iter().map(|m| m.to_bits()).collect::<Vec<_>>()
+        );
     }
 
     #[test]

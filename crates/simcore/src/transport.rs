@@ -17,6 +17,7 @@
 //! of any worker-thread fan-out used to *compute* the payloads.
 
 use crate::time::SimDuration;
+use serde::{Deserialize, Error, Serialize, Value};
 use std::collections::BTreeMap;
 
 /// A message parked in (or popped from) the transport queue.
@@ -92,6 +93,65 @@ impl<T> Transport<T> {
     }
 }
 
+impl<T: Serialize> Serialize for Envelope<T> {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("sent_tick".into(), self.sent_tick.to_value()),
+            ("client".into(), self.client.to_value()),
+            ("payload".into(), self.payload.to_value()),
+        ])
+    }
+}
+
+impl<T: Deserialize> Deserialize for Envelope<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(Envelope {
+            sent_tick: u64::from_value(v.field("sent_tick")?)?,
+            client: usize::from_value(v.field("client")?)?,
+            payload: T::from_value(v.field("payload")?)?,
+        })
+    }
+}
+
+impl<T: Serialize> Serialize for Transport<T> {
+    fn to_value(&self) -> Value {
+        // BTreeMap iteration is already sorted by due tick, and each bucket
+        // preserves enqueue order, so the serialized form is canonical.
+        let in_flight = self
+            .in_flight
+            .iter()
+            .map(|(due, envs)| Value::Seq(vec![due.to_value(), envs.to_value()]))
+            .collect();
+        Value::Map(vec![
+            ("tick".into(), self.tick.to_value()),
+            ("in_flight".into(), Value::Seq(in_flight)),
+        ])
+    }
+}
+
+impl<T: Deserialize> Deserialize for Transport<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let tick = u64::from_value(v.field("tick")?)?;
+        let mut in_flight = BTreeMap::new();
+        for bucket in v
+            .field("in_flight")?
+            .as_seq()
+            .ok_or_else(|| Error::custom("transport: expected in-flight array"))?
+        {
+            match bucket.as_seq() {
+                Some([due, envs]) => {
+                    in_flight.insert(
+                        u64::from_value(due)?,
+                        Vec::<Envelope<T>>::from_value(envs)?,
+                    );
+                }
+                _ => return Err(Error::custom("transport: expected [due, envelopes]")),
+            }
+        }
+        Ok(Transport { tick, in_flight })
+    }
+}
+
 /// How many ticks late a message with injected latency `d` surfaces:
 /// `⌈d / tick_secs⌉`, never less than one full tick.
 pub fn ticks_late(d: SimDuration, tick_secs: u64) -> u64 {
@@ -162,6 +222,43 @@ mod tests {
         t.advance_tick();
         t.advance_tick();
         assert_eq!(t.take_due().len(), 1);
+    }
+
+    #[test]
+    fn mid_flight_round_trip_drains_in_same_order() {
+        // A checkpointed transport with a non-empty in-flight queue must
+        // restore and drain in the same (sent_tick, client) order as the
+        // original — late responses may not be reordered by a resume.
+        let mut t: Transport<Vec<u32>> = Transport::new();
+        t.send_delayed(7, 3, vec![70]);
+        t.send_delayed(2, 1, vec![20]);
+        t.advance_tick(); // tick 1: client 2's message is due but NOT drained
+        t.send_delayed(4, 1, vec![40]);
+        t.send_delayed(1, 2, vec![10]);
+
+        let v = t.to_value();
+        let mut r: Transport<Vec<u32>> = Transport::from_value(&v).expect("round trip");
+        assert_eq!(r.tick(), t.tick());
+        assert_eq!(r.in_flight(), t.in_flight());
+        assert_eq!(r.in_flight(), 4);
+
+        let drain = |tr: &mut Transport<Vec<u32>>| -> Vec<(u64, usize, Vec<u32>)> {
+            let mut out = Vec::new();
+            for _ in 0..4 {
+                out.extend(
+                    tr.take_due()
+                        .into_iter()
+                        .map(|e| (e.sent_tick, e.client, e.payload)),
+                );
+                tr.advance_tick();
+            }
+            out
+        };
+        let a = drain(&mut t);
+        let b = drain(&mut r);
+        assert_eq!(a, b);
+        // Overdue message (sent tick 0, due tick 1) surfaces first.
+        assert_eq!(b[0], (0, 2, vec![20]));
     }
 
     #[test]

@@ -1,0 +1,93 @@
+//! Single-value checkpoint files.
+//!
+//! A checkpoint is a log file with exactly one record (kind
+//! [`CHECKPOINT_RECORD`]) holding the serialized state tree. Writes go to
+//! a sibling temp file first and are renamed into place, so an interrupted
+//! write leaves either the previous checkpoint or none — never a torn one.
+//! All the framing guarantees of [`crate::log`] apply: a corrupt or
+//! truncated checkpoint reads back as a clean error.
+
+use crate::log::{LogReader, LogWriter};
+use crate::StoreError;
+use serde::Value;
+use std::path::Path;
+
+/// Record kind used for the single checkpoint record.
+pub const CHECKPOINT_RECORD: u8 = 0xC0;
+
+/// Atomically writes `state` as a checkpoint at `path`.
+pub fn write_checkpoint(path: &Path, config_hash: u64, state: &Value) -> Result<(), StoreError> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    let mut w = LogWriter::create(&tmp, config_hash)?;
+    w.append(CHECKPOINT_RECORD, state)?;
+    w.finish()?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Reads a checkpoint back as `(config_hash, state)`.
+pub fn read_checkpoint(path: &Path) -> Result<(u64, Value), StoreError> {
+    let r = LogReader::open(path)?;
+    let mut iter = r.iter();
+    let rec = iter
+        .next()
+        .ok_or_else(|| StoreError::Schema("checkpoint file has no record".into()))??;
+    if rec.kind != CHECKPOINT_RECORD {
+        return Err(StoreError::Schema(format!(
+            "expected checkpoint record, got kind 0x{:02X}",
+            rec.kind
+        )));
+    }
+    let state = rec.value()?;
+    if iter.next().is_some() {
+        return Err(StoreError::Schema("checkpoint file has trailing records".into()));
+    }
+    Ok((r.header().config_hash, state))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Value;
+
+    #[test]
+    fn round_trip_and_atomicity() {
+        let path = std::env::temp_dir().join(format!(
+            "surgescope-ckpt-test-{}.ckpt",
+            std::process::id()
+        ));
+        let state = Value::Map(vec![
+            ("tick".into(), Value::U64(1440)),
+            ("rng".into(), Value::Seq(vec![Value::U64(1), Value::U64(2)])),
+        ]);
+        write_checkpoint(&path, 42, &state).unwrap();
+        let (hash, back) = read_checkpoint(&path).unwrap();
+        assert_eq!(hash, 42);
+        assert_eq!(back, state);
+        // Overwrite replaces the old checkpoint; no temp file lingers.
+        write_checkpoint(&path, 43, &Value::Null).unwrap();
+        let (hash, back) = read_checkpoint(&path).unwrap();
+        assert_eq!((hash, back), (43, Value::Null));
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        assert!(!std::path::PathBuf::from(tmp).exists());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_errors_cleanly() {
+        let path = std::env::temp_dir().join(format!(
+            "surgescope-ckpt-corrupt-{}.ckpt",
+            std::process::id()
+        ));
+        write_checkpoint(&path, 1, &Value::Str("state".into())).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(read_checkpoint(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+}

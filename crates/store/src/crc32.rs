@@ -1,0 +1,58 @@
+//! CRC-32 (IEEE 802.3, polynomial 0xEDB88320), table-driven.
+//!
+//! Hand-rolled because the offline dependency set has no checksum crate.
+//! The parameters match zlib's `crc32()`, so log files can be spot-checked
+//! with standard tools.
+
+/// Lazily built 256-entry lookup table for the reflected polynomial.
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, entry) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *entry = c;
+        }
+        t
+    })
+}
+
+/// CRC-32 of `data` (initial value 0, standard pre/post inversion).
+pub fn crc32(data: &[u8]) -> u32 {
+    let t = table();
+    let mut c: u32 = 0xFFFF_FFFF;
+    for &b in data {
+        c = t[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::crc32;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn sensitive_to_single_bit_flips() {
+        let data = b"surgescope campaign record".to_vec();
+        let base = crc32(&data);
+        for i in 0..data.len() {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[i] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), base, "flip at byte {i} bit {bit}");
+            }
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Content hashing for config identity.
+//!
+//! The campaign config hash keys the disk cache, names checkpoint/log
+//! files, and is embedded in every file header so a log can never be
+//! replayed against the wrong configuration. FNV-1a over the canonical
+//! binary encoding is sufficient: the hash gates *identity*, not
+//! adversarial collisions.
+
+use crate::codec::encode_to_vec;
+use serde::{Serialize, Value};
+
+/// 64-bit FNV-1a over a byte slice.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Hash of a [`Value`]'s canonical binary encoding.
+pub fn value_hash(v: &Value) -> u64 {
+    fnv1a64(&encode_to_vec(v))
+}
+
+/// Hash of any serializable value (via its [`Value`] tree).
+pub fn hash_of<T: Serialize + ?Sized>(v: &T) -> u64 {
+    value_hash(&v.to_value())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_known_vectors() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn value_hash_distinguishes_values() {
+        let a = value_hash(&Value::Seq(vec![Value::U64(1), Value::U64(2)]));
+        let b = value_hash(&Value::Seq(vec![Value::U64(2), Value::U64(1)]));
+        assert_ne!(a, b);
+        // f64 NaN payloads hash by bits, not by float equality.
+        let n1 = value_hash(&Value::F64(f64::from_bits(0x7FF8_0000_0000_0001)));
+        let n2 = value_hash(&Value::F64(f64::from_bits(0x7FF8_0000_0000_0002)));
+        assert_ne!(n1, n2);
+    }
+}

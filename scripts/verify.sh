@@ -16,11 +16,26 @@ cargo test -q
 echo "== transport: parallelism determinism (clean + faulted) =="
 # The campaign observation series must be bit-identical at any thread
 # count, with and without transport faults (NaN gaps compare as bits).
-cargo test -q --release --test determinism \
+cargo test -q --release --test determinism -- \
   parallel_fanout_matches_serial_bit_for_bit \
   faulted_campaign_bit_identical_across_parallelism
 
 echo "== transport: fault-tolerance gate =="
 cargo test -q --release --test fault_tolerance
+
+echo "== store: checkpoint-resume determinism (4 h campaign, checkpoint at 2 h) =="
+# A campaign interrupted at a tick boundary and resumed from its
+# checkpoint must finish bit-identical to the uninterrupted run (NaN
+# gaps compared as bit patterns), under a laggy/lossy transport with
+# messages still in flight at the checkpoint, at parallelism 1 and 4 —
+# and the event log must replay to the same bytes without re-simulation.
+cargo test -q --release -p surgescope-core --test checkpoint_resume \
+  -- --ignored four_hour_campaign_checkpoint_at_two_hours_gate
+
+echo "== store: corrupted-log handling =="
+# Truncated tails and flipped bits must surface clean errors, not panics.
+cargo test -q --release -p surgescope-core --test checkpoint_resume -- \
+  truncated_log_errors_cleanly \
+  corrupted_log_fails_crc_cleanly
 
 echo "verify: all gates passed"

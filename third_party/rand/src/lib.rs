@@ -149,6 +149,22 @@ pub mod rngs {
         }
     }
 
+    impl SmallRng {
+        /// Exposes the raw xoshiro256++ state so callers can persist a
+        /// generator mid-stream (checkpoint/restore).
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a previously captured [`state`].
+        /// The continuation stream is bit-identical to the original's.
+        ///
+        /// [`state`]: SmallRng::state
+        pub fn from_state(s: [u64; 4]) -> Self {
+            SmallRng { s }
+        }
+    }
+
     impl RngCore for SmallRng {
         fn next_u64(&mut self) -> u64 {
             let result = self.s[0]

@@ -275,6 +275,21 @@ impl<T: Deserialize> Deserialize for VecDeque<T> {
     }
 }
 
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(T::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let vec = Vec::<T>::from_value(v)?;
+        let got = vec.len();
+        vec.try_into()
+            .map_err(|_| Error::custom(format!("expected {N}-element array, got {got}")))
+    }
+}
+
 impl<A: Serialize, B: Serialize> Serialize for (A, B) {
     fn to_value(&self) -> Value {
         Value::Seq(vec![self.0.to_value(), self.1.to_value()])
