@@ -33,7 +33,7 @@ mod service;
 pub use jitter::{JitterConfig, JitterWindow};
 pub use messages::{CarInfo, PingClientResponse, PriceEstimate, TimeEstimate, TypeStatus};
 pub use ratelimit::{RateLimitError, RateLimiter};
-pub use service::{ApiService, ProtocolEra, WorldSnapshot, NEAREST_CARS_SHOWN};
+pub use service::{ApiService, PingConfig, ProtocolEra, SnapCar, WorldSnapshot, NEAREST_CARS_SHOWN};
 
 #[cfg(test)]
 mod proptests {

@@ -6,6 +6,7 @@
 //! 391 GB of captured responses (just smaller).
 
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use surgescope_city::CarType;
 use surgescope_geo::LatLng;
 use surgescope_simcore::SimTime;
@@ -17,8 +18,10 @@ pub struct CarInfo {
     pub id: u64,
     /// Reported position.
     pub position: LatLng,
-    /// Recent positions, oldest first (the "path vector").
-    pub path: Vec<LatLng>,
+    /// Recent positions, oldest first (the "path vector"). Shared with
+    /// the snapshot that served the ping — every client seeing the same
+    /// car in the same tick shares one allocation (wire shape unchanged).
+    pub path: Arc<Vec<LatLng>>,
 }
 
 /// Per-tier block of a pingClient response.
@@ -93,7 +96,7 @@ mod tests {
                     cars: vec![CarInfo {
                         id: 42,
                         position: LatLng::new(40.751, -73.981),
-                        path: vec![LatLng::new(40.7505, -73.9805)],
+                        path: Arc::new(vec![LatLng::new(40.7505, -73.9805)]),
                     }],
                     ewt_min: 3.0,
                     surge: 1.5,

@@ -11,9 +11,10 @@ use crate::jitter::JitterConfig;
 use crate::messages::{CarInfo, PingClientResponse, PriceEstimate, TimeEstimate, TypeStatus};
 use crate::ratelimit::{RateLimitError, RateLimiter};
 use serde::{Deserialize, Serialize};
-use surgescope_city::{AreaId, CarType};
+use std::sync::Arc;
+use surgescope_city::{AreaId, CarType, CityModel};
 use surgescope_geo::{LatLng, Meters, SpatialGrid};
-use surgescope_marketplace::{Marketplace, SurgeSnapshot, VisibleCar};
+use surgescope_marketplace::{Marketplace, MarketplaceConfig, SurgeSnapshot};
 use surgescope_simcore::{SimRng, SimTime};
 
 /// The client app shows at most this many cars per tier (§3.3).
@@ -30,22 +31,48 @@ pub enum ProtocolEra {
     Apr2015,
 }
 
+/// One visible car as frozen into a [`WorldSnapshot`]: session identity,
+/// positions, and the protocol-shaped path trace materialized *once* —
+/// every client served from the snapshot shares the same `Arc`'d points
+/// instead of re-collecting the trace per ping.
+pub struct SnapCar {
+    /// Randomized per-session public ID.
+    pub id: u64,
+    /// Planar position.
+    pub position: Meters,
+    /// Geographic position.
+    pub latlng: LatLng,
+    /// Recent positions, oldest first, ready to drop into a
+    /// [`CarInfo`] without copying.
+    pub path: Arc<Vec<LatLng>>,
+}
+
 /// A read-only view of the marketplace taken once per tick, with visible
 /// cars pre-grouped by tier — and bucketed into a [`SpatialGrid`] per tier
 /// — so a 43-client fleet neither rescans the driver table nine times per
 /// client nor sorts a tier's whole inventory per nearest-8 query.
-pub struct WorldSnapshot<'a> {
-    mp: &'a Marketplace,
+///
+/// The snapshot is *owned* (city model behind an `Arc`, surge boards
+/// cloned): it borrows nothing from the marketplace, so it can cross
+/// thread boundaries and outlive the tick that produced it — the fan-out
+/// worker pool and delayed-transport machinery both rely on that.
+pub struct WorldSnapshot {
+    city: Arc<CityModel>,
+    cfg: MarketplaceConfig,
     now: SimTime,
-    by_type: Vec<(CarType, Vec<VisibleCar>)>,
+    by_type: Vec<(CarType, Vec<SnapCar>)>,
     /// One spatial index per `by_type` entry, over the same car order.
     grids: Vec<SpatialGrid<()>>,
+    /// Surge boards in force when the snapshot was taken (the protocol
+    /// layer serves stale-vs-fresh multipliers from these).
+    surge_current: SurgeSnapshot,
+    surge_previous: SurgeSnapshot,
 }
 
-impl<'a> WorldSnapshot<'a> {
+impl WorldSnapshot {
     /// Captures the marketplace state at the top of the current tick.
-    pub fn of(mp: &'a Marketplace) -> Self {
-        let mut by_type: Vec<(CarType, Vec<VisibleCar>)> = mp
+    pub fn of(mp: &Marketplace) -> Self {
+        let mut by_type: Vec<(CarType, Vec<SnapCar>)> = mp
             .city()
             .fleet_mix
             .iter()
@@ -54,7 +81,12 @@ impl<'a> WorldSnapshot<'a> {
             .collect();
         for car in mp.visible_cars() {
             if let Some((_, v)) = by_type.iter_mut().find(|(t, _)| *t == car.car_type) {
-                v.push(car);
+                v.push(SnapCar {
+                    id: car.session.0,
+                    position: car.position,
+                    latlng: car.latlng,
+                    path: Arc::new(car.path.points().collect()),
+                });
             }
         }
         let grids = by_type
@@ -63,7 +95,15 @@ impl<'a> WorldSnapshot<'a> {
                 SpatialGrid::build_auto(cars.iter().map(|c| (c.position, ())).collect())
             })
             .collect();
-        WorldSnapshot { mp, now: mp.now(), by_type, grids }
+        WorldSnapshot {
+            city: mp.city_arc(),
+            cfg: *mp.config(),
+            now: mp.now(),
+            by_type,
+            grids,
+            surge_current: mp.surge_engine().current().clone(),
+            surge_previous: mp.surge_engine().previous().clone(),
+        }
     }
 
     /// Snapshot time.
@@ -71,13 +111,13 @@ impl<'a> WorldSnapshot<'a> {
         self.now
     }
 
-    /// The underlying marketplace.
-    pub fn marketplace(&self) -> &Marketplace {
-        self.mp
+    /// The city model the snapshot was taken over.
+    pub fn city(&self) -> &CityModel {
+        &self.city
     }
 
     /// Visible cars of one tier (unsorted).
-    pub fn cars_of(&self, t: CarType) -> &[VisibleCar] {
+    pub fn cars_of(&self, t: CarType) -> &[SnapCar] {
         self.by_type
             .iter()
             .find(|(ct, _)| *ct == t)
@@ -98,7 +138,7 @@ impl<'a> WorldSnapshot<'a> {
     /// `(distance, car index)` — is what the previous full stable sort by
     /// distance produced (the grid also sidesteps that sort's NaN-unsafe
     /// `partial_cmp(..).unwrap()` comparator).
-    fn nearest(&self, t: CarType, pos: Meters, k: usize) -> Vec<&VisibleCar> {
+    fn nearest(&self, t: CarType, pos: Meters, k: usize) -> Vec<&SnapCar> {
         let Some(ti) = self.tier_index(t) else { return Vec::new() };
         let cars = &self.by_type[ti].1;
         self.grids[ti].k_nearest(pos, k).into_iter().map(|i| &cars[i]).collect()
@@ -109,7 +149,7 @@ impl<'a> WorldSnapshot<'a> {
     /// time is monotone in rectilinear distance, so the nearest-L1 car
     /// from the grid yields the same minimum the full scan found.
     pub fn ewt_minutes(&self, pos: Meters, t: CarType) -> f64 {
-        let cfg = self.mp.config();
+        let cfg = &self.cfg;
         let nearest = self.tier_index(t).and_then(|ti| {
             self.grids[ti]
                 .nearest_l1(pos, |_| true)
@@ -117,12 +157,28 @@ impl<'a> WorldSnapshot<'a> {
         });
         match nearest {
             Some(car_pos) => {
-                let best = self.mp.city().drive_time_secs(car_pos, pos, self.now);
+                let best = self.city.drive_time_secs(car_pos, pos, self.now);
                 ((best + cfg.dispatch_overhead_secs) / 60.0).max(1.0)
             }
             None => cfg.default_ewt_min,
         }
     }
+}
+
+/// The stateless core of the protocol endpoint: everything a pingClient
+/// response depends on besides the [`WorldSnapshot`] itself. `Copy`, so
+/// fan-out worker threads carry their own and answer pings without
+/// touching the service (whose only mutable state, the rate limiter,
+/// guards the *estimates* endpoints — pingClient was never throttled).
+#[derive(Debug, Clone, Copy)]
+pub struct PingConfig {
+    era: ProtocolEra,
+    jitter: JitterConfig,
+    bug_seed: u64,
+    /// Std-dev of the Gaussian perturbation applied to car positions in
+    /// pingClient responses. Uber stated that "car locations may be
+    /// slightly perturbed to protect drivers' safety" (§3.3); 0 disables.
+    location_noise_m: f64,
 }
 
 /// The protocol endpoint.
@@ -131,14 +187,8 @@ impl<'a> WorldSnapshot<'a> {
 /// consistency-bug configuration); all marketplace state arrives through
 /// [`WorldSnapshot`]s.
 pub struct ApiService {
-    era: ProtocolEra,
-    jitter: JitterConfig,
-    bug_seed: u64,
+    ping: PingConfig,
     limiter: RateLimiter,
-    /// Std-dev of the Gaussian perturbation applied to car positions in
-    /// pingClient responses. Uber stated that "car locations may be
-    /// slightly perturbed to protect drivers' safety" (§3.3); 0 disables.
-    location_noise_m: f64,
 }
 
 /// What kind of consumer is asking for a multiplier — the propagation
@@ -154,30 +204,37 @@ impl ApiService {
     /// parameterizes the consistency bug's randomness.
     pub fn new(era: ProtocolEra, bug_seed: u64) -> Self {
         ApiService {
-            era,
-            jitter: JitterConfig::default(),
-            bug_seed,
+            ping: PingConfig {
+                era,
+                jitter: JitterConfig::default(),
+                bug_seed,
+                location_noise_m: 0.0,
+            },
             limiter: RateLimiter::default(),
-            location_noise_m: 0.0,
         }
     }
 
     /// Enables driver-safety location perturbation (builder style).
     pub fn with_location_noise(mut self, sigma_m: f64) -> Self {
         assert!(sigma_m >= 0.0, "negative noise");
-        self.location_noise_m = sigma_m;
+        self.ping.location_noise_m = sigma_m;
         self
     }
 
     /// Overrides the jitter tuning (ablation benches sweep this).
     pub fn with_jitter(mut self, jitter: JitterConfig) -> Self {
-        self.jitter = jitter;
+        self.ping.jitter = jitter;
         self
     }
 
     /// The era this service speaks.
     pub fn era(&self) -> ProtocolEra {
-        self.era
+        self.ping.era
+    }
+
+    /// The stateless ping core, for fan-out workers.
+    pub fn ping_config(&self) -> PingConfig {
+        self.ping
     }
 
     /// The rate limiter's current state — the only mutable state the
@@ -192,6 +249,74 @@ impl ApiService {
         self.limiter = limiter;
     }
 
+    /// Handles a pingClient request from `client_key` at `location`.
+    /// Unlimited (the paper's 43 clients pinged every 5 s for weeks
+    /// without throttling).
+    pub fn ping_client(
+        &self,
+        snap: &WorldSnapshot,
+        client_key: u64,
+        location: LatLng,
+    ) -> PingClientResponse {
+        self.ping.ping_client(snap, client_key, location)
+    }
+
+    /// `estimates/price`: price ranges (with multipliers) for a reference
+    /// 5-mile / 15-minute trip from `location`. Rate-limited per account;
+    /// callers must treat the `Err` as a gap (record NaN, keep running),
+    /// never abort a campaign over one throttled probe.
+    pub fn estimates_price(
+        &mut self,
+        snap: &WorldSnapshot,
+        account: u64,
+        location: LatLng,
+    ) -> Result<Vec<PriceEstimate>, RateLimitError> {
+        self.limiter.check(account, snap.now())?;
+        let city = snap.city();
+        let pos = city.projection.to_meters(location);
+        let area = city.area_of(pos);
+        Ok(snap
+            .offered_types()
+            .map(|t| {
+                let surge =
+                    self.ping.visible_surge(snap, snap.now(), area, t, Consumer::Api, account);
+                let schedule = city.fare_schedule(t);
+                let mid = schedule.fare(5.0 * 1609.344, 15.0 * 60.0, surge.max(1.0));
+                PriceEstimate {
+                    car_type: t,
+                    surge_multiplier: surge,
+                    low_estimate: (mid * 0.9).floor(),
+                    high_estimate: (mid * 1.1).ceil(),
+                }
+            })
+            .collect())
+    }
+
+    /// `estimates/time`: pickup ETAs in seconds. Rate-limited per account.
+    pub fn estimates_time(
+        &mut self,
+        snap: &WorldSnapshot,
+        account: u64,
+        location: LatLng,
+    ) -> Result<Vec<TimeEstimate>, RateLimitError> {
+        self.limiter.check(account, snap.now())?;
+        let pos = snap.city().projection.to_meters(location);
+        Ok(snap
+            .offered_types()
+            .map(|t| TimeEstimate {
+                car_type: t,
+                estimate_secs: (snap.ewt_minutes(pos, t) * 60.0).round() as u64,
+            })
+            .collect())
+    }
+
+    /// Remaining API budget for an account this hour (diagnostic).
+    pub fn remaining_quota(&self, account: u64, now: SimTime) -> u32 {
+        self.limiter.remaining(account, now)
+    }
+}
+
+impl PingConfig {
     /// Per-interval propagation delay: multipliers recompute exactly on
     /// the 5-minute boundary but reach consumers a little later — within a
     /// ~35 s range for the API (and Feb-era clients), within ~2 min for
@@ -213,10 +338,11 @@ impl ApiService {
 
     /// The multiplier a consumer sees for `(area, tier)` at time `now`,
     /// accounting for propagation delay and (for Apr-era clients) the
-    /// consistency bug.
+    /// consistency bug. Stale values come from the snapshot's frozen
+    /// surge boards — identical to the live engine's at snapshot time.
     fn visible_surge(
         &self,
-        mp: &Marketplace,
+        snap: &WorldSnapshot,
         now: SimTime,
         area: Option<AreaId>,
         t: CarType,
@@ -224,26 +350,25 @@ impl ApiService {
         client_key: u64,
     ) -> f64 {
         let Some(area) = area else { return 1.0 };
-        let engine = mp.surge_engine();
         let interval = now.surge_interval();
         let elapsed = now.seconds_into_surge_interval();
 
-        let pick = |snap: &SurgeSnapshot| snap.multiplier(area, t);
+        let pick = |board: &SurgeSnapshot| board.multiplier(area, t);
 
         // Not yet propagated: everyone sees the previous interval's value.
         if elapsed < self.update_delay(interval, consumer) {
-            return pick(engine.previous());
+            return pick(&snap.surge_previous);
         }
         // The consistency bug: Apr-era clients may fall into a stale
         // window anywhere in the interval.
         if consumer == Consumer::Client && self.era == ProtocolEra::Apr2015 {
             if let Some(w) = self.jitter.window(self.bug_seed, client_key, interval) {
                 if w.contains(elapsed) {
-                    return pick(engine.previous());
+                    return pick(&snap.surge_previous);
                 }
             }
         }
-        pick(engine.current())
+        pick(&snap.surge_current)
     }
 
     /// Deterministic per-(car, tick) Gaussian position perturbation —
@@ -260,18 +385,34 @@ impl ApiService {
         p.offset_m(de, dn)
     }
 
-    /// Handles a pingClient request from `client_key` at `location`.
-    /// Unlimited (the paper's 43 clients pinged every 5 s for weeks
-    /// without throttling).
+    /// Answers a pingClient request against a snapshot. Pure: usable from
+    /// any fan-out worker thread without touching the [`ApiService`].
     pub fn ping_client(
         &self,
-        snap: &WorldSnapshot<'_>,
+        snap: &WorldSnapshot,
         client_key: u64,
         location: LatLng,
     ) -> PingClientResponse {
-        let mp = snap.marketplace();
-        let pos = mp.city().projection.to_meters(location);
-        let area = mp.city().area_of(pos);
+        let city = snap.city();
+        let now = snap.now();
+        let pos = city.projection.to_meters(location);
+        let area = city.area_of(pos);
+        // Which surge board this client reads is tier-independent: the
+        // propagation delay keys on the interval, the bug window on the
+        // client. Resolve the board once; the tier loop only indexes it
+        // (`update_delay`/`window` are pure, so hoisting them out of the
+        // loop yields bit-identical multipliers).
+        let board = area.map(|_| {
+            let interval = now.surge_interval();
+            let elapsed = now.seconds_into_surge_interval();
+            let stale = elapsed < self.update_delay(interval, Consumer::Client)
+                || (self.era == ProtocolEra::Apr2015
+                    && self
+                        .jitter
+                        .window(self.bug_seed, client_key, interval)
+                        .is_some_and(|w| w.contains(elapsed)));
+            if stale { &snap.surge_previous } else { &snap.surge_current }
+        });
         let statuses = snap
             .offered_types()
             .map(|t| {
@@ -279,75 +420,23 @@ impl ApiService {
                     .nearest(t, pos, NEAREST_CARS_SHOWN)
                     .into_iter()
                     .map(|c| CarInfo {
-                        id: c.session.0,
-                        position: self.perturb(c.latlng, c.session.0, snap.now()),
-                        path: c.path.points().collect(),
+                        id: c.id,
+                        position: self.perturb(c.latlng, c.id, now),
+                        path: Arc::clone(&c.path),
                     })
                     .collect();
                 TypeStatus {
                     car_type: t,
                     cars,
                     ewt_min: snap.ewt_minutes(pos, t),
-                    surge: self.visible_surge(mp, snap.now(), area, t, Consumer::Client, client_key),
+                    surge: match (board, area) {
+                        (Some(b), Some(a)) => b.multiplier(a, t),
+                        _ => 1.0,
+                    },
                 }
             })
             .collect();
-        PingClientResponse { at: snap.now(), location, statuses }
-    }
-
-    /// `estimates/price`: price ranges (with multipliers) for a reference
-    /// 5-mile / 15-minute trip from `location`. Rate-limited per account;
-    /// callers must treat the `Err` as a gap (record NaN, keep running),
-    /// never abort a campaign over one throttled probe.
-    pub fn estimates_price(
-        &mut self,
-        snap: &WorldSnapshot<'_>,
-        account: u64,
-        location: LatLng,
-    ) -> Result<Vec<PriceEstimate>, RateLimitError> {
-        self.limiter.check(account, snap.now())?;
-        let mp = snap.marketplace();
-        let pos = mp.city().projection.to_meters(location);
-        let area = mp.city().area_of(pos);
-        Ok(snap
-            .offered_types()
-            .map(|t| {
-                let surge =
-                    self.visible_surge(mp, snap.now(), area, t, Consumer::Api, account);
-                let schedule = mp.city().fare_schedule(t);
-                let mid = schedule.fare(5.0 * 1609.344, 15.0 * 60.0, surge.max(1.0));
-                PriceEstimate {
-                    car_type: t,
-                    surge_multiplier: surge,
-                    low_estimate: (mid * 0.9).floor(),
-                    high_estimate: (mid * 1.1).ceil(),
-                }
-            })
-            .collect())
-    }
-
-    /// `estimates/time`: pickup ETAs in seconds. Rate-limited per account.
-    pub fn estimates_time(
-        &mut self,
-        snap: &WorldSnapshot<'_>,
-        account: u64,
-        location: LatLng,
-    ) -> Result<Vec<TimeEstimate>, RateLimitError> {
-        self.limiter.check(account, snap.now())?;
-        let mp = snap.marketplace();
-        let pos = mp.city().projection.to_meters(location);
-        Ok(snap
-            .offered_types()
-            .map(|t| TimeEstimate {
-                car_type: t,
-                estimate_secs: (snap.ewt_minutes(pos, t) * 60.0).round() as u64,
-            })
-            .collect())
-    }
-
-    /// Remaining API budget for an account this hour (diagnostic).
-    pub fn remaining_quota(&self, account: u64, now: SimTime) -> u32 {
-        self.limiter.remaining(account, now)
+        PingClientResponse { at: now, location, statuses }
     }
 }
 
@@ -505,11 +594,11 @@ mod tests {
         let feb = ApiService::new(ProtocolEra::Feb2015, 3);
         let apr = ApiService::new(ProtocolEra::Apr2015, 3);
         for i in 0..500 {
-            let d_api = feb.update_delay(i, Consumer::Api);
+            let d_api = feb.ping.update_delay(i, Consumer::Api);
             assert!((5..40).contains(&d_api));
-            let d_feb = feb.update_delay(i, Consumer::Client);
+            let d_feb = feb.ping.update_delay(i, Consumer::Client);
             assert!((5..40).contains(&d_feb));
-            let d_apr = apr.update_delay(i, Consumer::Client);
+            let d_apr = apr.ping.update_delay(i, Consumer::Client);
             assert!((5..125).contains(&d_apr));
         }
     }

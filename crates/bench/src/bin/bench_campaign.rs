@@ -102,6 +102,53 @@ fn run_replay(threads: usize) -> ReplayPoint {
     }
 }
 
+/// Cross-campaign scheduler throughput: N distinct small campaigns
+/// drained from a shared work queue by `jobs` workers into one
+/// thread-safe cache — the exact shape of `repro --jobs N`'s prefetch.
+struct SchedulerPoint {
+    jobs: usize,
+    campaigns: usize,
+    wall_secs: f64,
+    campaigns_per_min: f64,
+}
+
+fn run_scheduler(jobs: usize) -> SchedulerPoint {
+    use surgescope_experiments::cache::{CampaignCache, City};
+    use surgescope_experiments::RunCtx;
+    // Distinct seeds ⇒ distinct cache keys ⇒ no dedup: every task is a
+    // full simulation. Inner parallelism pinned to 1 so the scheduler's
+    // scaling is measured, not the tick fan-out's.
+    let cfgs: Vec<CampaignConfig> = (0..4)
+        .map(|i| CampaignConfig {
+            hours: 1,
+            era: ProtocolEra::Apr2015,
+            scale: 0.5,
+            parallelism: 1,
+            ..CampaignConfig::test_default(3000 + i)
+        })
+        .collect();
+    let n = cfgs.len();
+    let ctx = RunCtx::quick(2026); // no out_dir ⇒ memory-only cache
+    let cache = CampaignCache::new();
+    let start = Instant::now();
+    let queue = std::sync::Mutex::new(cfgs);
+    std::thread::scope(|s| {
+        for _ in 0..jobs.min(n) {
+            s.spawn(|| loop {
+                let Some(cfg) = queue.lock().expect("bench queue").pop() else { break };
+                cache.campaign_custom(City::SanFrancisco, cfg, &ctx);
+            });
+        }
+    });
+    let wall_secs = start.elapsed().as_secs_f64();
+    SchedulerPoint {
+        jobs,
+        campaigns: n,
+        wall_secs,
+        campaigns_per_min: n as f64 / wall_secs.max(1e-9) * 60.0,
+    }
+}
+
 fn main() {
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let points = [
@@ -115,6 +162,7 @@ fn main() {
         ),
     ];
     let replay = run_replay(threads);
+    let sched = [run_scheduler(1), run_scheduler(threads.max(2))];
 
     let mut runs = String::new();
     for (i, p) in points.iter().enumerate() {
@@ -127,6 +175,17 @@ fn main() {
             p.label, p.wall_secs, p.ticks_per_sec, p.gap_frac,
         ));
     }
+    let mut sched_json = String::new();
+    for (i, p) in sched.iter().enumerate() {
+        if i > 0 {
+            sched_json.push_str(",\n");
+        }
+        sched_json.push_str(&format!(
+            "    {{\n      \"jobs\": {},\n      \"campaigns\": {},\n      \
+             \"wall_secs\": {:.3},\n      \"campaigns_per_min\": {:.2}\n    }}",
+            p.jobs, p.campaigns, p.wall_secs, p.campaigns_per_min,
+        ));
+    }
     let base = &points[0];
     let json = format!(
         "{{\n  \"city\": \"SF Downtown\",\n  \"hours\": 2,\n  \"scale\": 1.0,\n  \
@@ -134,7 +193,7 @@ fn main() {
          \"wall_secs\": {wall:.3},\n  \"ticks_per_sec\": {tps:.2},\n  \"runs\": [\n{runs}\n  ],\n  \
          \"store\": {{\n    \"logged_wall_secs\": {lw:.3},\n    \"replay_wall_secs\": {rw:.3},\n    \
          \"replay_ticks_per_sec\": {rtps:.2},\n    \"log_bytes\": {lb},\n    \
-         \"log_bytes_per_tick\": {lbpt:.1}\n  }}\n}}\n",
+         \"log_bytes_per_tick\": {lbpt:.1}\n  }},\n  \"scheduler\": [\n{sched_json}\n  ]\n}}\n",
         clients = base.clients,
         ticks = base.ticks,
         wall = base.wall_secs,
@@ -166,4 +225,10 @@ fn main() {
         replay.replay_ticks_per_sec,
         replay.logged_wall_secs,
     );
+    for p in &sched {
+        eprintln!(
+            "scheduler[jobs={}]: {} campaigns in {:.2}s ({:.1} campaigns/min)",
+            p.jobs, p.campaigns, p.wall_secs, p.campaigns_per_min,
+        );
+    }
 }

@@ -27,7 +27,7 @@ use crate::persist;
 use crate::systems::{MeasuredSystem, TaxiSystem, UberSystem};
 use crate::transitions::TransitionTracker;
 use serde::{Deserialize, Serialize, Value};
-use std::collections::HashSet;
+use surgescope_simcore::FastHashSet;
 use std::path::{Path, PathBuf};
 use surgescope_api::{ApiService, ProtocolEra, RateLimiter};
 use surgescope_city::{CarType, CityModel};
@@ -283,9 +283,9 @@ pub struct CampaignRunner {
     client_ewt: Vec<Vec<f32>>,
     api_surge: Vec<Vec<f32>>,
     api_ewt: Vec<Vec<f32>>,
-    daily_sets: Vec<HashSet<u64>>,
+    daily_sets: Vec<FastHashSet<u64>>,
     client_daily_cars: Vec<Vec<u32>>,
-    interval_sets: Vec<HashSet<u64>>,
+    interval_sets: Vec<FastHashSet<u64>>,
     interval_car_sum: Vec<f64>,
     // Per-client count of intervals with at least one delivered ping;
     // an interval the client never heard from is a gap, not a zero.
@@ -294,7 +294,7 @@ pub struct CampaignRunner {
     avg_visible: Vec<Vec<f32>>,
     /// Scratch, cleared within every tick — always empty at checkpoint
     /// boundaries, so never serialized.
-    tick_area_sets: Vec<HashSet<u64>>,
+    tick_area_sets: Vec<FastHashSet<u64>>,
     inst_sum: Vec<f64>,
     inst_ticks: u64,
     ewt_sum: Vec<f64>,
@@ -370,14 +370,14 @@ impl CampaignRunner {
             client_ewt: vec![Vec::with_capacity(ticks_total); n],
             api_surge: vec![Vec::new(); n_areas],
             api_ewt: vec![Vec::new(); n_areas],
-            daily_sets: vec![HashSet::new(); n],
+            daily_sets: vec![FastHashSet::default(); n],
             client_daily_cars: vec![Vec::new(); n],
-            interval_sets: vec![HashSet::new(); n],
+            interval_sets: vec![FastHashSet::default(); n],
             interval_car_sum: vec![0.0; n],
             interval_car_n: vec![0; n],
             interval_seen: vec![false; n],
             avg_visible: vec![Vec::new(); n_areas],
-            tick_area_sets: vec![HashSet::new(); n_areas],
+            tick_area_sets: vec![FastHashSet::default(); n_areas],
             inst_sum: vec![0.0; n_areas],
             inst_ticks: 0,
             ewt_sum: vec![0.0; n],
@@ -470,7 +470,9 @@ impl CampaignRunner {
 
         // API probe once per interval, after the propagation delay.
         if now.seconds_into_surge_interval() == PROBE_OFFSET_SECS {
-            let snap = surgescope_api::WorldSnapshot::of(&self.sys.marketplace);
+            // Same tick as ping_all above, so this reuses its cached
+            // snapshot instead of rescanning the driver table.
+            let snap = self.sys.tick_snapshot();
             let mut this_interval = Vec::with_capacity(self.n_areas);
             let mut limited_logged = self.probe_limited_logged;
             for (ai, centroid) in self.centroids.iter().enumerate() {
@@ -580,7 +582,7 @@ impl CampaignRunner {
     /// boundary. Self-contained: carries the config and the post-scale
     /// city, so [`CampaignRunner::resume`] needs nothing else.
     pub fn checkpoint_value(&self) -> Value {
-        let sorted = |sets: &[HashSet<u64>]| -> Value {
+        let sorted = |sets: &[FastHashSet<u64>]| -> Value {
             sets.iter()
                 .map(|s| {
                     let mut ids: Vec<u64> = s.iter().copied().collect();
@@ -677,7 +679,7 @@ impl CampaignRunner {
         let transitions =
             TransitionTracker::restore_state(area_polys, adjacency, v.field("transitions")?)?;
 
-        let from_sets = |v: &Value| -> Result<Vec<HashSet<u64>>, serde::Error> {
+        let from_sets = |v: &Value| -> Result<Vec<FastHashSet<u64>>, serde::Error> {
             Ok(Vec::<Vec<u64>>::from_value(v)?
                 .into_iter()
                 .map(|ids| ids.into_iter().collect())
@@ -733,7 +735,7 @@ impl CampaignRunner {
             interval_car_sum: Vec::<f64>::from_value(v.field("interval_car_sum")?)?,
             interval_car_n: Vec::<u64>::from_value(v.field("interval_car_n")?)?,
             interval_seen: Vec::<bool>::from_value(v.field("interval_seen")?)?,
-            tick_area_sets: vec![HashSet::new(); n_areas],
+            tick_area_sets: vec![FastHashSet::default(); n_areas],
             inst_sum: Vec::<f64>::from_value(v.field("inst_sum")?)?,
             inst_ticks: u64::from_value(v.field("inst_ticks")?)?,
             ewt_sum: Vec::<f64>::from_value(v.field("ewt_sum")?)?,

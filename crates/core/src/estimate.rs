@@ -15,7 +15,8 @@
 
 use crate::observe::TypeObservation;
 use serde::{Deserialize, Error, Serialize, Value};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
+use surgescope_simcore::{FastHashMap, FastHashSet};
 use surgescope_city::CarType;
 use surgescope_geo::{Meters, Polygon};
 use surgescope_simcore::SimTime;
@@ -77,15 +78,15 @@ pub struct SupplyDemandEstimator {
     /// Surge-area polygons for per-area attribution (may be empty, e.g.
     /// for the taxi validation where only totals matter).
     areas: Vec<Polygon>,
-    live: HashMap<u64, LiveCar>,
+    live: FastHashMap<u64, LiveCar>,
     /// Persistent per-ID history: a car keeps its session ID across trips
     /// (it disappears while booked and returns with the same ID), so
     /// lifespans span gaps. `(first_seen, last_seen, tier)`.
-    history: HashMap<u64, (SimTime, SimTime, CarType)>,
+    history: FastHashMap<u64, (SimTime, SimTime, CarType)>,
     // Open-interval supply sets.
     open_interval: u64,
-    ids_by_type: HashMap<CarType, HashSet<u64>>,
-    ids_by_area: Vec<HashSet<u64>>,
+    ids_by_type: FastHashMap<CarType, FastHashSet<u64>>,
+    ids_by_area: Vec<FastHashSet<u64>>,
     // Outputs.
     supply: HashMap<CarType, Vec<u32>>,
     supply_area: Vec<Vec<u32>>,
@@ -112,11 +113,11 @@ impl SupplyDemandEstimator {
             cfg,
             region,
             areas,
-            live: HashMap::new(),
-            history: HashMap::new(),
+            live: FastHashMap::default(),
+            history: FastHashMap::default(),
             open_interval: 0,
-            ids_by_type: HashMap::new(),
-            ids_by_area: vec![HashSet::new(); n_areas],
+            ids_by_type: FastHashMap::default(),
+            ids_by_area: vec![FastHashSet::default(); n_areas],
             supply: HashMap::new(),
             supply_area: vec![Vec::new(); n_areas],
             deaths: HashMap::new(),
@@ -344,13 +345,15 @@ impl SupplyDemandEstimator {
 
 /// Canonicalizes a hash map as a key-sorted pair vec so the serialized
 /// bytes never depend on `HashMap` iteration order.
-fn sorted_pairs<K: Copy + Ord, V: Clone>(m: &HashMap<K, V>) -> Vec<(K, V)> {
+fn sorted_pairs<K: Copy + Ord, V: Clone, S: std::hash::BuildHasher>(
+    m: &HashMap<K, V, S>,
+) -> Vec<(K, V)> {
     let mut v: Vec<(K, V)> = m.iter().map(|(k, val)| (*k, val.clone())).collect();
     v.sort_unstable_by_key(|(k, _)| *k);
     v
 }
 
-fn sorted_ids(s: &HashSet<u64>) -> Vec<u64> {
+fn sorted_ids(s: &FastHashSet<u64>) -> Vec<u64> {
     let mut v: Vec<u64> = s.iter().copied().collect();
     v.sort_unstable();
     v

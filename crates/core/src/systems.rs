@@ -8,7 +8,8 @@
 //! ([`TaxiSystem`]).
 
 use crate::observe::{ClientSpec, ObservedCar, TypeObservation};
-use surgescope_api::{ApiService, WorldSnapshot, NEAREST_CARS_SHOWN};
+use std::sync::{mpsc, Arc};
+use surgescope_api::{ApiService, PingConfig, WorldSnapshot, NEAREST_CARS_SHOWN};
 use surgescope_city::CarType;
 use surgescope_geo::{LocalProjection, Meters};
 use surgescope_marketplace::Marketplace;
@@ -51,6 +52,120 @@ pub struct UberSystem {
     /// of the tick snapshot written back by client index, and the
     /// transport queue is fed and drained serially in client order.
     parallelism: usize,
+    /// The fan-out worker pool, created lazily on the first parallel
+    /// `ping_all` and reused for the rest of the campaign (previously a
+    /// fresh `thread::scope` spawned `parallelism` OS threads per tick).
+    pool: Option<PingPool>,
+    /// Snapshot taken this tick, shared between `ping_all` and any
+    /// same-tick probes (campaign estimates, experiment price probes).
+    /// Invalidated at the top of `advance_tick`.
+    last_snap: Option<Arc<WorldSnapshot>>,
+}
+
+/// One chunk of a tick's fan-out, shipped to a pool worker.
+struct PingJob {
+    snap: Arc<WorldSnapshot>,
+    ping: PingConfig,
+    proj: LocalProjection,
+    clients: Arc<Vec<ClientSpec>>,
+    outcomes: Arc<Vec<FaultOutcome>>,
+    /// Client range `start..end` this job covers.
+    start: usize,
+    end: usize,
+    /// Chunk ordinal — results are written back at
+    /// `chunk * chunk_size + offset`, so arrival order is irrelevant.
+    chunk: usize,
+}
+
+/// A persistent worker pool for the per-client ping fan-out. Workers idle
+/// on their job channels between ticks; dropping the pool closes the
+/// channels and joins every thread.
+struct PingPool {
+    job_txs: Vec<mpsc::Sender<PingJob>>,
+    result_rx: mpsc::Receiver<(usize, Vec<Vec<TypeObservation>>)>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl PingPool {
+    fn new(threads: usize) -> Self {
+        let (result_tx, result_rx) = mpsc::channel();
+        let mut job_txs = Vec::with_capacity(threads);
+        let mut workers = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let (job_tx, job_rx) = mpsc::channel::<PingJob>();
+            let result_tx = result_tx.clone();
+            workers.push(std::thread::spawn(move || {
+                for job in job_rx {
+                    let mut out = Vec::with_capacity(job.end - job.start);
+                    for (c, &oc) in job.clients[job.start..job.end]
+                        .iter()
+                        .zip(&job.outcomes[job.start..job.end])
+                    {
+                        out.push(ping_one(&job.ping, &job.snap, &job.proj, c, oc));
+                    }
+                    if result_tx.send((job.chunk, out)).is_err() {
+                        return;
+                    }
+                }
+            }));
+            job_txs.push(job_tx);
+        }
+        PingPool { job_txs, result_rx, workers }
+    }
+
+    fn threads(&self) -> usize {
+        self.job_txs.len()
+    }
+
+    /// Fans `clients` out over the workers in contiguous chunks and
+    /// reassembles the answers in client order — every byte of the result
+    /// matches the serial path regardless of scheduling.
+    fn run(
+        &self,
+        snap: &Arc<WorldSnapshot>,
+        ping: PingConfig,
+        proj: LocalProjection,
+        clients: &[ClientSpec],
+        outcomes: &[FaultOutcome],
+    ) -> Vec<Vec<TypeObservation>> {
+        let n = clients.len();
+        let chunk_size = n.div_ceil(self.threads());
+        let clients = Arc::new(clients.to_vec());
+        let outcomes = Arc::new(outcomes.to_vec());
+        let mut chunks = 0;
+        for (i, start) in (0..n).step_by(chunk_size).enumerate() {
+            let job = PingJob {
+                snap: Arc::clone(snap),
+                ping,
+                proj,
+                clients: Arc::clone(&clients),
+                outcomes: Arc::clone(&outcomes),
+                start,
+                end: (start + chunk_size).min(n),
+                chunk: i,
+            };
+            self.job_txs[i].send(job).expect("ping worker exited");
+            chunks += 1;
+        }
+        let mut answered: Vec<Vec<TypeObservation>> = Vec::new();
+        answered.resize_with(n, Vec::new);
+        for _ in 0..chunks {
+            let (chunk, results) = self.result_rx.recv().expect("ping worker exited");
+            for (j, r) in results.into_iter().enumerate() {
+                answered[chunk * chunk_size + j] = r;
+            }
+        }
+        answered
+    }
+}
+
+impl Drop for PingPool {
+    fn drop(&mut self) {
+        self.job_txs.clear();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
 }
 
 impl UberSystem {
@@ -67,7 +182,19 @@ impl UberSystem {
             fault_rng,
             transport: Transport::new(),
             parallelism: 1,
+            pool: None,
+            last_snap: None,
         }
+    }
+
+    /// The world snapshot for the current tick, captured on first use and
+    /// shared (via `Arc`) by every consumer until the next `advance_tick`
+    /// — `ping_all` and same-tick probes see literally the same object.
+    pub fn tick_snapshot(&mut self) -> Arc<WorldSnapshot> {
+        if self.last_snap.is_none() {
+            self.last_snap = Some(Arc::new(WorldSnapshot::of(&self.marketplace)));
+        }
+        Arc::clone(self.last_snap.as_ref().expect("just populated"))
     }
 
     /// Enables transport fault injection on client pings. Panics on an
@@ -129,8 +256,47 @@ fn displacement_of(path: &[surgescope_geo::LatLng], proj: &LocalProjection) -> O
     Some(last.sub(first))
 }
 
+/// Answers (or drops) one client's ping against the tick snapshot. Pure:
+/// the serial path and every pool worker run exactly this function.
+fn ping_one(
+    ping: &PingConfig,
+    snap: &WorldSnapshot,
+    proj: &LocalProjection,
+    c: &ClientSpec,
+    outcome: FaultOutcome,
+) -> Vec<TypeObservation> {
+    if outcome == FaultOutcome::Drop {
+        // Dropped ping: never answered, nothing to compute.
+        return Vec::new();
+    }
+    // Delivered now or later, the answer is frozen against the
+    // send-time snapshot — a delayed response carries stale data.
+    let loc = proj.to_latlng(c.position);
+    let resp = ping.ping_client(snap, c.key, loc);
+    resp.statuses
+        .into_iter()
+        .map(|s| TypeObservation {
+            car_type: s.car_type,
+            cars: s
+                .cars
+                .iter()
+                .map(|car| ObservedCar {
+                    id: car.id,
+                    position: proj.to_meters(car.position),
+                    displacement: displacement_of(&car.path, proj),
+                })
+                .collect(),
+            ewt_min: s.ewt_min,
+            surge: s.surge,
+        })
+        .collect()
+}
+
 impl MeasuredSystem for UberSystem {
     fn advance_tick(&mut self) {
+        // The cached snapshot describes the outgoing tick; drop it before
+        // the world moves.
+        self.last_snap = None;
         self.marketplace.tick();
         self.transport.advance_tick();
     }
@@ -148,7 +314,7 @@ impl MeasuredSystem for UberSystem {
     /// the screen, which is the §5.2 staleness channel.
     fn ping_all(&mut self, clients: &[ClientSpec]) -> Vec<Vec<TypeObservation>> {
         let proj = self.projection();
-        let snap = WorldSnapshot::of(&self.marketplace);
+        let snap = self.tick_snapshot();
         let tick_secs = self.marketplace.config().tick_secs;
 
         // Serial pre-pass: fault draws consume `fault_rng` in client order,
@@ -166,66 +332,24 @@ impl MeasuredSystem for UberSystem {
             })
             .collect();
 
-        let api = &self.api;
-        let ping_one = |c: &ClientSpec, outcome: FaultOutcome| -> Vec<TypeObservation> {
-            if outcome == FaultOutcome::Drop {
-                // Dropped ping: never answered, nothing to compute.
-                return Vec::new();
-            }
-            // Delivered now or later, the answer is frozen against the
-            // send-time snapshot — a delayed response carries stale data.
-            let loc = proj.to_latlng(c.position);
-            let resp = api.ping_client(&snap, c.key, loc);
-            resp.statuses
-                .into_iter()
-                .map(|s| TypeObservation {
-                    car_type: s.car_type,
-                    cars: s
-                        .cars
-                        .iter()
-                        .map(|car| ObservedCar {
-                            id: car.id,
-                            position: proj.to_meters(car.position),
-                            displacement: displacement_of(&car.path, &proj),
-                        })
-                        .collect(),
-                    ewt_min: s.ewt_min,
-                    surge: s.surge,
-                })
-                .collect()
-        };
-
+        let ping = self.api.ping_config();
         let threads = self.parallelism.min(clients.len().max(1)).max(1);
         let mut answered: Vec<Vec<TypeObservation>>;
         if threads <= 1 {
             answered = clients
                 .iter()
                 .zip(&outcomes)
-                .map(|(c, &oc)| ping_one(c, oc))
+                .map(|(c, &oc)| ping_one(&ping, &snap, &proj, c, oc))
                 .collect();
         } else {
-            // Fan out over contiguous client chunks; each worker writes
-            // into its own pre-sized slice of the output, so ordering (and
-            // every byte of the result) matches the serial path.
-            answered = Vec::new();
-            answered.resize_with(clients.len(), Vec::new);
-            let chunk = clients.len().div_ceil(threads);
-            std::thread::scope(|s| {
-                for ((out_chunk, client_chunk), oc_chunk) in answered
-                    .chunks_mut(chunk)
-                    .zip(clients.chunks(chunk))
-                    .zip(outcomes.chunks(chunk))
-                {
-                    let ping_one = &ping_one;
-                    s.spawn(move || {
-                        for ((slot, c), &oc) in
-                            out_chunk.iter_mut().zip(client_chunk).zip(oc_chunk)
-                        {
-                            *slot = ping_one(c, oc);
-                        }
-                    });
-                }
-            });
+            // Fan out over contiguous client chunks on the persistent
+            // pool; results land by chunk index, so ordering (and every
+            // byte of the result) matches the serial path.
+            if self.pool.as_ref().map_or(true, |p| p.threads() != threads) {
+                self.pool = Some(PingPool::new(threads));
+            }
+            let pool = self.pool.as_ref().expect("just populated");
+            answered = pool.run(&snap, ping, proj, clients, &outcomes);
         }
 
         // Serial post-pass in client order: route each answered response

@@ -10,7 +10,7 @@
 //! compares the two to quantify surge's effect on supply and demand.
 
 use serde::{Deserialize, Serialize, Value};
-use std::collections::HashSet;
+use surgescope_simcore::FastHashSet;
 use surgescope_geo::{Meters, Polygon};
 
 /// The five per-interval car states of Fig. 22.
@@ -85,8 +85,8 @@ pub fn classify_context(
 pub struct TransitionTracker {
     areas: Vec<Polygon>,
     adjacency: Vec<Vec<usize>>,
-    prev_sets: Vec<HashSet<u64>>,
-    cur_sets: Vec<HashSet<u64>>,
+    prev_sets: Vec<FastHashSet<u64>>,
+    cur_sets: Vec<FastHashSet<u64>>,
     prev_multipliers: Option<Vec<f64>>,
     /// `counts[area][context][state]`, context 0 = Equal, 1 = Surging.
     counts: Vec<[[u64; 5]; 2]>,
@@ -100,8 +100,8 @@ impl TransitionTracker {
         TransitionTracker {
             areas,
             adjacency,
-            prev_sets: vec![HashSet::new(); n],
-            cur_sets: vec![HashSet::new(); n],
+            prev_sets: vec![FastHashSet::default(); n],
+            cur_sets: vec![FastHashSet::default(); n],
             prev_multipliers: None,
             counts: vec![[[0; 5]; 2]; n],
         }
@@ -123,9 +123,9 @@ impl TransitionTracker {
     /// interval's multipliers (matching §5.5: incentives precede moves).
     pub fn close_interval(&mut self, multipliers: &[f64]) {
         if let Some(prev_m) = &self.prev_multipliers {
-            let prev_all: HashSet<u64> =
+            let prev_all: FastHashSet<u64> =
                 self.prev_sets.iter().flat_map(|s| s.iter().copied()).collect();
-            let cur_all: HashSet<u64> =
+            let cur_all: FastHashSet<u64> =
                 self.cur_sets.iter().flat_map(|s| s.iter().copied()).collect();
             for ai in 0..self.areas.len() {
                 let ctx = match classify_context(ai, prev_m, &self.adjacency) {
@@ -157,7 +157,7 @@ impl TransitionTracker {
             }
         }
         self.prev_sets = std::mem::take(&mut self.cur_sets);
-        self.cur_sets = vec![HashSet::new(); self.areas.len()];
+        self.cur_sets = vec![FastHashSet::default(); self.areas.len()];
         self.prev_multipliers = Some(multipliers.to_vec());
     }
 
@@ -193,7 +193,7 @@ impl TransitionTracker {
     ///
     /// [`restore_state`]: TransitionTracker::restore_state
     pub fn save_state(&self) -> Value {
-        let sets = |v: &[HashSet<u64>]| -> Value {
+        let sets = |v: &[FastHashSet<u64>]| -> Value {
             v.iter()
                 .map(|s| {
                     let mut ids: Vec<u64> = s.iter().copied().collect();
@@ -219,7 +219,7 @@ impl TransitionTracker {
         v: &Value,
     ) -> Result<Self, serde::Error> {
         let mut tr = TransitionTracker::new(areas, adjacency);
-        let sets = |v: &Value| -> Result<Vec<HashSet<u64>>, serde::Error> {
+        let sets = |v: &Value| -> Result<Vec<FastHashSet<u64>>, serde::Error> {
             Ok(Vec::<Vec<u64>>::from_value(v)?
                 .into_iter()
                 .map(|ids| ids.into_iter().collect())

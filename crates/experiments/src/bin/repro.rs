@@ -18,12 +18,22 @@ use surgescope_core::{CampaignConfig, CampaignRunner, StoreHooks};
 use surgescope_experiments::{cache, cache::CampaignCache, run_experiment, RunCtx, ALL_IDS};
 
 fn usage() -> ! {
-    eprintln!("usage: repro [--quick] [--seed N] [--resume CKPT] <id>... | all | list");
+    eprintln!(
+        "usage: repro [--quick] [--seed N] [--jobs N] [--resume CKPT] <id>... | all | list\n\
+         \n\
+         options:\n\
+         \x20 --quick      shorter campaigns, scaled-down cities\n\
+         \x20 --seed N     root seed for every campaign (default 2015)\n\
+         \x20 --jobs N     simulate distinct campaigns on N worker threads\n\
+         \x20              (default: available parallelism; results are\n\
+         \x20              byte-identical at any value)\n\
+         \x20 --resume P   finish the campaign checkpointed at P first"
+    );
     std::process::exit(2);
 }
 
 /// Finishes the campaign checkpointed at `ckpt` and seeds `cache` with it.
-fn resume_campaign(ckpt: &PathBuf, ctx: &RunCtx, campaigns: &mut CampaignCache) {
+fn resume_campaign(ckpt: &PathBuf, ctx: &RunCtx, campaigns: &CampaignCache) {
     use serde::Deserialize;
     let (_, state) = surgescope_store::read_checkpoint(ckpt).unwrap_or_else(|e| {
         eprintln!("--resume: cannot read {}: {e}", ckpt.display());
@@ -84,6 +94,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut seed = 2015u64;
+    let mut jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut resume: Option<PathBuf> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.into_iter();
@@ -96,6 +107,16 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| {
                         eprintln!("--seed needs an integer");
+                        std::process::exit(2);
+                    })
+            }
+            "--jobs" => {
+                jobs = it
+                    .next()
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--jobs needs a positive integer");
                         std::process::exit(2);
                     })
             }
@@ -112,7 +133,13 @@ fn main() {
                 return;
             }
             "all" => ids.extend(ALL_IDS.iter().map(|s| s.to_string())),
-            other => ids.push(other.to_string()),
+            other => {
+                if other.starts_with('-') {
+                    eprintln!("unknown flag: {other}");
+                    usage();
+                }
+                ids.push(other.to_string());
+            }
         }
     }
     if ids.is_empty() && resume.is_none() {
@@ -120,13 +147,19 @@ fn main() {
     }
     let mut ctx = RunCtx::full(seed);
     ctx.quick = quick;
-    let mut cache = CampaignCache::new();
+    let cache = CampaignCache::new();
     if let Some(ckpt) = &resume {
-        resume_campaign(ckpt, &ctx, &mut cache);
+        resume_campaign(ckpt, &ctx, &cache);
+    }
+    // Plan: simulate every distinct campaign the requested experiments
+    // declare, concurrently, before the (serial, order-preserving)
+    // experiment loop reads them from the cache.
+    if jobs > 1 && ids.len() > 1 {
+        surgescope_experiments::schedule::prefetch(&ids, &ctx, &cache, jobs);
     }
     let mut failed = false;
     for id in &ids {
-        match run_experiment(id, &ctx, &mut cache) {
+        match run_experiment(id, &ctx, &cache) {
             Some(outcome) => println!("{}", outcome.render()),
             None => {
                 eprintln!("unknown experiment id: {id}");

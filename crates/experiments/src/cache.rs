@@ -18,7 +18,7 @@
 use crate::RunCtx;
 use std::collections::HashMap;
 use std::path::PathBuf;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 use surgescope_api::ProtocolEra;
 use surgescope_city::CityModel;
 use surgescope_core::estimate::{EstimatorConfig, SupplyDemandEstimator};
@@ -67,10 +67,16 @@ pub struct TaxiValidation {
 }
 
 /// Lazily built, shared campaign results.
+///
+/// Thread-safe: the scheduler's prefetch workers fill it concurrently
+/// (each distinct campaign simulated once, on one worker), and the
+/// experiments later read it from any thread. The locks guard only the
+/// map, never a running simulation, so concurrent *distinct* campaigns
+/// proceed in parallel.
 #[derive(Default)]
 pub struct CampaignCache {
-    campaigns: HashMap<u64, Rc<CampaignData>>,
-    taxi: Option<Rc<TaxiValidation>>,
+    campaigns: Mutex<HashMap<u64, Arc<CampaignData>>>,
+    taxi: Mutex<Option<Arc<TaxiValidation>>>,
 }
 
 /// Cache identity of one campaign: the semantic config hash folded with
@@ -131,23 +137,35 @@ impl CampaignCache {
 
     /// Seeds the in-process layer with an externally produced campaign
     /// (e.g. one finished via `repro --resume <checkpoint>`).
-    pub fn insert(&mut self, cfg: &CampaignConfig, data: CampaignData) -> Rc<CampaignData> {
+    pub fn insert(&self, cfg: &CampaignConfig, data: CampaignData) -> Arc<CampaignData> {
         let key = cache_key(&data.city.name, cfg);
-        let rc = Rc::new(data);
-        self.campaigns.insert(key, Rc::clone(&rc));
+        let rc = Arc::new(data);
+        self.campaigns.lock().expect("cache lock").insert(key, Arc::clone(&rc));
         rc
     }
 
-    /// The campaign for (city, era), building it on first use. Checks the
-    /// layers in order: in-process map, on-disk log (replayed, no
-    /// re-simulation), leftover checkpoint (resumed from the interruption
-    /// point), and only then runs the campaign from scratch — streaming
-    /// it into the disk cache when one is configured.
-    pub fn campaign(&mut self, city: City, era: ProtocolEra, ctx: &RunCtx) -> Rc<CampaignData> {
-        let mut cfg = Self::campaign_config(city, era, ctx);
+    /// The standard campaign for (city, era), building it on first use.
+    pub fn campaign(&self, city: City, era: ProtocolEra, ctx: &RunCtx) -> Arc<CampaignData> {
+        self.campaign_custom(city, Self::campaign_config(city, era, ctx), ctx)
+    }
+
+    /// The campaign for an arbitrary config, building it on first use.
+    /// Checks the layers in order: in-process map, on-disk log (replayed,
+    /// no re-simulation), leftover checkpoint (resumed from the
+    /// interruption point), and only then runs the campaign from scratch —
+    /// streaming it into the disk cache when one is configured.
+    ///
+    /// `cfg.store` is overwritten; the cache owns persistence placement.
+    pub fn campaign_custom(
+        &self,
+        city: City,
+        mut cfg: CampaignConfig,
+        ctx: &RunCtx,
+    ) -> Arc<CampaignData> {
+        cfg.store = StoreHooks::none();
         let key = cache_key(&city.model().name, &cfg);
-        if let Some(c) = self.campaigns.get(&key) {
-            return Rc::clone(c);
+        if let Some(c) = self.campaigns.lock().expect("cache lock").get(&key) {
+            return Arc::clone(c);
         }
 
         let dir = cache_dir(ctx);
@@ -159,11 +177,14 @@ impl CampaignCache {
                         eprintln!(
                             "[cache] replayed {} campaign ({:?} era) from {}",
                             city.label(),
-                            era,
+                            cfg.era,
                             lp.display()
                         );
-                        let data = Rc::new(data);
-                        self.campaigns.insert(key, Rc::clone(&data));
+                        let data = Arc::new(data);
+                        self.campaigns
+                            .lock()
+                            .expect("cache lock")
+                            .insert(key, Arc::clone(&data));
                         return data;
                     }
                     Err(e) => {
@@ -185,32 +206,26 @@ impl CampaignCache {
             }
         }
 
-        let data = self.run_campaign(city, era, ctx, &cfg);
+        let data = Self::run_campaign(city, &cfg);
         if let Some(cp) = &cfg.store.checkpoint_path {
             let _ = std::fs::remove_file(cp);
         }
-        let data = Rc::new(data);
-        self.campaigns.insert(key, Rc::clone(&data));
+        let data = Arc::new(data);
+        self.campaigns.lock().expect("cache lock").insert(key, Arc::clone(&data));
         data
     }
 
     /// Runs (or crash-resumes) one campaign, degrading to a memory-only
     /// run if the store layer fails — a broken disk must cost the cache,
     /// never the run.
-    fn run_campaign(
-        &mut self,
-        city: City,
-        era: ProtocolEra,
-        ctx: &RunCtx,
-        cfg: &CampaignConfig,
-    ) -> CampaignData {
+    fn run_campaign(city: City, cfg: &CampaignConfig) -> CampaignData {
         if let Some(cp) = cfg.store.checkpoint_path.as_ref().filter(|p| p.exists()) {
             match CampaignRunner::resume_from_file(cp, cfg.parallelism, cfg.store.clone()) {
                 Ok(mut runner) => {
                     eprintln!(
                         "[cache] resuming {} campaign ({:?} era) from checkpoint at tick {}/{}…",
                         city.label(),
-                        era,
+                        cfg.era,
                         runner.ticks_done(),
                         runner.ticks_total()
                     );
@@ -230,8 +245,8 @@ impl CampaignCache {
         eprintln!(
             "[cache] running {} campaign ({} h, {:?} era)…",
             city.label(),
-            ctx.hours(),
-            era
+            cfg.hours,
+            cfg.era
         );
         let fallible = CampaignRunner::new(city.model(), cfg)
             .and_then(|mut r| r.run_to_end().map(|()| r))
@@ -248,9 +263,9 @@ impl CampaignCache {
     }
 
     /// The §3.5 taxi validation (Manhattan), building it on first use.
-    pub fn taxi(&mut self, ctx: &RunCtx) -> Rc<TaxiValidation> {
-        if let Some(t) = &self.taxi {
-            return Rc::clone(t);
+    pub fn taxi(&self, ctx: &RunCtx) -> Arc<TaxiValidation> {
+        if let Some(t) = self.taxi.lock().expect("cache lock").as_ref() {
+            return Arc::clone(t);
         }
         eprintln!("[cache] running taxi validation replay…");
         let city = City::Manhattan.model();
@@ -275,8 +290,8 @@ impl CampaignCache {
             ctx.seed ^ 0x7A52,
             est_cfg,
         );
-        let v = Rc::new(TaxiValidation { estimator, truth, trace });
-        self.taxi = Some(Rc::clone(&v));
+        let v = Arc::new(TaxiValidation { estimator, truth, trace });
+        *self.taxi.lock().expect("cache lock") = Some(Arc::clone(&v));
         v
     }
 }

@@ -34,7 +34,7 @@ fn area_series(data: &CampaignData) -> Vec<(Vec<u32>, Vec<u32>, Vec<f32>, Vec<f3
 
 fn xcorr_experiment(
     ctx: &RunCtx,
-    cache: &mut CampaignCache,
+    cache: &CampaignCache,
     id: &'static str,
     title: &'static str,
     feature_of: impl Fn(&(Vec<u32>, Vec<u32>, Vec<f32>, Vec<f32>)) -> Vec<f64>,
@@ -109,7 +109,7 @@ fn xcorr_experiment(
 
 /// Fig. 20: (supply − demand) vs surge cross-correlation. The paper found
 /// a relatively strong *negative* correlation, strongest at lag 0.
-pub fn fig20(ctx: &RunCtx, cache: &mut CampaignCache) -> Outcome {
+pub fn fig20(ctx: &RunCtx, cache: &CampaignCache) -> Outcome {
     xcorr_experiment(
         ctx,
         cache,
@@ -127,7 +127,7 @@ pub fn fig20(ctx: &RunCtx, cache: &mut CampaignCache) -> Outcome {
 
 /// Fig. 21: EWT vs surge cross-correlation. The paper found a relatively
 /// strong *positive* correlation at lag 0.
-pub fn fig21(ctx: &RunCtx, cache: &mut CampaignCache) -> Outcome {
+pub fn fig21(ctx: &RunCtx, cache: &CampaignCache) -> Outcome {
     xcorr_experiment(
         ctx,
         cache,
@@ -138,7 +138,7 @@ pub fn fig21(ctx: &RunCtx, cache: &mut CampaignCache) -> Outcome {
 }
 
 /// Table 1: Raw / Threshold / Rush forecasting models per city.
-pub fn tab01(ctx: &RunCtx, cache: &mut CampaignCache) -> Outcome {
+pub fn tab01(ctx: &RunCtx, cache: &CampaignCache) -> Outcome {
     let mut table = TextTable::new(&[
         "city",
         "model",
@@ -196,7 +196,7 @@ pub fn tab01(ctx: &RunCtx, cache: &mut CampaignCache) -> Outcome {
 }
 
 /// Fig. 22: driver transition probabilities, equal-surge vs surging.
-pub fn fig22(ctx: &RunCtx, cache: &mut CampaignCache) -> Outcome {
+pub fn fig22(ctx: &RunCtx, cache: &CampaignCache) -> Outcome {
     let mut table = TextTable::new(&[
         "city",
         "area",

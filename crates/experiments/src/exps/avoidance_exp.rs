@@ -9,7 +9,7 @@ use surgescope_core::avoidance::evaluate;
 /// Fig. 23: per-client fraction of surged intervals where walking to an
 /// adjacent area yields a cheaper UberX (paper: 10–20% of the time around
 /// Times Square; only ~2% in SF).
-pub fn fig23(ctx: &RunCtx, cache: &mut CampaignCache) -> Outcome {
+pub fn fig23(ctx: &RunCtx, cache: &CampaignCache) -> Outcome {
     let mut table = TextTable::new(&[
         "city",
         "clients",
@@ -52,7 +52,7 @@ pub fn fig23(ctx: &RunCtx, cache: &mut CampaignCache) -> Outcome {
 
 /// Fig. 24: how much surge is reduced and how far riders walk (paper:
 /// savings ≥ 0.5 in >50% of wins; walks under 7 min MHTN / 9 min SF).
-pub fn fig24(ctx: &RunCtx, cache: &mut CampaignCache) -> Outcome {
+pub fn fig24(ctx: &RunCtx, cache: &CampaignCache) -> Outcome {
     let mut table = TextTable::new(&[
         "city",
         "wins",

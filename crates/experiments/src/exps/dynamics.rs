@@ -10,7 +10,7 @@ use surgescope_city::CarType;
 /// Figs. 5/6 are absent from the supplied transcription; this experiment
 /// reconstructs the §4.2 prose claims instead: the ranking of car-type
 /// prevalence per city and the data-cleaning statistics of §4.1.
-pub fn fig05(ctx: &RunCtx, cache: &mut CampaignCache) -> Outcome {
+pub fn fig05(ctx: &RunCtx, cache: &CampaignCache) -> Outcome {
     let mut table = TextTable::new(&["type", "Manhattan avg supply", "SF avg supply"]);
     let mut per_city: Vec<Vec<(CarType, f64)>> = Vec::new();
     let mut cleaning = String::new();
@@ -55,7 +55,7 @@ pub fn fig05(ctx: &RunCtx, cache: &mut CampaignCache) -> Outcome {
 }
 
 /// Fig. 7: car lifespan CDFs, low-priced vs premium tiers.
-pub fn fig07(ctx: &RunCtx, cache: &mut CampaignCache) -> Outcome {
+pub fn fig07(ctx: &RunCtx, cache: &CampaignCache) -> Outcome {
     let mut table = TextTable::new(&[
         "city",
         "group",
@@ -107,7 +107,7 @@ pub fn fig07(ctx: &RunCtx, cache: &mut CampaignCache) -> Outcome {
 }
 
 /// Fig. 8: supply, demand, surge and EWT time series for both cities.
-pub fn fig08(ctx: &RunCtx, cache: &mut CampaignCache) -> Outcome {
+pub fn fig08(ctx: &RunCtx, cache: &CampaignCache) -> Outcome {
     let mut table = TextTable::new(&[
         "city",
         "hour",
@@ -193,7 +193,7 @@ pub fn fig08(ctx: &RunCtx, cache: &mut CampaignCache) -> Outcome {
     }
 }
 
-fn heatmap(ctx: &RunCtx, city: City, cache: &mut CampaignCache, id: &'static str) -> Outcome {
+fn heatmap(ctx: &RunCtx, city: City, cache: &CampaignCache, id: &'static str) -> Outcome {
     let data = cache.campaign(city, ProtocolEra::Apr2015, ctx);
     let mut table = TextTable::new(&[
         "client",
@@ -239,17 +239,17 @@ fn heatmap(ctx: &RunCtx, city: City, cache: &mut CampaignCache, id: &'static str
 }
 
 /// Fig. 9: Manhattan per-client heatmap.
-pub fn fig09(ctx: &RunCtx, cache: &mut CampaignCache) -> Outcome {
+pub fn fig09(ctx: &RunCtx, cache: &CampaignCache) -> Outcome {
     heatmap(ctx, City::Manhattan, cache, "fig09")
 }
 
 /// Fig. 10: SF per-client heatmap.
-pub fn fig10(ctx: &RunCtx, cache: &mut CampaignCache) -> Outcome {
+pub fn fig10(ctx: &RunCtx, cache: &CampaignCache) -> Outcome {
     heatmap(ctx, City::SanFrancisco, cache, "fig10")
 }
 
 /// Fig. 11: distribution of EWTs (paper: 87% of waits ≤ 4 minutes).
-pub fn fig11(ctx: &RunCtx, cache: &mut CampaignCache) -> Outcome {
+pub fn fig11(ctx: &RunCtx, cache: &CampaignCache) -> Outcome {
     let mut table = TextTable::new(&["city", "P(EWT≤2)", "P(EWT≤4)", "P(EWT≤8)", "p99 (min)", "max (min)"]);
     let mut metrics = Vec::new();
     for city in City::BOTH {

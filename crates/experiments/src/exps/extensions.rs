@@ -16,11 +16,30 @@ use surgescope_analysis::Ecdf;
 use surgescope_api::ProtocolEra;
 use surgescope_core::forecast::{fit_city, ModelFilter};
 use surgescope_core::surge_obs::episodes;
-use surgescope_core::{Campaign, CampaignConfig};
+use surgescope_core::CampaignConfig;
 use surgescope_marketplace::SurgePolicy;
 
+/// The SF extension campaign config under `policy`. Shared by `ext01`,
+/// `ext02` and the scheduler's needs declaration, so all three agree on
+/// the cache identity and the campaign is simulated exactly once.
+pub fn ext_config(ctx: &RunCtx, policy: SurgePolicy) -> CampaignConfig {
+    CampaignConfig {
+        seed: ctx.seed ^ 0xE801,
+        hours: if ctx.quick { 8 } else { 48 },
+        era: ProtocolEra::Apr2015,
+        scale: ctx.scale(),
+        surge_policy: policy,
+        ..CampaignConfig::test_default(ctx.seed ^ 0xE801)
+    }
+}
+
+/// The smoothed-policy variant (the paper's §8 proposal).
+pub fn smoothed_policy() -> SurgePolicy {
+    SurgePolicy::Smoothed { alpha: 0.35 }
+}
+
 /// ext01: Threshold (measured Uber) vs Smoothed (paper's §8 proposal).
-pub fn ext01(ctx: &RunCtx) -> Outcome {
+pub fn ext01(ctx: &RunCtx, cache: &CampaignCache) -> Outcome {
     let mut table = TextTable::new(&[
         "policy",
         "surge frac",
@@ -34,17 +53,9 @@ pub fn ext01(ctx: &RunCtx) -> Outcome {
     let mut metrics = Vec::new();
     for (name, policy) in [
         ("Threshold", SurgePolicy::Threshold),
-        ("Smoothed α=0.35", SurgePolicy::Smoothed { alpha: 0.35 }),
+        ("Smoothed α=0.35", smoothed_policy()),
     ] {
-        let cfg = CampaignConfig {
-            seed: ctx.seed ^ 0xE801,
-            hours: if ctx.quick { 8 } else { 48 },
-            era: ProtocolEra::Apr2015,
-            scale: ctx.scale(),
-            surge_policy: policy,
-            ..CampaignConfig::test_default(ctx.seed ^ 0xE801)
-        };
-        let data = Campaign::run_uber(City::SanFrancisco.model(), &cfg);
+        let data = cache.campaign_custom(City::SanFrancisco, ext_config(ctx, policy), ctx);
 
         // Surge statistics from the jitter-free API stream.
         let all: Vec<f64> = data
@@ -113,7 +124,7 @@ pub fn ext01(ctx: &RunCtx) -> Outcome {
 /// forecast"; the autocorrelation function of the multiplier series makes
 /// that quantitative — and shows how the §8 smoothing proposal changes
 /// it. Uses the cached Apr-era campaigns plus a smoothed SF run.
-pub fn ext02(ctx: &RunCtx, cache: &mut CampaignCache) -> Outcome {
+pub fn ext02(ctx: &RunCtx, cache: &CampaignCache) -> Outcome {
     use surgescope_analysis::autocorrelation;
     use surgescope_api::ProtocolEra;
 
@@ -140,16 +151,9 @@ pub fn ext02(ctx: &RunCtx, cache: &mut CampaignCache) -> Outcome {
             add_row(format!("{} threshold", city.label()), series, &mut metrics);
         }
     }
-    // Smoothed SF for contrast (same run as ext01).
-    let cfg = CampaignConfig {
-        seed: ctx.seed ^ 0xE801,
-        hours: if ctx.quick { 8 } else { 48 },
-        era: ProtocolEra::Apr2015,
-        scale: ctx.scale(),
-        surge_policy: SurgePolicy::Smoothed { alpha: 0.35 },
-        ..CampaignConfig::test_default(ctx.seed ^ 0xE801)
-    };
-    let data = Campaign::run_uber(City::SanFrancisco.model(), &cfg);
+    // Smoothed SF for contrast — the *same* campaign ext01 scores, served
+    // from the shared cache instead of simulated a second time.
+    let data = cache.campaign_custom(City::SanFrancisco, ext_config(ctx, smoothed_policy()), ctx);
     let series: Vec<f64> = data.api_surge[0].iter().map(|&m| m as f64).collect();
     add_row("SF smoothed".into(), series, &mut metrics);
 

@@ -10,19 +10,34 @@
 //! runs — so any drift in the estimate is estimator degradation, not
 //! world-level noise.
 
-use crate::cache::City;
+use crate::cache::{CampaignCache, City};
 use crate::{Outcome, RunCtx, TextTable};
 use surgescope_api::ProtocolEra;
 use surgescope_city::CarType;
-use surgescope_core::{Campaign, CampaignConfig};
+use surgescope_core::CampaignConfig;
 use surgescope_simcore::FaultPlan;
 
 /// Drop chances swept (the delay leg is fixed at 10% ≤ 30 s).
 pub const DROP_CHANCES: [f64; 4] = [0.0, 0.05, 0.10, 0.20];
 
-/// fault_sweep: estimator error vs ground truth as the drop chance grows.
-pub fn fault_sweep(ctx: &RunCtx) -> Outcome {
+/// One leg of the sweep: the Manhattan campaign under `drop` drop chance.
+/// Shared with the scheduler's needs declaration so the prefetch builds
+/// exactly the campaigns the sweep will read.
+pub fn sweep_config(ctx: &RunCtx, drop: f64) -> CampaignConfig {
     let hours = if ctx.quick { 6 } else { 24 };
+    CampaignConfig {
+        seed: ctx.seed ^ 0xFA01,
+        hours,
+        era: ProtocolEra::Apr2015,
+        scale: 0.35,
+        parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        faults: FaultPlan { drop_chance: drop, delay_chance: 0.10, max_delay_secs: 30 },
+        ..CampaignConfig::test_default(ctx.seed ^ 0xFA01)
+    }
+}
+
+/// fault_sweep: estimator error vs ground truth as the drop chance grows.
+pub fn fault_sweep(ctx: &RunCtx, cache: &CampaignCache) -> Outcome {
     let mut table = TextTable::new(&[
         "drop",
         "gap frac",
@@ -35,16 +50,7 @@ pub fn fault_sweep(ctx: &RunCtx) -> Outcome {
     let mut metrics = Vec::new();
     let mut clean_supply = f64::NAN;
     for drop in DROP_CHANCES {
-        let cfg = CampaignConfig {
-            seed: ctx.seed ^ 0xFA01,
-            hours,
-            era: ProtocolEra::Apr2015,
-            scale: 0.35,
-            parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
-            faults: FaultPlan { drop_chance: drop, delay_chance: 0.10, max_delay_secs: 30 },
-            ..CampaignConfig::test_default(ctx.seed ^ 0xFA01)
-        };
-        let data = Campaign::run_uber(City::Manhattan.model(), &cfg);
+        let data = cache.campaign_custom(City::Manhattan, sweep_config(ctx, drop), ctx);
 
         // How much of the series is actually missing (NaN gaps).
         let total = (data.ticks * data.clients.len()) as f64;

@@ -8,7 +8,7 @@ use surgescope_core::surge_obs::{change_moments, detect_jitter, episodes, simult
 
 /// Fig. 12: distribution of surge multipliers (paper: 86% of the time no
 /// surge in Manhattan vs 43% in SF; max 2.8 vs 4.1).
-pub fn fig12(ctx: &RunCtx, cache: &mut CampaignCache) -> Outcome {
+pub fn fig12(ctx: &RunCtx, cache: &CampaignCache) -> Outcome {
     let mut table = TextTable::new(&[
         "city",
         "P(m=1)",
@@ -55,7 +55,7 @@ pub fn fig12(ctx: &RunCtx, cache: &mut CampaignCache) -> Outcome {
 /// Fig. 13: surge episode durations — Feb-era clients (clean 5-minute
 /// stair-step), Apr-era clients (large sub-minute mass from jitter), and
 /// the API (always stair-step).
-pub fn fig13(ctx: &RunCtx, cache: &mut CampaignCache) -> Outcome {
+pub fn fig13(ctx: &RunCtx, cache: &CampaignCache) -> Outcome {
     let mut table = TextTable::new(&[
         "stream",
         "episodes",
@@ -66,7 +66,7 @@ pub fn fig13(ctx: &RunCtx, cache: &mut CampaignCache) -> Outcome {
     ]);
     let mut metrics = Vec::new();
 
-    let mut durations_for = |era: ProtocolEra| -> Vec<f64> {
+    let durations_for = |era: ProtocolEra| -> Vec<f64> {
         let mut durs = Vec::new();
         for city in City::BOTH {
             let data = cache.campaign(city, era, ctx);
@@ -112,7 +112,7 @@ pub fn fig13(ctx: &RunCtx, cache: &mut CampaignCache) -> Outcome {
 }
 
 /// Fig. 14: an example 25-minute window of API vs jittery-client surge.
-pub fn fig14(ctx: &RunCtx, cache: &mut CampaignCache) -> Outcome {
+pub fn fig14(ctx: &RunCtx, cache: &CampaignCache) -> Outcome {
     let data = cache.campaign(City::SanFrancisco, ProtocolEra::Apr2015, ctx);
     // Find a client and a 5-interval window containing a jitter event.
     let mut pick: Option<(usize, usize)> = None; // (client, start interval)
@@ -169,7 +169,7 @@ pub fn fig14(ctx: &RunCtx, cache: &mut CampaignCache) -> Outcome {
 
 /// Fig. 15: the moment within each 5-minute interval when the observed
 /// multiplier changes (Feb/API within ~35 s; Apr clients within ~2 min).
-pub fn fig15(ctx: &RunCtx, cache: &mut CampaignCache) -> Outcome {
+pub fn fig15(ctx: &RunCtx, cache: &CampaignCache) -> Outcome {
     let mut table = TextTable::new(&["stream", "changes", "p50 (s)", "p95 (s)", "max (s)"]);
     let mut metrics = Vec::new();
     for (name, era) in [("Feb client", ProtocolEra::Feb2015), ("Apr client", ProtocolEra::Apr2015)]
@@ -209,7 +209,7 @@ pub fn fig15(ctx: &RunCtx, cache: &mut CampaignCache) -> Outcome {
 
 fn all_jitter_events(
     ctx: &RunCtx,
-    cache: &mut CampaignCache,
+    cache: &CampaignCache,
     city: City,
 ) -> (Vec<Vec<JitterEvent>>, u64) {
     let data = cache.campaign(city, ProtocolEra::Apr2015, ctx);
@@ -227,7 +227,7 @@ fn all_jitter_events(
 /// Fig. 16: the multiplier seen during jitter (it equals the previous
 /// interval's value, so it usually *drops* the price; 30–50% of events
 /// drop it all the way to 1).
-pub fn fig16(ctx: &RunCtx, cache: &mut CampaignCache) -> Outcome {
+pub fn fig16(ctx: &RunCtx, cache: &CampaignCache) -> Outcome {
     let mut table = TextTable::new(&[
         "city",
         "events",
@@ -272,7 +272,7 @@ pub fn fig16(ctx: &RunCtx, cache: &mut CampaignCache) -> Outcome {
 
 /// Fig. 17: simultaneity of jitter across the 43-client fleet (paper:
 /// ~90% of events touch a single client; never more than 5).
-pub fn fig17(ctx: &RunCtx, cache: &mut CampaignCache) -> Outcome {
+pub fn fig17(ctx: &RunCtx, cache: &CampaignCache) -> Outcome {
     let mut table = TextTable::new(&["city", "k=1", "k=2", "k=3", "k≥4", "max k"]);
     let mut metrics = Vec::new();
     for city in City::BOTH {

@@ -6,7 +6,7 @@ use surgescope_city::CarType;
 
 /// Fig. 4: measured vs ground-truth taxi supply and demand. The paper's
 /// taxi clients captured 97% of cars and 95% of deaths.
-pub fn fig04(ctx: &RunCtx, cache: &mut CampaignCache) -> Outcome {
+pub fn fig04(ctx: &RunCtx, cache: &CampaignCache) -> Outcome {
     let v = cache.taxi(ctx);
     let measured_supply = v.estimator.supply_series(CarType::UberT);
     let measured_deaths = v.estimator.death_series(CarType::UberT);

@@ -16,6 +16,7 @@
 
 pub mod cache;
 pub mod exps;
+pub mod schedule;
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -181,7 +182,7 @@ pub const ALL_IDS: [&str; 26] = [
 pub fn run_experiment(
     id: &str,
     ctx: &RunCtx,
-    cache: &mut cache::CampaignCache,
+    cache: &cache::CampaignCache,
 ) -> Option<Outcome> {
     let out = match id {
         "fig02" => exps::calib::fig02(ctx),
@@ -207,9 +208,9 @@ pub fn run_experiment(
         "fig22" => exps::algorithm::fig22(ctx, cache),
         "fig23" => exps::avoidance_exp::fig23(ctx, cache),
         "fig24" => exps::avoidance_exp::fig24(ctx, cache),
-        "ext01" => exps::extensions::ext01(ctx),
+        "ext01" => exps::extensions::ext01(ctx, cache),
         "ext02" => exps::extensions::ext02(ctx, cache),
-        "fault_sweep" => exps::fault_sweep::fault_sweep(ctx),
+        "fault_sweep" => exps::fault_sweep::fault_sweep(ctx, cache),
         _ => return None,
     };
     if let Some(dir) = &ctx.out_dir {

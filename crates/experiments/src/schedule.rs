@@ -1,0 +1,163 @@
+//! Cross-campaign parallel scheduler.
+//!
+//! `repro all` spends nearly all of its time simulating measurement
+//! campaigns, and most experiments share them. Serially, the first
+//! experiment to need a campaign pays for it while every core but one
+//! idles. The scheduler inverts that: a planning pass asks each requested
+//! experiment which campaign configs it will read ([`needs`]), dedupes
+//! them by the cache's own semantic key, and simulates the distinct
+//! campaigns concurrently on a bounded worker pool feeding the shared
+//! [`CampaignCache`]. The experiments then run in their usual order and
+//! find every campaign already cached.
+//!
+//! Correctness is inherited, not re-proved: each campaign is a pure
+//! function of its config simulated *within one worker* (the existing
+//! bit-identity guarantees cover intra-campaign parallelism), and the
+//! experiments themselves still run serially. So the CSVs are
+//! byte-identical at any `--jobs` value — only the wall clock changes.
+
+use crate::cache::{self, CampaignCache, City};
+use crate::RunCtx;
+use std::collections::HashSet;
+use std::sync::Mutex;
+use surgescope_api::ProtocolEra;
+use surgescope_core::CampaignConfig;
+
+/// One unit of prefetch work.
+pub enum Prefetch {
+    /// A measurement campaign over a city.
+    Campaign(City, CampaignConfig),
+    /// The §3.5 taxi validation replay.
+    Taxi,
+}
+
+/// The campaigns experiment `id` will read. Over-declaring wastes work
+/// and under-declaring only costs parallelism (the experiment falls back
+/// to building the campaign inline), so this map is kept exact: it names
+/// precisely the configs the experiment's own code requests.
+pub fn needs(id: &str, ctx: &RunCtx) -> Vec<Prefetch> {
+    let std_city = |city: City| {
+        Prefetch::Campaign(
+            city,
+            CampaignCache::campaign_config(city, ProtocolEra::Apr2015, ctx),
+        )
+    };
+    let both_apr = || City::BOTH.map(std_city).into_iter().collect::<Vec<_>>();
+    let both_eras = || {
+        let mut v = Vec::with_capacity(4);
+        for era in [ProtocolEra::Feb2015, ProtocolEra::Apr2015] {
+            for city in City::BOTH {
+                v.push(Prefetch::Campaign(
+                    city,
+                    CampaignCache::campaign_config(city, era, ctx),
+                ));
+            }
+        }
+        v
+    };
+    match id {
+        "fig04" => vec![Prefetch::Taxi],
+        "fig05" | "fig07" | "fig08" | "fig11" | "fig12" | "fig16" | "fig17" | "fig20"
+        | "fig21" | "tab01" | "fig22" | "fig23" | "fig24" => both_apr(),
+        "fig09" => vec![std_city(City::Manhattan)],
+        "fig10" | "fig14" => vec![std_city(City::SanFrancisco)],
+        "fig13" | "fig15" => both_eras(),
+        "ext01" => vec![
+            Prefetch::Campaign(
+                City::SanFrancisco,
+                crate::exps::extensions::ext_config(
+                    ctx,
+                    surgescope_marketplace::SurgePolicy::Threshold,
+                ),
+            ),
+            Prefetch::Campaign(
+                City::SanFrancisco,
+                crate::exps::extensions::ext_config(
+                    ctx,
+                    crate::exps::extensions::smoothed_policy(),
+                ),
+            ),
+        ],
+        "ext02" => {
+            let mut v = both_apr();
+            v.push(Prefetch::Campaign(
+                City::SanFrancisco,
+                crate::exps::extensions::ext_config(
+                    ctx,
+                    crate::exps::extensions::smoothed_policy(),
+                ),
+            ));
+            v
+        }
+        "fault_sweep" => crate::exps::fault_sweep::DROP_CHANCES
+            .iter()
+            .map(|&d| {
+                Prefetch::Campaign(
+                    City::Manhattan,
+                    crate::exps::fault_sweep::sweep_config(ctx, d),
+                )
+            })
+            .collect(),
+        // fig02/fig03 are pure geometry; fig18/fig19 run their own
+        // spacing-swept mini-campaigns inline (not cache-shaped).
+        _ => Vec::new(),
+    }
+}
+
+fn run_task(t: Prefetch, ctx: &RunCtx, cache: &CampaignCache) {
+    match t {
+        Prefetch::Taxi => {
+            cache.taxi(ctx);
+        }
+        Prefetch::Campaign(city, cfg) => {
+            cache.campaign_custom(city, cfg, ctx);
+        }
+    }
+}
+
+/// Plans and runs the prefetch for `ids`: dedupes every declared campaign
+/// by its cache key and simulates the distinct ones on `jobs` worker
+/// threads, filling `cache`. Returns the number of distinct prefetch
+/// tasks. With `jobs <= 1` the tasks run serially on the caller's thread
+/// — same work, same cache contents, no thread machinery.
+pub fn prefetch(ids: &[String], ctx: &RunCtx, cache: &CampaignCache, jobs: usize) -> usize {
+    let mut seen = HashSet::new();
+    let mut want_taxi = false;
+    let mut tasks: Vec<Prefetch> = Vec::new();
+    for id in ids {
+        for need in needs(id, ctx) {
+            match need {
+                Prefetch::Taxi => {
+                    if !want_taxi {
+                        want_taxi = true;
+                        tasks.push(Prefetch::Taxi);
+                    }
+                }
+                Prefetch::Campaign(city, cfg) => {
+                    if seen.insert(cache::cache_key(&city.model().name, &cfg)) {
+                        tasks.push(Prefetch::Campaign(city, cfg));
+                    }
+                }
+            }
+        }
+    }
+    let n = tasks.len();
+    let jobs = jobs.max(1).min(n.max(1));
+    if jobs <= 1 {
+        for t in tasks {
+            run_task(t, ctx, cache);
+        }
+        return n;
+    }
+    eprintln!("[schedule] prefetching {n} distinct campaigns on {jobs} workers…");
+    let queue = Mutex::new(tasks);
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(|| loop {
+                let Some(t) = queue.lock().expect("prefetch queue").pop() else { break };
+                run_task(t, ctx, cache);
+            });
+        }
+    });
+    n
+}

@@ -5,12 +5,55 @@
 use surgescope_experiments::{cache::CampaignCache, run_experiment, RunCtx, ALL_IDS};
 
 #[test]
+fn scheduler_prefetch_matches_serial_byte_for_byte() {
+    use surgescope_api::ProtocolEra;
+    use surgescope_core::persist::campaign_encoded;
+    use surgescope_experiments::cache::City;
+    use surgescope_experiments::schedule;
+
+    // Three experiments sharing the same pair of Apr-era campaigns.
+    let ids: Vec<String> =
+        ["fig05", "fig12", "fig16"].iter().map(|s| s.to_string()).collect();
+    let ctx = RunCtx::quick(420);
+
+    // Serial reference: experiments build their campaigns inline.
+    let serial = CampaignCache::new();
+    let serial_out: Vec<_> =
+        ids.iter().map(|id| run_experiment(id, &ctx, &serial).unwrap()).collect();
+
+    // Scheduled run: campaigns prefetched on 4 workers, then the same
+    // experiments consume the cache.
+    let scheduled = CampaignCache::new();
+    let tasks = schedule::prefetch(&ids, &ctx, &scheduled, 4);
+    assert_eq!(tasks, 2, "three experiments share exactly two campaigns");
+    let scheduled_out: Vec<_> =
+        ids.iter().map(|id| run_experiment(id, &ctx, &scheduled).unwrap()).collect();
+
+    // The shared campaigns must be byte-identical down to the encoding.
+    for city in City::BOTH {
+        let a = serial.campaign(city, ProtocolEra::Apr2015, &ctx);
+        let b = scheduled.campaign(city, ProtocolEra::Apr2015, &ctx);
+        assert_eq!(
+            campaign_encoded(&a),
+            campaign_encoded(&b),
+            "{}: scheduled campaign diverged from serial",
+            city.label()
+        );
+    }
+    // And so must everything derived from them.
+    for (a, b) in serial_out.iter().zip(&scheduled_out) {
+        assert_eq!(a.table, b.table, "{}: table diverged", a.id);
+        assert_eq!(a.metrics, b.metrics, "{}: metrics diverged", a.id);
+    }
+}
+
+#[test]
 fn every_experiment_id_is_routable() {
     let ctx = RunCtx::quick(1);
-    let mut cache = CampaignCache::new();
-    assert!(run_experiment("nope", &ctx, &mut cache).is_none());
+    let cache = CampaignCache::new();
+    assert!(run_experiment("nope", &ctx, &cache).is_none());
     // fig03 is pure geometry — run it for real as the cheap probe.
-    let out = run_experiment("fig03", &ctx, &mut cache).expect("fig03 runs");
+    let out = run_experiment("fig03", &ctx, &cache).expect("fig03 runs");
     assert_eq!(out.id, "fig03");
     assert!(out.metric("uber_manhattan_clients").unwrap() > 40.0);
     assert_eq!(ALL_IDS.len(), 26);
@@ -19,8 +62,8 @@ fn every_experiment_id_is_routable() {
 #[test]
 fn fault_sweep_degrades_gracefully() {
     let ctx = RunCtx::quick(5);
-    let mut cache = CampaignCache::new();
-    let out = run_experiment("fault_sweep", &ctx, &mut cache).expect("fault_sweep runs");
+    let cache = CampaignCache::new();
+    let out = run_experiment("fault_sweep", &ctx, &cache).expect("fault_sweep runs");
     // The zero-drop run is the drift baseline by construction.
     assert_eq!(out.metric("supply_drift_d00").unwrap(), 0.0);
     // Even at zero drops the fixed 10% delay leg leaves gaps: a delayed
@@ -54,41 +97,41 @@ fn quick_run_of_campaign_backed_experiments_produces_shapes() {
     // One shared cache: this is the expensive test (several quick
     // campaigns) but it exercises the exact code path of `repro all`.
     let ctx = RunCtx::quick(99);
-    let mut cache = CampaignCache::new();
+    let cache = CampaignCache::new();
 
-    let fig12 = run_experiment("fig12", &ctx, &mut cache).unwrap();
+    let fig12 = run_experiment("fig12", &ctx, &cache).unwrap();
     let m_ns = fig12.metric("manhattan_no_surge_frac").unwrap();
     let s_ns = fig12.metric("sf_no_surge_frac").unwrap();
     assert!(m_ns > s_ns, "Manhattan must surge less than SF: {m_ns} vs {s_ns}");
 
-    let fig13 = run_experiment("fig13", &ctx, &mut cache).unwrap();
+    let fig13 = run_experiment("fig13", &ctx, &cache).unwrap();
     let feb = fig13.metric("feb_client_sub_minute").unwrap();
     let apr = fig13.metric("apr_client_sub_minute").unwrap();
     assert_eq!(feb, 0.0, "Feb era cannot have sub-minute episodes");
     assert!(apr > 0.0, "Apr era must show jitter-induced sub-minute episodes");
 
-    let fig17 = run_experiment("fig17", &ctx, &mut cache).unwrap();
+    let fig17 = run_experiment("fig17", &ctx, &cache).unwrap();
     for city in ["manhattan", "sf"] {
         if let Some(max_k) = fig17.metric(&format!("{city}_max_simultaneous")) {
             assert!(max_k <= 6.0, "{city}: {max_k} simultaneous jitterers");
         }
     }
 
-    let fig21 = run_experiment("fig21", &ctx, &mut cache).unwrap();
+    let fig21 = run_experiment("fig21", &ctx, &cache).unwrap();
     let peaks = [
         fig21.metric("manhattan_peak_r").unwrap(),
         fig21.metric("sf_peak_r").unwrap(),
     ];
     assert!(peaks.iter().any(|&r| r > 0.1), "EWT correlation peaks: {peaks:?}");
 
-    let tab01 = run_experiment("tab01", &ctx, &mut cache).unwrap();
+    let tab01 = run_experiment("tab01", &ctx, &cache).unwrap();
     for (k, v) in &tab01.metrics {
         if k.ends_with("_r2") {
             assert!(*v < 0.9, "{k} = {v}: forecasting must stay hard");
         }
     }
 
-    let fig23 = run_experiment("fig23", &ctx, &mut cache).unwrap();
+    let fig23 = run_experiment("fig23", &ctx, &cache).unwrap();
     let m = fig23.metric("manhattan_median_success_pct").unwrap();
     let s = fig23.metric("sf_median_success_pct").unwrap();
     assert!(
@@ -100,8 +143,8 @@ fn quick_run_of_campaign_backed_experiments_produces_shapes() {
 #[test]
 fn outcome_rendering_and_csv() {
     let ctx = RunCtx::quick(7);
-    let mut cache = CampaignCache::new();
-    let out = run_experiment("fig03", &ctx, &mut cache).unwrap();
+    let cache = CampaignCache::new();
+    let out = run_experiment("fig03", &ctx, &cache).unwrap();
     let rendered = out.render();
     assert!(rendered.contains("fig03"));
     assert!(rendered.contains("metrics"));

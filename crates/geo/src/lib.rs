@@ -14,6 +14,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod dynamic;
 mod latlng;
 mod path;
 mod polygon;
@@ -22,6 +23,7 @@ mod spatial;
 
 pub mod grid;
 
+pub use dynamic::DynamicGrid;
 pub use latlng::{haversine_m, LatLng, EARTH_RADIUS_M};
 pub use path::PathVector;
 pub use polygon::{BoundingBox, Polygon};

@@ -17,6 +17,7 @@
 //! from tracking drivers over time (§3.3, limitation 4).
 
 use serde::{Deserialize, Error, Serialize, Value};
+use std::sync::Arc;
 use surgescope_city::CarType;
 use surgescope_geo::{Meters, PathVector};
 use surgescope_simcore::{SimRng, SimTime};
@@ -120,8 +121,11 @@ pub struct Driver {
     pub position: Meters,
     /// Public ID for the current online session (None while offline).
     pub session: Option<SessionId>,
-    /// Recent positions, as exposed in pingClient responses.
-    pub path: PathVector,
+    /// Recent positions, as exposed in pingClient responses. Behind an
+    /// `Arc` so per-tick snapshots share the trace instead of deep-cloning
+    /// the ring buffer; the world pushes through `Arc::make_mut`, which is
+    /// an in-place write whenever no snapshot still holds the handle.
+    pub path: Arc<PathVector>,
     /// Where this driver is drifting toward while idle.
     pub waypoint: Option<Meters>,
     /// When the current online session started (for shift bookkeeping).
@@ -152,7 +156,7 @@ impl Driver {
             state: DriverState::Offline,
             position,
             session: None,
-            path: PathVector::new(PATH_CAPACITY),
+            path: Arc::new(PathVector::new(PATH_CAPACITY)),
             waypoint: None,
             online_since: None,
             dwell_ticks: 0,
@@ -169,7 +173,7 @@ impl Driver {
         self.state = DriverState::Idle;
         self.position = position;
         self.session = Some(SessionId(rng.range_u64(1, u64::MAX)));
-        self.path = PathVector::new(PATH_CAPACITY);
+        self.path = Arc::new(PathVector::new(PATH_CAPACITY));
         self.waypoint = None;
         self.online_since = Some(now);
         self.dwell_ticks = 0;
@@ -305,7 +309,7 @@ mod tests {
         let mut d = mk();
         let mut rng = SimRng::seed_from_u64(5);
         d.come_online(Meters::new(12.5, -7.25), SimTime(3600), &mut rng);
-        d.path.push(surgescope_geo::LatLng::new(40.75, -73.98));
+        Arc::make_mut(&mut d.path).push(surgescope_geo::LatLng::new(40.75, -73.98));
         d.dispatch(Meters::new(100.0, 0.0), Meters::new(500.0, 500.0));
         d.trip_idx = Some(3);
         d.shift_secs = 14_400;
@@ -335,7 +339,8 @@ mod tests {
     fn path_vector_bounded() {
         let mut d = mk();
         for i in 0..20 {
-            d.path.push(surgescope_geo::LatLng::new(40.0, -73.0 + i as f64 * 0.001));
+            Arc::make_mut(&mut d.path)
+                .push(surgescope_geo::LatLng::new(40.0, -73.0 + i as f64 * 0.001));
         }
         assert_eq!(d.path.len(), PATH_CAPACITY);
     }

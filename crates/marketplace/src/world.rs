@@ -10,8 +10,9 @@ use crate::driver::{Driver, DriverId, DriverState};
 use crate::metrics::{GroundTruth, IntervalStats, TripRecord};
 use crate::surge::{SurgeEngine, SurgePolicy};
 use serde::{Deserialize, Serialize, Value};
+use std::sync::Arc;
 use surgescope_city::{AreaId, CarType, CityModel};
-use surgescope_geo::{LatLng, Meters, PathVector, SpatialGrid};
+use surgescope_geo::{DynamicGrid, LatLng, Meters, PathVector};
 use surgescope_simcore::{EventQueue, SimDuration, SimRng, SimTime};
 
 /// Behavioural constants of the marketplace (city-independent).
@@ -80,8 +81,9 @@ pub struct VisibleCar {
     pub position: Meters,
     /// Geographic position.
     pub latlng: LatLng,
-    /// Recent movement trace.
-    pub path: PathVector,
+    /// Recent movement trace, shared with the driver (snapshots clone the
+    /// handle, not the points).
+    pub path: Arc<PathVector>,
 }
 
 /// A rider who was priced out and chose to wait for the next interval.
@@ -107,7 +109,7 @@ struct AreaAccum {
 
 /// The simulated city marketplace.
 pub struct Marketplace {
-    city: CityModel,
+    city: Arc<CityModel>,
     cfg: MarketplaceConfig,
     now: SimTime,
     drivers: Vec<Driver>,
@@ -119,12 +121,17 @@ pub struct Marketplace {
     rng_demand: SimRng,
     rng_drive: SimRng,
     ticks_run: u64,
-    /// Per-tier spatial index over idle (visible) drivers; payload is the
-    /// driver index. Rebuilt after every phase that changes positions or
-    /// visibility wholesale (shift changes, movement). Queries made while
-    /// the same tick keeps dispatching must re-check `state.is_visible()`
-    /// because matching flips drivers busy without a rebuild.
-    idle_index: Vec<(CarType, SpatialGrid<u32>)>,
+    /// Per-tier spatial index over idle (visible) drivers, keyed by driver
+    /// index, maintained *incrementally*: every visibility or position
+    /// transition (shift start/end, dispatch, trip completion, idle
+    /// cruising) updates the grid in place, so at any query point it holds
+    /// exactly the currently visible drivers at their current positions —
+    /// no per-tick rebuilds, no staleness filter.
+    idle_index: Vec<(CarType, DynamicGrid)>,
+    /// Scratch buffer for `idle_drift`'s surge-chasing candidate list,
+    /// reused across drivers and ticks. Purely transient (cleared before
+    /// every use); never serialized.
+    drift_scratch: Vec<AreaId>,
     /// The root seed every random stream derives from, kept so coupled
     /// subsystems (e.g. the transport fault injector) can derive their own
     /// independent streams from the same campaign seed.
@@ -154,7 +161,7 @@ impl Marketplace {
         .with_policy(cfg.surge_policy);
         let acc = vec![AreaAccum::default(); city.area_count()];
         let mut mp = Marketplace {
-            city,
+            city: Arc::new(city),
             cfg,
             now: SimTime::EPOCH,
             drivers,
@@ -167,6 +174,7 @@ impl Marketplace {
             rng_drive: root.split("drive"),
             ticks_run: 0,
             idle_index: Vec::new(),
+            drift_scratch: Vec::new(),
             seed,
         };
         mp.rebuild_idle_index();
@@ -210,7 +218,7 @@ impl Marketplace {
         v: &Value,
     ) -> Result<Self, serde::Error> {
         let mut mp = Marketplace {
-            city,
+            city: Arc::new(city),
             cfg,
             now: SimTime::from_value(v.field("now")?)?,
             drivers: Vec::<Driver>::from_value(v.field("drivers")?)?,
@@ -223,6 +231,7 @@ impl Marketplace {
             rng_drive: SimRng::from_value(v.field("rng_drive")?)?,
             ticks_run: u64::from_value(v.field("ticks_run")?)?,
             idle_index: Vec::new(),
+            drift_scratch: Vec::new(),
             seed: u64::from_value(v.field("seed")?)?,
         };
         mp.rebuild_idle_index();
@@ -237,6 +246,12 @@ impl Marketplace {
     /// The city being simulated.
     pub fn city(&self) -> &CityModel {
         &self.city
+    }
+
+    /// Shared handle to the (immutable) city model, for snapshots that
+    /// outlive a borrow of the marketplace.
+    pub fn city_arc(&self) -> Arc<CityModel> {
+        Arc::clone(&self.city)
     }
 
     /// The behaviour configuration.
@@ -285,11 +300,11 @@ impl Marketplace {
     pub fn ewt_minutes(&self, pos: Meters, car_type: CarType) -> f64 {
         // Drive time is rectilinear distance over a speed that depends only
         // on the clock, so the nearest-L1 idle car from the tier's grid is
-        // exactly the car the old full scan's running minimum settled on.
-        let drivers = &self.drivers;
+        // exactly the car a full scan's running minimum would settle on
+        // (the grid breaks distance ties by lowest driver index).
         let best = self.idle_grid(car_type).and_then(|g| {
-            g.nearest_l1(pos, |&i| drivers[i as usize].state.is_visible()).map(|(slot, _)| {
-                let d = &drivers[*g.payload(slot) as usize];
+            g.nearest_l1(pos).map(|(i, _)| {
+                let d = &self.drivers[i as usize];
                 self.city.drive_time_secs(d.position, pos, self.now)
             })
         });
@@ -299,25 +314,45 @@ impl Marketplace {
         }
     }
 
-    fn idle_grid(&self, car_type: CarType) -> Option<&SpatialGrid<u32>> {
+    fn idle_grid(&self, car_type: CarType) -> Option<&DynamicGrid> {
         self.idle_index.iter().find(|(t, _)| *t == car_type).map(|(_, g)| g)
     }
 
-    /// Rebuilds the per-tier idle-driver grids from current positions and
-    /// visibility, preserving ascending driver-index order within each
-    /// tier so grid tie-breaks match the old linear scans.
-    fn rebuild_idle_index(&mut self) {
-        let mut by_type: Vec<(CarType, Vec<(Meters, u32)>)> = Vec::new();
-        for (i, d) in self.drivers.iter().enumerate() {
-            if d.state.is_visible() {
-                match by_type.iter_mut().find(|(t, _)| *t == d.car_type) {
-                    Some((_, v)) => v.push((d.position, i as u32)),
-                    None => by_type.push((d.car_type, vec![(d.position, i as u32)])),
-                }
+    fn idle_grid_mut(index: &mut [(CarType, DynamicGrid)], car_type: CarType) -> &mut DynamicGrid {
+        &mut index
+            .iter_mut()
+            .find(|(t, _)| *t == car_type)
+            .expect("every fleet tier has a grid from rebuild_idle_index")
+            .1
+    }
+
+    /// Builds the per-tier idle-driver grids from scratch: one (initially
+    /// empty) grid per tier present in the fleet, then one insert per
+    /// currently visible driver. Called once at construction/restore;
+    /// after that every state transition maintains the grids in place.
+    /// Kept `pub(crate)` so tests can diff incremental maintenance against
+    /// a fresh rebuild.
+    pub(crate) fn rebuild_idle_index(&mut self) {
+        let bb = self.city.service_region.bbox();
+        let n = self.drivers.len();
+        let mut index: Vec<(CarType, DynamicGrid)> = Vec::new();
+        for d in &self.drivers {
+            if !index.iter().any(|(t, _)| *t == d.car_type) {
+                index.push((d.car_type, DynamicGrid::new(bb.min, bb.max, n)));
             }
         }
-        self.idle_index =
-            by_type.into_iter().map(|(t, items)| (t, SpatialGrid::build_auto(items))).collect();
+        for (i, d) in self.drivers.iter().enumerate() {
+            if d.state.is_visible() {
+                Self::idle_grid_mut(&mut index, d.car_type).insert(i as u32, d.position);
+            }
+        }
+        self.idle_index = index;
+    }
+
+    /// The live per-tier idle index (for equivalence tests).
+    #[cfg(test)]
+    pub(crate) fn idle_index(&self) -> &[(CarType, DynamicGrid)] {
+        &self.idle_index
     }
 
     /// Runs the world for a duration (must be a whole number of ticks).
@@ -335,11 +370,9 @@ impl Marketplace {
         let t = self.now;
 
         self.manage_shifts(t);
-        self.rebuild_idle_index();
         self.process_retries(t);
         self.generate_demand(t, dt);
         self.move_drivers(t, dt);
-        self.rebuild_idle_index();
         self.accumulate(t, dt);
 
         self.now = t + SimDuration::secs(dt);
@@ -385,7 +418,9 @@ impl Marketplace {
                     let d = &mut self.drivers[i];
                     d.come_online(pos, t, &mut self.rng_shift);
                     d.shift_secs = Self::sample_shift_secs(d.car_type, &mut self.rng_shift);
+                    let car_type = d.car_type;
                     self.truth.sessions_started += 1;
+                    Self::idle_grid_mut(&mut self.idle_index, car_type).insert(i as u32, pos);
                     brought += 1;
                 }
             }
@@ -401,18 +436,22 @@ impl Marketplace {
                 }
                 let i = (start + k) % n;
                 if matches!(self.drivers[i].state, DriverState::Idle) {
+                    let (car_type, pos) = (self.drivers[i].car_type, self.drivers[i].position);
                     self.drivers[i].go_offline();
+                    Self::idle_grid_mut(&mut self.idle_index, car_type).remove(i as u32, pos);
                     sent += 1;
                 }
             }
         }
 
         // Idle drivers past their shift go home regardless of the target.
-        for d in &mut self.drivers {
+        let Marketplace { drivers, idle_index, .. } = self;
+        for (i, d) in drivers.iter_mut().enumerate() {
             if matches!(d.state, DriverState::Idle) {
                 if let Some(since) = d.online_since {
                     if t.since(since).as_secs() >= d.shift_secs {
                         d.go_offline();
+                        Self::idle_grid_mut(idle_index, d.car_type).remove(i as u32, d.position);
                     }
                 }
             }
@@ -496,17 +535,14 @@ impl Marketplace {
         area: Option<AreaId>,
     ) {
         // Nearest idle driver of the requested tier, from the tier's grid.
-        // Positions in the grid are exact until the next movement phase; the
-        // filter drops drivers this tick's earlier matches already took. The
-        // grid breaks distance ties by lowest driver index, which is what
-        // the old first-strictly-closer linear scan kept.
-        let drivers = &self.drivers;
-        let best: Option<usize> = self.idle_grid(car_type).and_then(|g| {
-            g.nearest_l1_within(pickup, self.cfg.match_radius_m, |&i| {
-                drivers[i as usize].state.is_visible()
-            })
-            .map(|(slot, _)| *g.payload(slot) as usize)
-        });
+        // The grid tracks dispatches and completions as they happen, so no
+        // visibility re-check is needed; it breaks distance ties by lowest
+        // driver index, which is what a first-strictly-closer linear scan
+        // would keep.
+        let best: Option<usize> = self
+            .idle_grid(car_type)
+            .and_then(|g| g.nearest_l1_within(pickup, self.cfg.match_radius_m))
+            .map(|(i, _)| i as usize);
         match best {
             Some(i) => {
                 let trip_idx = self.truth.trips.len();
@@ -523,6 +559,8 @@ impl Marketplace {
                 let d = &mut self.drivers[i];
                 d.dispatch(pickup, dropoff);
                 d.trip_idx = Some(trip_idx);
+                let (car_type, pos) = (d.car_type, d.position);
+                Self::idle_grid_mut(&mut self.idle_index, car_type).remove(i as u32, pos);
                 if let Some(a) = area {
                     self.acc[a.0].pickups += 1;
                 }
@@ -546,10 +584,13 @@ impl Marketplace {
         // Split the borrow: repositioning reads the surge base in place
         // while drivers are mutated, instead of cloning the per-area vector
         // every tick.
-        let Marketplace { city, cfg, drivers, surge, truth, rng_drive, .. } = self;
+        let Marketplace {
+            city, cfg, drivers, surge, truth, rng_drive, idle_index, drift_scratch, ..
+        } = self;
+        let city: &CityModel = city;
         let base: &[f64] = &surge.current().base;
 
-        for d in drivers.iter_mut() {
+        for (i, d) in drivers.iter_mut().enumerate() {
             let state = d.state;
             match state {
                 DriverState::Offline => continue,
@@ -562,15 +603,24 @@ impl Marketplace {
                 DriverState::OnTrip { dropoff } => {
                     if d.advance_towards(dropoff, step) {
                         Self::complete_trip(city, truth, d, t);
+                        Self::idle_grid_mut(idle_index, d.car_type)
+                            .insert(i as u32, d.position);
                     }
                 }
                 DriverState::Idle => {
-                    Self::idle_drift(city, cfg, rng_drive, d, idle_step, base);
+                    let old = d.position;
+                    Self::idle_drift(city, cfg, rng_drive, d, idle_step, base, drift_scratch);
+                    if d.position != old {
+                        Self::idle_grid_mut(idle_index, d.car_type)
+                            .update(i as u32, old, d.position);
+                    }
                 }
             }
-            // Record the position into the public path trace.
+            // Record the position into the public path trace. The driver
+            // owns its path unless a snapshot from the *previous* tick is
+            // still alive, so this is an in-place push in steady state.
             let ll = city.projection.to_latlng(d.position);
-            d.path.push(ll);
+            Arc::make_mut(&mut d.path).push(ll);
         }
     }
 
@@ -595,6 +645,7 @@ impl Marketplace {
         d: &mut Driver,
         step: f64,
         base: &[f64],
+        scratch: &mut Vec<AreaId>,
     ) {
         // Pick (or re-pick) a waypoint when none is active.
         if d.waypoint.is_none() {
@@ -608,12 +659,14 @@ impl Marketplace {
             if let Some(a) = here {
                 if rng_drive.chance(cfg.reposition_prob) {
                     let my_m = base.get(a.0).copied().unwrap_or(1.0);
-                    let candidates: Vec<AreaId> = city.adjacency[a.0]
-                        .iter()
-                        .copied()
-                        .filter(|n| base.get(n.0).copied().unwrap_or(1.0) >= my_m + 0.2)
-                        .collect();
-                    if let Some(dest) = rng_drive.choose(&candidates).copied() {
+                    scratch.clear();
+                    scratch.extend(
+                        city.adjacency[a.0]
+                            .iter()
+                            .copied()
+                            .filter(|n| base.get(n.0).copied().unwrap_or(1.0) >= my_m + 0.2),
+                    );
+                    if let Some(dest) = rng_drive.choose(scratch).copied() {
                         let poly = &city.areas[dest.0].polygon;
                         let bb = poly.bbox();
                         for _ in 0..16 {
@@ -671,10 +724,14 @@ impl Marketplace {
     }
 
     fn close_interval(&mut self) {
-        // The multipliers that were in force during the interval we are
-        // closing (recompute replaces them, so snapshot first).
-        let in_force: Vec<f64> = self.surge.current().base.clone();
         let closed_interval = self.now.surge_interval() - 1;
+        // The multipliers that were in force during the interval we are
+        // closing (recompute replaces them, so snapshot first) — one
+        // snapshot serves every area record below.
+        let in_force = crate::surge::SurgeSnapshot {
+            interval: closed_interval,
+            base: self.surge.current().base.clone(),
+        };
         self.surge.recompute(self.now);
         let ticks_per_interval = (300 / self.cfg.tick_secs) as f64;
         for (ai, a) in self.acc.iter().enumerate() {
@@ -692,11 +749,7 @@ impl Marketplace {
                 } else {
                     0.0
                 },
-                surge: crate::surge::SurgeSnapshot {
-                    interval: closed_interval,
-                    base: in_force.clone(),
-                }
-                .multiplier(AreaId(ai), CarType::UberX),
+                surge: in_force.multiplier(AreaId(ai), CarType::UberX),
             });
         }
         for a in &mut self.acc {
@@ -881,6 +934,70 @@ mod tests {
         w.run_for(SimDuration::hours(8));
         let noon = w.online_count();
         assert!(noon > night, "noon {noon} should exceed 4am {night}");
+    }
+
+    /// The incremental idle index must stay *exactly* the rebuilt one: the
+    /// tick loop is itself a long randomized sequence of shift starts/ends,
+    /// dispatches, completions and idle moves, so ticking a seeded world
+    /// and diffing the live grids against a from-scratch rebuild after
+    /// every tick exercises every transition path. Membership and stored
+    /// positions (compared as bits) fully determine query answers — both
+    /// index flavours break ties by (L1 distance, driver id) — so content
+    /// equality implies query equality; a brute-force probe check on top
+    /// guards the ring search itself.
+    #[test]
+    fn incremental_idle_index_matches_fresh_rebuild() {
+        for seed in [7u64, 99, 31337] {
+            let mut w = Marketplace::new(small_city(), MarketplaceConfig::default(), seed);
+            let probes = [
+                w.city().measurement_region.centroid(),
+                w.city().service_region.bbox().min,
+                w.city().service_region.bbox().max,
+            ];
+            for tick in 0..720u64 {
+                w.tick();
+                // Expected contents: visible drivers by tier, from scratch.
+                for (t, g) in w.idle_index() {
+                    let mut expect: Vec<(u32, (u64, u64))> = w
+                        .drivers
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, d)| d.car_type == *t && d.state.is_visible())
+                        .map(|(i, d)| {
+                            (i as u32, (d.position.x.to_bits(), d.position.y.to_bits()))
+                        })
+                        .collect();
+                    expect.sort_unstable();
+                    let mut got: Vec<(u32, (u64, u64))> = g
+                        .items()
+                        .map(|(i, p)| (i, (p.x.to_bits(), p.y.to_bits())))
+                        .collect();
+                    got.sort_unstable();
+                    assert_eq!(got, expect, "tier {t:?} diverged at tick {tick} (seed {seed})");
+                    for pos in probes {
+                        let brute = w
+                            .drivers
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, d)| d.car_type == *t && d.state.is_visible())
+                            .map(|(i, d)| {
+                                (i, (d.position.x - pos.x).abs() + (d.position.y - pos.y).abs())
+                            })
+                            .fold(None::<(usize, f64)>, |best, (i, dist)| {
+                                match best {
+                                    Some((_, bd)) if bd <= dist => best,
+                                    _ => Some((i, dist)),
+                                }
+                            });
+                        assert_eq!(
+                            g.nearest_l1(pos).map(|(i, d)| (i as usize, d.to_bits())),
+                            brute.map(|(i, d)| (i, d.to_bits())),
+                            "nearest mismatch at tick {tick} (seed {seed})"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

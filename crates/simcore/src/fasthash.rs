@@ -1,0 +1,122 @@
+//! A deterministic, non-cryptographic hasher for hot-path collections.
+//!
+//! The measurement pipeline inserts thousands of `u64` car IDs into hash
+//! sets every tick; the standard library's SipHash is DoS-resistant but
+//! several times slower than needed for trusted, simulation-internal
+//! keys. This is the FxHash multiply-rotate scheme (as used by rustc):
+//! fixed constants, no per-process random state, so hashes — and thus
+//! bucket layouts — are identical across runs and platforms.
+//!
+//! Callers must never let *iteration order* of these collections reach
+//! campaign output; every consumer either sorts first or reduces to an
+//! order-insensitive aggregate (counts, sums, membership tests). That
+//! invariant predates this hasher (std's order is randomized per process)
+//! — swapping the hasher cannot change any output bytes.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// FxHash: one rotate-xor-multiply per 8-byte word.
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `HashMap` keyed by the deterministic fast hasher.
+pub type FastHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` keyed by the deterministic fast hasher.
+pub type FastHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_and_set_round_trip() {
+        let mut m: FastHashMap<u64, u32> = FastHashMap::default();
+        let mut s: FastHashSet<u64> = FastHashSet::default();
+        for i in 0..10_000u64 {
+            m.insert(i * 0x9E37_79B9, i as u32);
+            s.insert(i * 0x9E37_79B9);
+        }
+        assert_eq!(m.len(), 10_000);
+        assert_eq!(s.len(), 10_000);
+        for i in 0..10_000u64 {
+            assert_eq!(m.get(&(i * 0x9E37_79B9)), Some(&(i as u32)));
+            assert!(s.contains(&(i * 0x9E37_79B9)));
+        }
+        assert!(!s.contains(&1));
+    }
+
+    #[test]
+    fn hashes_are_process_independent() {
+        // Fixed constants, no random state: the same key always lands on
+        // the same hash (unlike std's per-process SipHash keys).
+        let mut h1 = FxHasher::default();
+        h1.write_u64(0xDEAD_BEEF);
+        let mut h2 = FxHasher::default();
+        h2.write_u64(0xDEAD_BEEF);
+        assert_eq!(h1.finish(), h2.finish());
+        assert_ne!(h1.finish(), 0);
+    }
+
+    #[test]
+    fn write_handles_unaligned_tails() {
+        let mut h1 = FxHasher::default();
+        h1.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11]);
+        let mut h2 = FxHasher::default();
+        h2.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 12]);
+        assert_ne!(h1.finish(), h2.finish());
+    }
+}

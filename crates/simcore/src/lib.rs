@@ -29,6 +29,7 @@
 
 mod diurnal;
 mod events;
+mod fasthash;
 mod faults;
 mod rng;
 mod time;
@@ -36,6 +37,7 @@ mod transport;
 
 pub use diurnal::DiurnalCurve;
 pub use events::{EventQueue, ScheduledEvent};
+pub use fasthash::{FastHashMap, FastHashSet, FxHasher};
 pub use faults::{FaultOutcome, FaultPlan, InvalidFaultPlan};
 pub use rng::SimRng;
 pub use time::{DayOfWeek, SimDuration, SimTime};

@@ -38,4 +38,25 @@ cargo test -q --release -p surgescope-core --test checkpoint_resume -- \
   truncated_log_errors_cleanly \
   corrupted_log_fails_crc_cleanly
 
+echo "== scheduler: --jobs CSV byte-identity (jobs=1 vs jobs=4) =="
+# A shared-campaign subset of `repro --quick` must emit byte-identical
+# CSVs whether campaigns are simulated serially or prefetched on 4
+# workers. Each run gets a fresh working directory and a fresh disk
+# cache — otherwise the second run would replay the first run's logs
+# and the comparison would be vacuous.
+cargo build --release -p surgescope-experiments --bin repro
+SCHED_TMP=$(mktemp -d)
+trap 'rm -rf "$SCHED_TMP"' EXIT
+REPRO="$PWD/target/release/repro"
+for jobs in 1 4; do
+  mkdir -p "$SCHED_TMP/j$jobs"
+  (cd "$SCHED_TMP/j$jobs" && \
+   SURGESCOPE_CACHE_DIR="$SCHED_TMP/j$jobs/cache" \
+   "$REPRO" --quick --jobs "$jobs" fig05 fig12 fig16 >/dev/null)
+done
+for csv in "$SCHED_TMP"/j1/results/*.csv; do
+  cmp "$csv" "$SCHED_TMP/j4/results/$(basename "$csv")"
+done
+echo "scheduler CSVs byte-identical at jobs=1 and jobs=4"
+
 echo "verify: all gates passed"
