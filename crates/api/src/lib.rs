@@ -33,7 +33,10 @@ mod service;
 pub use jitter::{JitterConfig, JitterWindow};
 pub use messages::{CarInfo, PingClientResponse, PriceEstimate, TimeEstimate, TypeStatus};
 pub use ratelimit::{RateLimitError, RateLimiter};
-pub use service::{ApiService, PingConfig, ProtocolEra, SnapCar, WorldSnapshot, NEAREST_CARS_SHOWN};
+pub use service::{
+    ApiService, PingConfig, PingScratch, ProtocolEra, SnapCar, TierPing, WorldSnapshot,
+    NEAREST_CARS_SHOWN,
+};
 
 #[cfg(test)]
 mod proptests {

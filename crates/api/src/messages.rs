@@ -5,23 +5,73 @@
 //! serialize to the same shape so measurement logs look like the paper's
 //! 391 GB of captured responses (just smaller).
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error, Serialize, Value};
 use std::sync::Arc;
 use surgescope_city::CarType;
-use surgescope_geo::LatLng;
+use surgescope_geo::{LatLng, PathVector};
 use surgescope_simcore::SimTime;
 
 /// One car as shown in the client app.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CarInfo {
     /// Randomized per-online-session identifier.
     pub id: u64,
     /// Reported position.
     pub position: LatLng,
-    /// Recent positions, oldest first (the "path vector"). Shared with
-    /// the snapshot that served the ping — every client seeing the same
-    /// car in the same tick shares one allocation (wire shape unchanged).
-    pub path: Arc<Vec<LatLng>>,
+    /// Recent positions, oldest first (the "path vector"). Shared
+    /// directly with the driver's live trace — serving a ping clones the
+    /// handle, never the points (the snapshot layer drops its handles
+    /// before the world moves, so the driver's copy-on-write append
+    /// stays in place).
+    pub path: Arc<PathVector>,
+}
+
+impl CarInfo {
+    /// Path positions oldest-to-newest (the wire representation).
+    pub fn path_points(&self) -> impl Iterator<Item = LatLng> + '_ {
+        self.path.points()
+    }
+}
+
+/// Equality is wire equality: the path compares by its points. The
+/// `PathVector` ring-buffer capacity is transport-invisible (the JSON
+/// form is a bare point list), so it must not affect `==` — a response
+/// deserialized from JSON equals the one that produced it.
+impl PartialEq for CarInfo {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+            && self.position == other.position
+            && self.path.len() == other.path.len()
+            && self.path.points().zip(other.path.points()).all(|(a, b)| a == b)
+    }
+}
+
+impl Serialize for CarInfo {
+    fn to_value(&self) -> Value {
+        // Manual impl keeps the wire shape of the former
+        // `Arc<Vec<LatLng>>` field: `path` is a plain JSON array of
+        // points, with no ring-buffer metadata.
+        Value::Map(vec![
+            ("id".into(), self.id.to_value()),
+            ("position".into(), self.position.to_value()),
+            ("path".into(), Value::Seq(self.path.points().map(|p| p.to_value()).collect())),
+        ])
+    }
+}
+
+impl Deserialize for CarInfo {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let pts = Vec::<LatLng>::from_value(v.field("path")?)?;
+        let mut path = PathVector::new(pts.len().max(2));
+        for p in pts {
+            path.push(p);
+        }
+        Ok(CarInfo {
+            id: u64::from_value(v.field("id")?)?,
+            position: LatLng::from_value(v.field("position")?)?,
+            path: Arc::new(path),
+        })
+    }
 }
 
 /// Per-tier block of a pingClient response.
@@ -96,7 +146,11 @@ mod tests {
                     cars: vec![CarInfo {
                         id: 42,
                         position: LatLng::new(40.751, -73.981),
-                        path: Arc::new(vec![LatLng::new(40.7505, -73.9805)]),
+                        path: {
+                            let mut p = PathVector::new(2);
+                            p.push(LatLng::new(40.7505, -73.9805));
+                            Arc::new(p)
+                        },
                     }],
                     ewt_min: 3.0,
                     surge: 1.5,

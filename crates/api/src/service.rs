@@ -13,7 +13,7 @@ use crate::ratelimit::{RateLimitError, RateLimiter};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use surgescope_city::{AreaId, CarType, CityModel};
-use surgescope_geo::{LatLng, Meters, SpatialGrid};
+use surgescope_geo::{GridScratch, LatLng, Meters, PathVector, SpatialGrid};
 use surgescope_marketplace::{Marketplace, MarketplaceConfig, SurgeSnapshot};
 use surgescope_simcore::{SimRng, SimTime};
 
@@ -32,9 +32,9 @@ pub enum ProtocolEra {
 }
 
 /// One visible car as frozen into a [`WorldSnapshot`]: session identity,
-/// positions, and the protocol-shaped path trace materialized *once* —
-/// every client served from the snapshot shares the same `Arc`'d points
-/// instead of re-collecting the trace per ping.
+/// positions, and the driver's live path trace shared by handle — every
+/// client served from the snapshot (and every [`CarInfo`] built from it)
+/// clones the `Arc`, never the points.
 pub struct SnapCar {
     /// Randomized per-session public ID.
     pub id: u64,
@@ -43,8 +43,28 @@ pub struct SnapCar {
     /// Geographic position.
     pub latlng: LatLng,
     /// Recent positions, oldest first, ready to drop into a
-    /// [`CarInfo`] without copying.
-    pub path: Arc<Vec<LatLng>>,
+    /// [`CarInfo`] without copying. Shared with the driver: the snapshot
+    /// layer must release these handles before the world moves, or the
+    /// driver's next path append degrades to a copy-on-write clone.
+    pub path: Arc<PathVector>,
+}
+
+/// Reusable per-caller query buffers for snapshot lookups. Each fan-out
+/// worker (and the serial ping path) owns one, so per-ping nearest-k
+/// results land in scratch instead of fresh allocations.
+#[derive(Debug, Clone, Default)]
+pub struct PingScratch {
+    /// Ring-search candidate scratch shared by all grid queries.
+    grid: GridScratch,
+    /// Nearest-k indices for the tier currently being visited.
+    idx: Vec<usize>,
+}
+
+impl PingScratch {
+    /// An empty scratch; buffers grow to the working set on first use.
+    pub fn new() -> Self {
+        PingScratch::default()
+    }
 }
 
 /// A read-only view of the marketplace taken once per tick, with visible
@@ -52,10 +72,15 @@ pub struct SnapCar {
 /// — so a 43-client fleet neither rescans the driver table nine times per
 /// client nor sorts a tier's whole inventory per nearest-8 query.
 ///
-/// The snapshot is *owned* (city model behind an `Arc`, surge boards
-/// cloned): it borrows nothing from the marketplace, so it can cross
-/// thread boundaries and outlive the tick that produced it — the fan-out
+/// The snapshot is *owned* (city model and surge boards behind `Arc`s):
+/// it borrows nothing from the marketplace, so it can cross thread
+/// boundaries and outlive the tick that produced it — the fan-out
 /// worker pool and delayed-transport machinery both rely on that.
+///
+/// It is also *reusable*: [`WorldSnapshot::capture`] re-freezes a new
+/// tick into the same shell, keeping every buffer (tier buckets, grid
+/// slabs) at capacity, so a snapshot recycled through the arena in
+/// `UberSystem` performs zero steady-state heap allocation per tick.
 pub struct WorldSnapshot {
     city: Arc<CityModel>,
     cfg: MarketplaceConfig,
@@ -64,45 +89,100 @@ pub struct WorldSnapshot {
     /// One spatial index per `by_type` entry, over the same car order.
     grids: Vec<SpatialGrid<()>>,
     /// Surge boards in force when the snapshot was taken (the protocol
-    /// layer serves stale-vs-fresh multipliers from these).
-    surge_current: SurgeSnapshot,
-    surge_previous: SurgeSnapshot,
+    /// layer serves stale-vs-fresh multipliers from these). Shared with
+    /// the engine by handle — boards are immutable once published.
+    surge_current: Arc<SurgeSnapshot>,
+    surge_previous: Arc<SurgeSnapshot>,
+    /// High-water mark of the total visible-car count. Every tier bucket
+    /// and grid reserves to this before filling, so a tier whose share of
+    /// the fleet grows never reallocates unless the *total* fleet exceeds
+    /// its historical peak — the capacity condition the arena's
+    /// zero-allocation guarantee rests on.
+    cap_hint: usize,
 }
 
 impl WorldSnapshot {
-    /// Captures the marketplace state at the top of the current tick.
+    /// Captures the marketplace state at the top of the current tick
+    /// into a fresh snapshot. Prefer [`WorldSnapshot::capture`] on a
+    /// recycled shell in per-tick loops.
     pub fn of(mp: &Marketplace) -> Self {
-        let mut by_type: Vec<(CarType, Vec<SnapCar>)> = mp
-            .city()
-            .fleet_mix
-            .iter()
-            .filter(|(_, frac)| *frac > 0.0)
-            .map(|(t, _)| (*t, Vec::new()))
-            .collect();
-        for car in mp.visible_cars() {
-            if let Some((_, v)) = by_type.iter_mut().find(|(t, _)| *t == car.car_type) {
+        let mut snap = WorldSnapshot {
+            city: mp.city_arc(),
+            cfg: *mp.config(),
+            now: mp.now(),
+            by_type: Vec::new(),
+            grids: Vec::new(),
+            surge_current: mp.surge_engine().current_arc(),
+            surge_previous: mp.surge_engine().previous_arc(),
+            cap_hint: 0,
+        };
+        snap.capture(mp);
+        snap
+    }
+
+    /// Re-freezes the marketplace's current tick into this snapshot **in
+    /// place**, reusing the tier buckets and grid slabs. Steady state
+    /// (stable tier set, fleet at its high-water mark) allocates nothing.
+    pub fn capture(&mut self, mp: &Marketplace) {
+        self.city = mp.city_arc();
+        self.cfg = *mp.config();
+        self.now = mp.now();
+        self.surge_current = mp.surge_engine().current_arc();
+        self.surge_previous = mp.surge_engine().previous_arc();
+
+        // The offered tier set derives from the city's fleet mix, which
+        // is fixed for a run — entries are patched only if it changes.
+        let mut nt = 0;
+        let hint = self.cap_hint;
+        for (t, _) in mp.city().fleet_mix.iter().filter(|(_, frac)| *frac > 0.0) {
+            match self.by_type.get_mut(nt) {
+                Some((ct, v)) if *ct == *t => v.clear(),
+                Some(entry) => *entry = (*t, Vec::new()),
+                None => self.by_type.push((*t, Vec::new())),
+            }
+            self.by_type[nt].1.reserve(hint);
+            nt += 1;
+        }
+        self.by_type.truncate(nt);
+
+        mp.for_each_visible_car(|car| {
+            if let Some((_, v)) = self.by_type.iter_mut().find(|(t, _)| *t == car.car_type) {
                 v.push(SnapCar {
                     id: car.session.0,
                     position: car.position,
                     latlng: car.latlng,
-                    path: Arc::new(car.path.points().collect()),
+                    path: car.path,
                 });
             }
+        });
+
+        if self.grids.len() > nt {
+            self.grids.truncate(nt);
+        } else {
+            self.grids.resize_with(nt, SpatialGrid::empty);
         }
-        let grids = by_type
-            .iter()
-            .map(|(_, cars)| {
-                SpatialGrid::build_auto(cars.iter().map(|c| (c.position, ())).collect())
-            })
-            .collect();
-        WorldSnapshot {
-            city: mp.city_arc(),
-            cfg: *mp.config(),
-            now: mp.now(),
-            by_type,
-            grids,
-            surge_current: mp.surge_engine().current().clone(),
-            surge_previous: mp.surge_engine().previous().clone(),
+        for (g, (_, cars)) in self.grids.iter_mut().zip(&self.by_type) {
+            g.reserve(hint);
+            g.rebuild_auto(cars.iter().map(|c| (c.position, ())));
+        }
+        // A stochastic fleet keeps setting size records (at a ~1/t decaying
+        // rate) forever, so tracking the exact high-water mark would force
+        // a re-reservation per record. Growing the hint geometrically
+        // instead absorbs records into headroom: O(log fleet) growth events
+        // over a run, and none once the fleet mean-reverts below 2/3 of it.
+        let total: usize = self.by_type.iter().map(|(_, v)| v.len()).sum();
+        if total > hint {
+            self.cap_hint = (total + total / 2).max(64);
+        }
+    }
+
+    /// Releases every per-car handle (notably the driver-shared path
+    /// `Arc`s) while keeping buffer capacity — the arena reclaim step.
+    /// Must run before the world moves: a retained path handle would turn
+    /// the driver's next append into a copy-on-write clone.
+    pub fn release_cars(&mut self) {
+        for (_, v) in &mut self.by_type {
+            v.clear();
         }
     }
 
@@ -134,14 +214,16 @@ impl WorldSnapshot {
         self.by_type.iter().position(|(ct, _)| *ct == t)
     }
 
-    /// Ring search over the tier's grid; result order — ascending
-    /// `(distance, car index)` — is what the previous full stable sort by
-    /// distance produced (the grid also sidesteps that sort's NaN-unsafe
-    /// `partial_cmp(..).unwrap()` comparator).
-    fn nearest(&self, t: CarType, pos: Meters, k: usize) -> Vec<&SnapCar> {
-        let Some(ti) = self.tier_index(t) else { return Vec::new() };
-        let cars = &self.by_type[ti].1;
-        self.grids[ti].k_nearest(pos, k).into_iter().map(|i| &cars[i]).collect()
+    /// EWT from a resolved nearest-car position (shared by the standalone
+    /// and fused query paths — one formula, bit-identical results).
+    fn ewt_from_nearest(&self, pos: Meters, nearest: Option<Meters>) -> f64 {
+        match nearest {
+            Some(car_pos) => {
+                let best = self.city.drive_time_secs(car_pos, pos, self.now);
+                ((best + self.cfg.dispatch_overhead_secs) / 60.0).max(1.0)
+            }
+            None => self.cfg.default_ewt_min,
+        }
     }
 
     /// EWT in minutes for a tier at a position, from the snapshot's car
@@ -149,19 +231,12 @@ impl WorldSnapshot {
     /// time is monotone in rectilinear distance, so the nearest-L1 car
     /// from the grid yields the same minimum the full scan found.
     pub fn ewt_minutes(&self, pos: Meters, t: CarType) -> f64 {
-        let cfg = &self.cfg;
         let nearest = self.tier_index(t).and_then(|ti| {
             self.grids[ti]
                 .nearest_l1(pos, |_| true)
                 .map(|(i, _)| self.by_type[ti].1[i].position)
         });
-        match nearest {
-            Some(car_pos) => {
-                let best = self.city.drive_time_secs(car_pos, pos, self.now);
-                ((best + cfg.dispatch_overhead_secs) / 60.0).max(1.0)
-            }
-            None => cfg.default_ewt_min,
-        }
+        self.ewt_from_nearest(pos, nearest)
     }
 }
 
@@ -385,14 +460,21 @@ impl PingConfig {
         p.offset_m(de, dn)
     }
 
-    /// Answers a pingClient request against a snapshot. Pure: usable from
-    /// any fan-out worker thread without touching the [`ApiService`].
-    pub fn ping_client(
+    /// Visits each tier's pingClient answer without materializing a wire
+    /// response: the nearest-k car indices land in `scratch`, and `visit`
+    /// is called once per offered tier with a borrowed [`TierPing`] view.
+    /// This is the allocation-free core shared by [`PingConfig::ping_client`]
+    /// (which renders a [`PingClientResponse`] from it) and the
+    /// measurement fan-out (which renders observations directly). Pure:
+    /// usable from any worker thread without touching the [`ApiService`].
+    pub fn ping_visit(
         &self,
         snap: &WorldSnapshot,
         client_key: u64,
         location: LatLng,
-    ) -> PingClientResponse {
+        scratch: &mut PingScratch,
+        mut visit: impl FnMut(&TierPing<'_>),
+    ) {
         let city = snap.city();
         let now = snap.now();
         let pos = city.projection.to_meters(location);
@@ -413,30 +495,90 @@ impl PingConfig {
                         .is_some_and(|w| w.contains(elapsed)));
             if stale { &snap.surge_previous } else { &snap.surge_current }
         });
-        let statuses = snap
-            .offered_types()
-            .map(|t| {
-                let cars = snap
-                    .nearest(t, pos, NEAREST_CARS_SHOWN)
-                    .into_iter()
-                    .map(|c| CarInfo {
-                        id: c.id,
-                        position: self.perturb(c.latlng, c.id, now),
-                        path: Arc::clone(&c.path),
-                    })
-                    .collect();
-                TypeStatus {
-                    car_type: t,
-                    cars,
-                    ewt_min: snap.ewt_minutes(pos, t),
-                    surge: match (board, area) {
-                        (Some(b), Some(a)) => b.multiplier(a, t),
-                        _ => 1.0,
-                    },
-                }
-            })
-            .collect();
-        PingClientResponse { at: now, location, statuses }
+        for ti in 0..snap.by_type.len() {
+            let (t, cars) = (snap.by_type[ti].0, snap.by_type[ti].1.as_slice());
+            // Fused kernel: nearest-8 and the EWT's L1-nearest car in one
+            // ring expansion, byte-identical to the separate queries.
+            let l1 = snap.grids[ti].k_nearest_and_l1_into(
+                pos,
+                NEAREST_CARS_SHOWN,
+                &mut scratch.grid,
+                &mut scratch.idx,
+            );
+            let ewt_min = snap.ewt_from_nearest(pos, l1.map(|(i, _)| cars[i].position));
+            let surge = match (board, area) {
+                (Some(b), Some(a)) => b.multiplier(a, t),
+                _ => 1.0,
+            };
+            visit(&TierPing {
+                car_type: t,
+                ewt_min,
+                surge,
+                ping: self,
+                now,
+                cars,
+                nearest: &scratch.idx,
+            });
+        }
+    }
+
+    /// Answers a pingClient request against a snapshot, materializing the
+    /// wire response. Pure: usable from any fan-out worker thread without
+    /// touching the [`ApiService`].
+    pub fn ping_client(
+        &self,
+        snap: &WorldSnapshot,
+        client_key: u64,
+        location: LatLng,
+    ) -> PingClientResponse {
+        let mut scratch = PingScratch::new();
+        let mut statuses = Vec::with_capacity(snap.by_type.len());
+        self.ping_visit(snap, client_key, location, &mut scratch, |tier| {
+            statuses.push(TypeStatus {
+                car_type: tier.car_type,
+                cars: tier
+                    .cars()
+                    .map(|(id, position, path)| CarInfo { id, position, path: Arc::clone(path) })
+                    .collect(),
+                ewt_min: tier.ewt_min,
+                surge: tier.surge,
+            });
+        });
+        PingClientResponse { at: snap.now(), location, statuses }
+    }
+}
+
+/// One offered tier's pingClient answer, borrowed from the snapshot and
+/// the caller's scratch — consumed inside [`PingConfig::ping_visit`]'s
+/// `visit` callback.
+pub struct TierPing<'a> {
+    /// Product tier.
+    pub car_type: CarType,
+    /// Estimated wait time, minutes.
+    pub ewt_min: f64,
+    /// Surge multiplier at the client's location.
+    pub surge: f64,
+    ping: &'a PingConfig,
+    now: SimTime,
+    cars: &'a [SnapCar],
+    nearest: &'a [usize],
+}
+
+impl<'a> TierPing<'a> {
+    /// The shown cars, nearest first, as `(public id, reported position,
+    /// shared path handle)`. Reported positions include the driver-safety
+    /// perturbation — identical to the [`CarInfo`]s the wire response
+    /// would carry.
+    pub fn cars(&self) -> impl Iterator<Item = (u64, LatLng, &'a Arc<PathVector>)> + '_ {
+        self.nearest.iter().map(move |&i| {
+            let c = &self.cars[i];
+            (c.id, self.ping.perturb(c.latlng, c.id, self.now), &c.path)
+        })
+    }
+
+    /// Number of cars shown for this tier.
+    pub fn shown(&self) -> usize {
+        self.nearest.len()
     }
 }
 

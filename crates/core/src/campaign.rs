@@ -22,7 +22,7 @@
 
 use crate::calibration::placement;
 use crate::estimate::{EstimatorConfig, SupplyDemandEstimator};
-use crate::observe::{latest_of_type, ClientSpec};
+use crate::observe::{latest_of_type, ClientSpec, TypeObservation};
 use crate::persist;
 use crate::systems::{MeasuredSystem, TaxiSystem, UberSystem};
 use crate::transitions::TransitionTracker;
@@ -295,6 +295,10 @@ pub struct CampaignRunner {
     /// Scratch, cleared within every tick — always empty at checkpoint
     /// boundaries, so never serialized.
     tick_area_sets: Vec<FastHashSet<u64>>,
+    /// Per-client observation buffer handed back to `ping_all_into`
+    /// every tick so block/car vectors are reused, not reallocated.
+    /// Overwritten in full each tick; transient, never serialized.
+    obs: Vec<Vec<TypeObservation>>,
     inst_sum: Vec<f64>,
     inst_ticks: u64,
     ewt_sum: Vec<f64>,
@@ -378,6 +382,7 @@ impl CampaignRunner {
             interval_seen: vec![false; n],
             avg_visible: vec![Vec::new(); n_areas],
             tick_area_sets: vec![FastHashSet::default(); n_areas],
+            obs: Vec::new(),
             inst_sum: vec![0.0; n_areas],
             inst_ticks: 0,
             ewt_sum: vec![0.0; n],
@@ -429,7 +434,8 @@ impl CampaignRunner {
         // with `now` would smear each interval's last tick into the
         // next interval and inflate per-interval unique counts.
         let state_t = now.saturating_sub(surgescope_simcore::SimDuration::secs(5));
-        let obs = self.sys.ping_all(&self.clients);
+        let mut obs = std::mem::take(&mut self.obs);
+        self.sys.ping_all_into(&self.clients, &mut obs);
         for (i, blocks) in obs.iter().enumerate() {
             self.estimator.observe(state_t, blocks);
             // Every delivered UberX block contributes car sightings —
@@ -461,6 +467,7 @@ impl CampaignRunner {
                 self.client_ewt[i].push(f32::NAN);
             }
         }
+        self.obs = obs;
         self.estimator.end_tick(now);
         for (a, set) in self.tick_area_sets.iter_mut().enumerate() {
             self.inst_sum[a] += set.len() as f64;
@@ -736,6 +743,7 @@ impl CampaignRunner {
             interval_car_n: Vec::<u64>::from_value(v.field("interval_car_n")?)?,
             interval_seen: Vec::<bool>::from_value(v.field("interval_seen")?)?,
             tick_area_sets: vec![FastHashSet::default(); n_areas],
+            obs: Vec::new(),
             inst_sum: Vec::<f64>::from_value(v.field("inst_sum")?)?,
             inst_ticks: u64::from_value(v.field("inst_ticks")?)?,
             ewt_sum: Vec::<f64>::from_value(v.field("ewt_sum")?)?,

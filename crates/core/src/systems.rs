@@ -9,7 +9,7 @@
 
 use crate::observe::{ClientSpec, ObservedCar, TypeObservation};
 use std::sync::{mpsc, Arc};
-use surgescope_api::{ApiService, PingConfig, WorldSnapshot, NEAREST_CARS_SHOWN};
+use surgescope_api::{ApiService, PingConfig, PingScratch, WorldSnapshot, NEAREST_CARS_SHOWN};
 use surgescope_city::CarType;
 use surgescope_geo::{LocalProjection, Meters};
 use surgescope_marketplace::Marketplace;
@@ -25,7 +25,19 @@ pub trait MeasuredSystem {
     fn now(&self) -> SimTime;
 
     /// Answers one ping per client, in order. Positions are planar.
-    fn ping_all(&mut self, clients: &[ClientSpec]) -> Vec<Vec<TypeObservation>>;
+    ///
+    /// `out` is resized to `clients.len()` and overwritten slot by slot;
+    /// passing last tick's buffer back in lets implementations reuse the
+    /// per-client block and car vectors instead of reallocating them
+    /// every tick. The contents are byte-identical to a fresh buffer.
+    fn ping_all_into(&mut self, clients: &[ClientSpec], out: &mut Vec<Vec<TypeObservation>>);
+
+    /// Allocating convenience wrapper around [`Self::ping_all_into`].
+    fn ping_all(&mut self, clients: &[ClientSpec]) -> Vec<Vec<TypeObservation>> {
+        let mut out = Vec::new();
+        self.ping_all_into(clients, &mut out);
+        out
+    }
 }
 
 /// The simulated ride-sharing marketplace behind its protocol layer.
@@ -60,6 +72,23 @@ pub struct UberSystem {
     /// same-tick probes (campaign estimates, experiment price probes).
     /// Invalidated at the top of `advance_tick`.
     last_snap: Option<Arc<WorldSnapshot>>,
+    /// The snapshot arena: last tick's snapshot shell, reclaimed once its
+    /// refcount drops back to 1, with car handles released but every
+    /// buffer held at capacity. `tick_snapshot` re-captures into it, so
+    /// steady-state snapshot construction performs zero heap allocation
+    /// (including the `Arc` box itself).
+    arena: Option<Arc<WorldSnapshot>>,
+    /// Query scratch for the serial ping path (pool workers own theirs).
+    scratch: PingScratch,
+    /// Reused fault-outcome buffer for the serial pre-pass.
+    outcomes: Vec<FaultOutcome>,
+    /// Retired observation blocks. A tier that drops out of the snapshot
+    /// (zero visible cars) shrinks every client's block list; parking the
+    /// surplus blocks here — `cars` capacity intact — and reclaiming them
+    /// when the tier returns keeps the serial ping path allocation-free
+    /// across tier-count fluctuations, not just in the strict steady
+    /// state.
+    spare_blocks: Vec<TypeObservation>,
 }
 
 /// One chunk of a tick's fan-out, shipped to a pool worker.
@@ -95,13 +124,16 @@ impl PingPool {
             let (job_tx, job_rx) = mpsc::channel::<PingJob>();
             let result_tx = result_tx.clone();
             workers.push(std::thread::spawn(move || {
+                // Per-worker scratch: every ping on this thread reuses
+                // the same candidate and index buffers.
+                let mut scratch = PingScratch::new();
                 for job in job_rx {
                     let mut out = Vec::with_capacity(job.end - job.start);
                     for (c, &oc) in job.clients[job.start..job.end]
                         .iter()
                         .zip(&job.outcomes[job.start..job.end])
                     {
-                        out.push(ping_one(&job.ping, &job.snap, &job.proj, c, oc));
+                        out.push(ping_one(&job.ping, &job.snap, &job.proj, c, oc, &mut scratch));
                     }
                     if result_tx.send((job.chunk, out)).is_err() {
                         return;
@@ -184,6 +216,10 @@ impl UberSystem {
             parallelism: 1,
             pool: None,
             last_snap: None,
+            arena: None,
+            scratch: PingScratch::new(),
+            outcomes: Vec::new(),
+            spare_blocks: Vec::new(),
         }
     }
 
@@ -192,7 +228,18 @@ impl UberSystem {
     /// — `ping_all` and same-tick probes see literally the same object.
     pub fn tick_snapshot(&mut self) -> Arc<WorldSnapshot> {
         if self.last_snap.is_none() {
-            self.last_snap = Some(Arc::new(WorldSnapshot::of(&self.marketplace)));
+            let snap = match self.arena.take() {
+                // Steady state: re-capture into the reclaimed shell —
+                // tier buckets, grid slabs and the Arc box all reused.
+                Some(mut arc) => {
+                    Arc::get_mut(&mut arc)
+                        .expect("arena snapshot is uniquely owned")
+                        .capture(&self.marketplace);
+                    arc
+                }
+                None => Arc::new(WorldSnapshot::of(&self.marketplace)),
+            };
+            self.last_snap = Some(snap);
         }
         Arc::clone(self.last_snap.as_ref().expect("just populated"))
     }
@@ -247,56 +294,91 @@ impl UberSystem {
     }
 }
 
-fn displacement_of(path: &[surgescope_geo::LatLng], proj: &LocalProjection) -> Option<Meters> {
-    if path.len() < 2 {
-        return None;
-    }
-    let first = proj.to_meters(path[0]);
-    let last = proj.to_meters(path[path.len() - 1]);
-    Some(last.sub(first))
-}
-
-/// Answers (or drops) one client's ping against the tick snapshot. Pure:
-/// the serial path and every pool worker run exactly this function.
+/// Answers (or drops) one client's ping against the tick snapshot. Pure
+/// apart from `scratch` reuse: the serial path and every pool worker run
+/// exactly this function, and its observations are byte-identical to
+/// converting a full `ping_client` wire response (regression-tested) —
+/// it just skips materializing the response, rendering observations
+/// straight from the snapshot via the fused per-tier kernel.
 fn ping_one(
     ping: &PingConfig,
     snap: &WorldSnapshot,
     proj: &LocalProjection,
     c: &ClientSpec,
     outcome: FaultOutcome,
+    scratch: &mut PingScratch,
 ) -> Vec<TypeObservation> {
-    if outcome == FaultOutcome::Drop {
-        // Dropped ping: never answered, nothing to compute.
-        return Vec::new();
+    let mut out = Vec::new();
+    ping_one_into(ping, snap, proj, c, outcome, scratch, &mut Vec::new(), &mut out);
+    out
+}
+
+/// In-place variant of [`ping_one`]: overwrites `out` block by block,
+/// reusing its per-tier `cars` vectors. Clients see the same tier list
+/// every tick, so in steady state nothing here allocates; when the tier
+/// count shrinks the surplus blocks retire into `spare`, and a growing
+/// tier count reclaims from it before allocating.
+#[allow(clippy::too_many_arguments)]
+fn ping_one_into(
+    ping: &PingConfig,
+    snap: &WorldSnapshot,
+    proj: &LocalProjection,
+    c: &ClientSpec,
+    outcome: FaultOutcome,
+    scratch: &mut PingScratch,
+    spare: &mut Vec<TypeObservation>,
+    out: &mut Vec<TypeObservation>,
+) {
+    let mut n = 0;
+    if outcome != FaultOutcome::Drop {
+        // Delivered now or later, the answer is frozen against the
+        // send-time snapshot — a delayed response carries stale data.
+        // (A dropped ping is never answered: nothing to compute.)
+        let loc = proj.to_latlng(c.position);
+        ping.ping_visit(snap, c.key, loc, scratch, |tier| {
+            if n == out.len() {
+                out.push(spare.pop().unwrap_or_else(|| TypeObservation {
+                    car_type: tier.car_type,
+                    // Full capacity up front: a tier shows at most
+                    // NEAREST_CARS_SHOWN cars, so this vector never
+                    // grows again even as the local fleet fills in.
+                    cars: Vec::with_capacity(NEAREST_CARS_SHOWN),
+                    ewt_min: 0.0,
+                    surge: 0.0,
+                }));
+            }
+            let block = &mut out[n];
+            block.car_type = tier.car_type;
+            block.ewt_min = tier.ewt_min;
+            block.surge = tier.surge;
+            block.cars.clear();
+            block.cars.extend(tier.cars().map(|(id, position, path)| ObservedCar {
+                id,
+                position: proj.to_meters(position),
+                displacement: path.displacement(proj),
+            }));
+            n += 1;
+        });
     }
-    // Delivered now or later, the answer is frozen against the
-    // send-time snapshot — a delayed response carries stale data.
-    let loc = proj.to_latlng(c.position);
-    let resp = ping.ping_client(snap, c.key, loc);
-    resp.statuses
-        .into_iter()
-        .map(|s| TypeObservation {
-            car_type: s.car_type,
-            cars: s
-                .cars
-                .iter()
-                .map(|car| ObservedCar {
-                    id: car.id,
-                    position: proj.to_meters(car.position),
-                    displacement: displacement_of(&car.path, proj),
-                })
-                .collect(),
-            ewt_min: s.ewt_min,
-            surge: s.surge,
-        })
-        .collect()
+    while out.len() > n {
+        spare.push(out.pop().expect("len > n"));
+    }
 }
 
 impl MeasuredSystem for UberSystem {
     fn advance_tick(&mut self) {
-        // The cached snapshot describes the outgoing tick; drop it before
-        // the world moves.
-        self.last_snap = None;
+        // The cached snapshot describes the outgoing tick. Reclaim its
+        // shell for the arena if nothing else still holds it (true in
+        // steady state: pings and probes drop their handles within the
+        // tick), releasing the driver-shared path handles *before* the
+        // world moves — a retained handle would turn every driver's next
+        // path append into a copy-on-write clone.
+        if let Some(mut arc) = self.last_snap.take() {
+            if let Some(snap) = Arc::get_mut(&mut arc) {
+                snap.release_cars();
+                self.arena = Some(arc);
+            }
+        }
         self.marketplace.tick();
         self.transport.advance_tick();
     }
@@ -312,35 +394,51 @@ impl MeasuredSystem for UberSystem {
     /// last block of a tier is what the client app displays at the end of
     /// the tick, and a stale response genuinely displaces fresh data on
     /// the screen, which is the §5.2 staleness channel.
-    fn ping_all(&mut self, clients: &[ClientSpec]) -> Vec<Vec<TypeObservation>> {
+    fn ping_all_into(&mut self, clients: &[ClientSpec], out: &mut Vec<Vec<TypeObservation>>) {
         let proj = self.projection();
         let snap = self.tick_snapshot();
         let tick_secs = self.marketplace.config().tick_secs;
 
         // Serial pre-pass: fault draws consume `fault_rng` in client order,
-        // so the fault pattern is independent of the thread count.
+        // so the fault pattern is independent of the thread count. The
+        // outcome buffer is reused across ticks.
         let faults = self.faults;
         let fault_rng = &mut self.fault_rng;
-        let outcomes: Vec<FaultOutcome> = clients
-            .iter()
-            .map(|_| {
-                if faults.is_none() {
-                    FaultOutcome::Deliver
-                } else {
-                    faults.decide(fault_rng)
-                }
-            })
-            .collect();
+        self.outcomes.clear();
+        self.outcomes.extend(clients.iter().map(|_| {
+            if faults.is_none() {
+                FaultOutcome::Deliver
+            } else {
+                faults.decide(fault_rng)
+            }
+        }));
 
         let ping = self.api.ping_config();
         let threads = self.parallelism.min(clients.len().max(1)).max(1);
-        let mut answered: Vec<Vec<TypeObservation>>;
+        out.resize_with(clients.len(), Vec::new);
+        out.truncate(clients.len());
         if threads <= 1 {
-            answered = clients
-                .iter()
-                .zip(&outcomes)
-                .map(|(c, &oc)| ping_one(&ping, &snap, &proj, c, oc))
-                .collect();
+            // Serial path: answer straight into the caller's slots,
+            // reusing their block/car vectors tick over tick. A delayed
+            // response is computed into a fresh vector (it must outlive
+            // this tick inside the in-flight queue) and its slot cleared.
+            let scratch = &mut self.scratch;
+            let transport = &mut self.transport;
+            let spare = &mut self.spare_blocks;
+            let fresh = clients.iter().zip(&self.outcomes).zip(out.iter_mut());
+            for (i, ((c, &oc), slot)) in fresh.enumerate() {
+                match oc {
+                    FaultOutcome::Deliver => {
+                        ping_one_into(&ping, &snap, &proj, c, oc, scratch, spare, slot)
+                    }
+                    FaultOutcome::Delay(d) => {
+                        spare.extend(slot.drain(..));
+                        let resp = ping_one(&ping, &snap, &proj, c, oc, scratch);
+                        transport.send_delayed(i, ticks_late(d, tick_secs), resp);
+                    }
+                    FaultOutcome::Drop => spare.extend(slot.drain(..)),
+                }
+            }
         } else {
             // Fan out over contiguous client chunks on the persistent
             // pool; results land by chunk index, so ordering (and every
@@ -349,20 +447,19 @@ impl MeasuredSystem for UberSystem {
                 self.pool = Some(PingPool::new(threads));
             }
             let pool = self.pool.as_ref().expect("just populated");
-            answered = pool.run(&snap, ping, proj, clients, &outcomes);
-        }
+            let mut answered = pool.run(&snap, ping, proj, clients, &self.outcomes);
 
-        // Serial post-pass in client order: route each answered response
-        // to its destination — now, or into the in-flight queue.
-        let mut out: Vec<Vec<TypeObservation>> = Vec::new();
-        out.resize_with(clients.len(), Vec::new);
-        for (i, (resp, outcome)) in answered.drain(..).zip(&outcomes).enumerate() {
-            match outcome {
-                FaultOutcome::Deliver => out[i] = resp,
-                FaultOutcome::Delay(d) => {
-                    self.transport.send_delayed(i, ticks_late(*d, tick_secs), resp)
+            // Serial post-pass in client order: route each answered
+            // response to its destination — now, or the in-flight queue.
+            for (i, (resp, outcome)) in answered.drain(..).zip(&self.outcomes).enumerate() {
+                match outcome {
+                    FaultOutcome::Deliver => out[i] = resp,
+                    FaultOutcome::Delay(d) => {
+                        out[i].clear();
+                        self.transport.send_delayed(i, ticks_late(*d, tick_secs), resp);
+                    }
+                    FaultOutcome::Drop => out[i].clear(),
                 }
-                FaultOutcome::Drop => {}
             }
         }
         // Merge late arrivals due this tick, `(sent_tick, client)` order.
@@ -371,7 +468,6 @@ impl MeasuredSystem for UberSystem {
                 slot.extend(env.payload);
             }
         }
-        out
     }
 }
 
@@ -404,8 +500,8 @@ impl MeasuredSystem for TaxiSystem<'_> {
         self.replay.now()
     }
 
-    fn ping_all(&mut self, clients: &[ClientSpec]) -> Vec<Vec<TypeObservation>> {
-        clients
+    fn ping_all_into(&mut self, clients: &[ClientSpec], out: &mut Vec<Vec<TypeObservation>>) {
+        *out = clients
             .iter()
             .map(|c| {
                 let cars = self
@@ -430,7 +526,7 @@ impl MeasuredSystem for TaxiSystem<'_> {
                     .collect();
                 vec![TypeObservation { car_type: CarType::UberT, cars, ewt_min: 0.0, surge: 1.0 }]
             })
-            .collect()
+            .collect();
     }
 }
 

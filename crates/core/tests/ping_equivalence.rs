@@ -1,0 +1,63 @@
+//! Regression lock backing the `ping_one` doc claim: the measurement
+//! fan-out renders observations straight from the snapshot (skipping the
+//! wire response entirely), and that shortcut must stay **byte-identical**
+//! to the honest pipeline — materialize a full `ping_client` wire
+//! response, then convert its `TypeStatus` blocks into `TypeObservation`s
+//! the way a real measurement client would. Any drift here (a missed
+//! perturbation, a reordered tier, a different projection) silently
+//! changes every downstream estimate.
+
+use surgescope_api::{ApiService, ProtocolEra};
+use surgescope_city::CityModel;
+use surgescope_core::calibration::placement;
+use surgescope_core::{MeasuredSystem, ObservedCar, TypeObservation, UberSystem};
+use surgescope_marketplace::{Marketplace, MarketplaceConfig};
+use surgescope_simcore::SimDuration;
+
+#[test]
+fn ping_all_matches_wire_response_conversion() {
+    let city = CityModel::san_francisco_downtown();
+    let proj = city.projection;
+    let clients = placement(&city.measurement_region, city.client_spacing_m);
+    let mut mp = Marketplace::new(city, MarketplaceConfig::default(), 2026);
+    // Midday-ish fleet so every tier shows cars and surge is in play.
+    mp.run_for(SimDuration::hours(6));
+    let api = ApiService::new(ProtocolEra::Apr2015, 2026);
+    let ping = api.ping_config();
+    let mut sys = UberSystem::new(mp, api);
+
+    for tick in 0..24 {
+        sys.advance_tick();
+        let snap = sys.tick_snapshot();
+        let obs = sys.ping_all(&clients);
+        for (c, blocks) in clients.iter().zip(&obs) {
+            let resp = ping.ping_client(&snap, c.key, proj.to_latlng(c.position));
+            let converted: Vec<TypeObservation> = resp
+                .statuses
+                .iter()
+                .map(|s| TypeObservation {
+                    car_type: s.car_type,
+                    cars: s
+                        .cars
+                        .iter()
+                        .map(|ci| ObservedCar {
+                            id: ci.id,
+                            position: proj.to_meters(ci.position),
+                            displacement: ci.path.displacement(&proj),
+                        })
+                        .collect(),
+                    ewt_min: s.ewt_min,
+                    surge: s.surge,
+                })
+                .collect();
+            // Byte-level comparison (via serialization) rather than
+            // `PartialEq`: a NaN gap must also match bit-for-bit.
+            assert_eq!(
+                serde_json::to_string(blocks).expect("serialize direct observations"),
+                serde_json::to_string(&converted).expect("serialize converted response"),
+                "tick {tick}: client {} diverged from its wire-response conversion",
+                c.key
+            );
+        }
+    }
+}

@@ -19,10 +19,11 @@ use surgescope_experiments::{cache, cache::CampaignCache, run_experiment, RunCtx
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--quick] [--seed N] [--jobs N] [--resume CKPT] <id>... | all | list\n\
+        "usage: repro [--quick] [--quiet] [--seed N] [--jobs N] [--resume CKPT] <id>... | all | list\n\
          \n\
          options:\n\
          \x20 --quick      shorter campaigns, scaled-down cities\n\
+         \x20 --quiet      suppress [schedule]/[cache] progress chatter\n\
          \x20 --seed N     root seed for every campaign (default 2015)\n\
          \x20 --jobs N     simulate distinct campaigns on N worker threads\n\
          \x20              (default: available parallelism; results are\n\
@@ -93,6 +94,7 @@ fn resume_campaign(ckpt: &PathBuf, ctx: &RunCtx, campaigns: &CampaignCache) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
+    let mut quiet = false;
     let mut seed = 2015u64;
     let mut jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut resume: Option<PathBuf> = None;
@@ -101,6 +103,7 @@ fn main() {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
+            "--quiet" => quiet = true,
             "--seed" => {
                 seed = it
                     .next()
@@ -147,6 +150,7 @@ fn main() {
     }
     let mut ctx = RunCtx::full(seed);
     ctx.quick = quick;
+    ctx.quiet = quiet;
     let cache = CampaignCache::new();
     if let Some(ckpt) = &resume {
         resume_campaign(ckpt, &ctx, &cache);

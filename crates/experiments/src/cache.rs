@@ -174,12 +174,14 @@ impl CampaignCache {
             if lp.exists() {
                 match replay_campaign(&lp) {
                     Ok(data) => {
-                        eprintln!(
-                            "[cache] replayed {} campaign ({:?} era) from {}",
-                            city.label(),
-                            cfg.era,
-                            lp.display()
-                        );
+                        if !ctx.quiet {
+                            eprintln!(
+                                "[cache] replayed {} campaign ({:?} era) from {}",
+                                city.label(),
+                                cfg.era,
+                                lp.display()
+                            );
+                        }
                         let data = Arc::new(data);
                         self.campaigns
                             .lock()
@@ -206,7 +208,7 @@ impl CampaignCache {
             }
         }
 
-        let data = Self::run_campaign(city, &cfg);
+        let data = Self::run_campaign(city, &cfg, ctx.quiet);
         if let Some(cp) = &cfg.store.checkpoint_path {
             let _ = std::fs::remove_file(cp);
         }
@@ -218,17 +220,19 @@ impl CampaignCache {
     /// Runs (or crash-resumes) one campaign, degrading to a memory-only
     /// run if the store layer fails — a broken disk must cost the cache,
     /// never the run.
-    fn run_campaign(city: City, cfg: &CampaignConfig) -> CampaignData {
+    fn run_campaign(city: City, cfg: &CampaignConfig, quiet: bool) -> CampaignData {
         if let Some(cp) = cfg.store.checkpoint_path.as_ref().filter(|p| p.exists()) {
             match CampaignRunner::resume_from_file(cp, cfg.parallelism, cfg.store.clone()) {
                 Ok(mut runner) => {
-                    eprintln!(
-                        "[cache] resuming {} campaign ({:?} era) from checkpoint at tick {}/{}…",
-                        city.label(),
-                        cfg.era,
-                        runner.ticks_done(),
-                        runner.ticks_total()
-                    );
+                    if !quiet {
+                        eprintln!(
+                            "[cache] resuming {} campaign ({:?} era) from checkpoint at tick {}/{}…",
+                            city.label(),
+                            cfg.era,
+                            runner.ticks_done(),
+                            runner.ticks_total()
+                        );
+                    }
                     match runner.run_to_end().and_then(|()| runner.finish()) {
                         Ok(data) => return data,
                         Err(e) => {
@@ -242,12 +246,14 @@ impl CampaignCache {
                 ),
             }
         }
-        eprintln!(
-            "[cache] running {} campaign ({} h, {:?} era)…",
-            city.label(),
-            cfg.hours,
-            cfg.era
-        );
+        if !quiet {
+            eprintln!(
+                "[cache] running {} campaign ({} h, {:?} era)…",
+                city.label(),
+                cfg.hours,
+                cfg.era
+            );
+        }
         let fallible = CampaignRunner::new(city.model(), cfg)
             .and_then(|mut r| r.run_to_end().map(|()| r))
             .and_then(CampaignRunner::finish);
@@ -267,7 +273,9 @@ impl CampaignCache {
         if let Some(t) = self.taxi.lock().expect("cache lock").as_ref() {
             return Arc::clone(t);
         }
-        eprintln!("[cache] running taxi validation replay…");
+        if !ctx.quiet {
+            eprintln!("[cache] running taxi validation replay…");
+        }
         let city = City::Manhattan.model();
         let (taxis, days) = if ctx.quick { (150, 1) } else { (400, 3) };
         let gen = TraceGenerator { taxis, days, ..Default::default() };

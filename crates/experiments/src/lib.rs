@@ -31,17 +31,20 @@ pub struct RunCtx {
     pub quick: bool,
     /// Directory for CSV output (created on demand); `None` disables CSV.
     pub out_dir: Option<PathBuf>,
+    /// Suppress progress chatter (`[schedule]`/`[cache]` lines) on
+    /// stderr. Warnings and errors still print.
+    pub quiet: bool,
 }
 
 impl RunCtx {
     /// Full-fidelity context (72-hour campaigns, full city scale).
     pub fn full(seed: u64) -> Self {
-        RunCtx { seed, quick: false, out_dir: Some(PathBuf::from("results")) }
+        RunCtx { seed, quick: false, out_dir: Some(PathBuf::from("results")), quiet: false }
     }
 
     /// Quick context for tests and smoke runs.
     pub fn quick(seed: u64) -> Self {
-        RunCtx { seed, quick: true, out_dir: None }
+        RunCtx { seed, quick: true, out_dir: None, quiet: false }
     }
 
     /// Campaign length in hours.

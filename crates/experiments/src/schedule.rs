@@ -5,10 +5,15 @@
 //! experiment to need a campaign pays for it while every core but one
 //! idles. The scheduler inverts that: a planning pass asks each requested
 //! experiment which campaign configs it will read ([`needs`]), dedupes
-//! them by the cache's own semantic key, and simulates the distinct
-//! campaigns concurrently on a bounded worker pool feeding the shared
-//! [`CampaignCache`]. The experiments then run in their usual order and
-//! find every campaign already cached.
+//! them by the cache's own semantic key, orders the distinct tasks
+//! longest-job-first (cost = `hours × 720 × scale` estimated ticks, with
+//! a stable cache-key tiebreak), and drains them over an atomic work
+//! index on a bounded worker pool feeding the shared [`CampaignCache`].
+//! The previous LIFO pop-queue could schedule the single longest
+//! campaign *last*, serializing the tail behind one worker; starting it
+//! first bounds the makespan at `max(longest task, total/jobs)`-ish.
+//! The experiments then run in their usual order and find every campaign
+//! already cached.
 //!
 //! Correctness is inherited, not re-proved: each campaign is a pure
 //! function of its config simulated *within one worker* (the existing
@@ -19,7 +24,7 @@
 use crate::cache::{self, CampaignCache, City};
 use crate::RunCtx;
 use std::collections::HashSet;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use surgescope_api::ProtocolEra;
 use surgescope_core::CampaignConfig;
 
@@ -104,22 +109,61 @@ pub fn needs(id: &str, ctx: &RunCtx) -> Vec<Prefetch> {
     }
 }
 
-fn run_task(t: Prefetch, ctx: &RunCtx, cache: &CampaignCache) {
+fn run_task(t: &Prefetch, ctx: &RunCtx, cache: &CampaignCache) {
     match t {
         Prefetch::Taxi => {
             cache.taxi(ctx);
         }
         Prefetch::Campaign(city, cfg) => {
-            cache.campaign_custom(city, cfg, ctx);
+            cache.campaign_custom(*city, cfg.clone(), ctx);
+        }
+    }
+}
+
+/// Estimated cost of a task, in simulated ticks: `hours × 720 × scale`.
+/// The estimate only has to *order* the tasks — campaign wall time is
+/// almost exactly proportional to tick count, and the taxi replay runs
+/// one simulated day per `days` at full scale.
+fn cost_ticks(t: &Prefetch, ctx: &RunCtx) -> f64 {
+    match t {
+        Prefetch::Taxi => {
+            let days = if ctx.quick { 1.0 } else { 3.0 };
+            days * 24.0 * 720.0
+        }
+        Prefetch::Campaign(_, cfg) => cfg.hours as f64 * 720.0 * cfg.scale,
+    }
+}
+
+/// Stable tiebreak for equal-cost tasks: the cache's own semantic key
+/// (the taxi replay sorts before any campaign).
+fn tie_key(t: &Prefetch) -> u64 {
+    match t {
+        Prefetch::Taxi => 0,
+        Prefetch::Campaign(city, cfg) => cache::cache_key(&city.model().name, &cfg),
+    }
+}
+
+fn describe(t: &Prefetch) -> String {
+    match t {
+        Prefetch::Taxi => "taxi validation replay".to_string(),
+        Prefetch::Campaign(city, cfg) => {
+            format!("{} campaign ({} h, {:?} era, scale {})", city.label(), cfg.hours, cfg.era, cfg.scale)
         }
     }
 }
 
 /// Plans and runs the prefetch for `ids`: dedupes every declared campaign
-/// by its cache key and simulates the distinct ones on `jobs` worker
-/// threads, filling `cache`. Returns the number of distinct prefetch
-/// tasks. With `jobs <= 1` the tasks run serially on the caller's thread
-/// — same work, same cache contents, no thread machinery.
+/// by the cache's semantic key, orders the distinct tasks longest-first
+/// (cost = `hours × 720 × scale` ticks, stable tiebreak on cache key),
+/// and drains them over an atomic work index on `jobs` worker threads,
+/// filling `cache`. Longest-first keeps one long campaign from
+/// serializing the tail: it starts immediately instead of being popped
+/// last while the short jobs finish. Task *start order* is the sorted
+/// order at any `jobs` value — workers claim the next unstarted index —
+/// so the plan logged under `[schedule]` is deterministic. Returns the
+/// number of distinct prefetch tasks. With `jobs <= 1` the tasks run
+/// serially on the caller's thread in the same order — same work, same
+/// cache contents, no thread machinery.
 pub fn prefetch(ids: &[String], ctx: &RunCtx, cache: &CampaignCache, jobs: usize) -> usize {
     let mut seen = HashSet::new();
     let mut want_taxi = false;
@@ -142,22 +186,39 @@ pub fn prefetch(ids: &[String], ctx: &RunCtx, cache: &CampaignCache, jobs: usize
         }
     }
     let n = tasks.len();
+    order_longest_first(&mut tasks, ctx);
     let jobs = jobs.max(1).min(n.max(1));
+    if !ctx.quiet && n > 0 {
+        eprintln!("[schedule] prefetching {n} distinct campaigns on {jobs} workers, longest first:");
+        for (i, t) in tasks.iter().enumerate() {
+            eprintln!("[schedule]   {:>2}. {} (~{} ticks)", i + 1, describe(t), cost_ticks(t, ctx) as u64);
+        }
+    }
     if jobs <= 1 {
-        for t in tasks {
+        for t in &tasks {
             run_task(t, ctx, cache);
         }
         return n;
     }
-    eprintln!("[schedule] prefetching {n} distinct campaigns on {jobs} workers…");
-    let queue = Mutex::new(tasks);
+    let next = AtomicUsize::new(0);
     std::thread::scope(|s| {
         for _ in 0..jobs {
             s.spawn(|| loop {
-                let Some(t) = queue.lock().expect("prefetch queue").pop() else { break };
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(t) = tasks.get(i) else { break };
                 run_task(t, ctx, cache);
             });
         }
     });
     n
+}
+
+/// Sorts tasks by descending estimated cost, breaking ties by cache key.
+pub fn order_longest_first(tasks: &mut [Prefetch], ctx: &RunCtx) {
+    tasks.sort_by(|a, b| {
+        cost_ticks(b, ctx)
+            .partial_cmp(&cost_ticks(a, ctx))
+            .expect("task costs are finite")
+            .then_with(|| tie_key(a).cmp(&tie_key(b)))
+    });
 }

@@ -28,7 +28,7 @@ pub use latlng::{haversine_m, LatLng, EARTH_RADIUS_M};
 pub use path::PathVector;
 pub use polygon::{BoundingBox, Polygon};
 pub use project::{LocalProjection, Meters, Vec2};
-pub use spatial::{auto_cell_size, SpatialGrid};
+pub use spatial::{auto_cell_size, GridScratch, SpatialGrid};
 
 /// Mean walking speed assumed by the surge-avoidance strategy (§6 of the
 /// paper): 5 km/h ≈ 83 m per minute.

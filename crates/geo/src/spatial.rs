@@ -15,8 +15,33 @@
 //! insertion index, matching what a stable sort over the full scan would
 //! produce — so swapping the scan for the grid changes no observable
 //! output, bit for bit).
+//!
+//! Storage is structure-of-arrays: coordinates live in separate `xs`/`ys`
+//! slabs so the ring scans stream over dense `f64` lanes, and the slabs
+//! (plus the CSR arrays) are reused across [`SpatialGrid::rebuild`] calls
+//! — a grid rebuilt every tick stops allocating once its capacity
+//! high-water marks settle. Allocation-free `_into` query variants write
+//! into caller-owned buffers ([`GridScratch`] holds the candidate
+//! scratch), and [`SpatialGrid::k_nearest_and_l1_into`] fuses the two
+//! per-tier pingClient questions into one ring expansion.
 
 use crate::project::Meters;
+
+/// Reusable candidate scratch for [`SpatialGrid::k_nearest_into`] and
+/// [`SpatialGrid::k_nearest_and_l1_into`]. Owning it at the call site
+/// (one per worker thread) keeps repeated queries allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct GridScratch {
+    /// `(squared distance, insertion index)` candidates, sorted on demand.
+    cands: Vec<(f64, u32)>,
+}
+
+impl GridScratch {
+    /// An empty scratch; buffers grow to the working-set size on first use.
+    pub fn new() -> Self {
+        GridScratch::default()
+    }
+}
 
 /// A point set bucketed into uniform square cells for fast proximity
 /// queries. `T` is a per-point payload (e.g. a driver index); use `()`
@@ -31,76 +56,39 @@ pub struct SpatialGrid<T> {
     cell_start: Vec<u32>,
     /// Insertion indices grouped by cell, ascending within each cell.
     cell_items: Vec<u32>,
-    /// Point positions in insertion order.
-    points: Vec<Meters>,
+    /// Point x coordinates in insertion order (SoA lane).
+    xs: Vec<f64>,
+    /// Point y coordinates in insertion order (SoA lane).
+    ys: Vec<f64>,
     /// Payloads in insertion order.
     payloads: Vec<T>,
 }
 
 impl<T> SpatialGrid<T> {
+    /// An empty grid ready to be [`SpatialGrid::rebuild`]-ed in place
+    /// (the arena form: keep one per tier, rebuild it every tick).
+    pub fn empty() -> Self {
+        SpatialGrid {
+            cell_size: 100.0,
+            origin: Meters::new(0.0, 0.0),
+            nx: 0,
+            ny: 0,
+            cell_start: vec![0],
+            cell_items: Vec::new(),
+            xs: Vec::new(),
+            ys: Vec::new(),
+            payloads: Vec::new(),
+        }
+    }
+
     /// Builds a grid over `items` with square cells of `cell_size` metres.
     /// The cell size is doubled as needed so the cell count stays
     /// proportional to the point count (outlier-stretched bounding boxes
     /// cannot blow up memory).
     pub fn build(items: Vec<(Meters, T)>, cell_size: f64) -> Self {
-        assert!(cell_size > 0.0 && cell_size.is_finite(), "bad cell size {cell_size}");
-        let (points, payloads): (Vec<Meters>, Vec<T>) = items.into_iter().unzip();
-        if points.is_empty() {
-            return SpatialGrid {
-                cell_size,
-                origin: Meters::new(0.0, 0.0),
-                nx: 0,
-                ny: 0,
-                cell_start: vec![0],
-                cell_items: Vec::new(),
-                points,
-                payloads,
-            };
-        }
-
-        let mut min = points[0];
-        let mut max = points[0];
-        for p in &points[1..] {
-            min.x = min.x.min(p.x);
-            min.y = min.y.min(p.y);
-            max.x = max.x.max(p.x);
-            max.y = max.y.max(p.y);
-        }
-
-        let max_cells = (4 * points.len()).max(1_024);
-        let mut cell_size = cell_size;
-        let (nx, ny) = loop {
-            let nx = ((max.x - min.x) / cell_size) as usize + 1;
-            let ny = ((max.y - min.y) / cell_size) as usize + 1;
-            if nx.saturating_mul(ny) <= max_cells {
-                break (nx, ny);
-            }
-            cell_size *= 2.0;
-        };
-
-        // Counting sort into cells; iterating in insertion order keeps
-        // each cell's item list ascending (the tie-break invariant).
-        let cell_of = |p: &Meters| {
-            let ix = (((p.x - min.x) / cell_size) as usize).min(nx - 1);
-            let iy = (((p.y - min.y) / cell_size) as usize).min(ny - 1);
-            iy * nx + ix
-        };
-        let mut cell_start = vec![0u32; nx * ny + 1];
-        for p in &points {
-            cell_start[cell_of(p) + 1] += 1;
-        }
-        for c in 1..cell_start.len() {
-            cell_start[c] += cell_start[c - 1];
-        }
-        let mut cursor: Vec<u32> = cell_start[..nx * ny].to_vec();
-        let mut cell_items = vec![0u32; points.len()];
-        for (i, p) in points.iter().enumerate() {
-            let c = cell_of(p);
-            cell_items[cursor[c] as usize] = i as u32;
-            cursor[c] += 1;
-        }
-
-        SpatialGrid { cell_size, origin: min, nx, ny, cell_start, cell_items, points, payloads }
+        let mut g = Self::empty();
+        g.rebuild(items.into_iter(), cell_size);
+        g
     }
 
     /// Builds with a density-derived cell size: roughly one point per
@@ -110,19 +98,126 @@ impl<T> SpatialGrid<T> {
         Self::build(items, cell)
     }
 
+    /// Re-indexes the grid over a fresh point set **in place**, reusing
+    /// every internal buffer (SoA slabs, CSR arrays). Steady-state
+    /// rebuilds perform zero heap allocation once capacities have grown
+    /// to the working set. Semantically identical to `build`.
+    pub fn rebuild(&mut self, items: impl Iterator<Item = (Meters, T)>, cell_size: f64) {
+        assert!(cell_size > 0.0 && cell_size.is_finite(), "bad cell size {cell_size}");
+        self.xs.clear();
+        self.ys.clear();
+        self.payloads.clear();
+        for (p, t) in items {
+            self.xs.push(p.x);
+            self.ys.push(p.y);
+            self.payloads.push(t);
+        }
+        let n = self.xs.len();
+        self.cell_size = cell_size;
+        if n == 0 {
+            self.origin = Meters::new(0.0, 0.0);
+            self.nx = 0;
+            self.ny = 0;
+            self.cell_start.clear();
+            self.cell_start.push(0);
+            self.cell_items.clear();
+            return;
+        }
+
+        let (mut min_x, mut min_y) = (self.xs[0], self.ys[0]);
+        let (mut max_x, mut max_y) = (self.xs[0], self.ys[0]);
+        for i in 1..n {
+            min_x = min_x.min(self.xs[i]);
+            min_y = min_y.min(self.ys[i]);
+            max_x = max_x.max(self.xs[i]);
+            max_y = max_y.max(self.ys[i]);
+        }
+
+        let max_cells = (4 * n).max(1_024);
+        let mut cell_size = cell_size;
+        let (nx, ny) = loop {
+            let nx = ((max_x - min_x) / cell_size) as usize + 1;
+            let ny = ((max_y - min_y) / cell_size) as usize + 1;
+            if nx.saturating_mul(ny) <= max_cells {
+                break (nx, ny);
+            }
+            cell_size *= 2.0;
+        };
+        self.cell_size = cell_size;
+        self.origin = Meters::new(min_x, min_y);
+        self.nx = nx;
+        self.ny = ny;
+
+        // Counting sort into cells; iterating in insertion order keeps
+        // each cell's item list ascending (the tie-break invariant). The
+        // start offsets double as placement cursors, then shift back —
+        // no separate cursor array to allocate.
+        let cell_of = |x: f64, y: f64| {
+            let ix = (((x - min_x) / cell_size) as usize).min(nx - 1);
+            let iy = (((y - min_y) / cell_size) as usize).min(ny - 1);
+            iy * nx + ix
+        };
+        let ncells = nx * ny;
+        self.cell_start.clear();
+        // Reserve to the `max_cells` cap, not just `ncells`: the actual
+        // cell count follows the points' bounding-box shape, so sizing to
+        // it would let an unusually elongated frame force a realloc long
+        // after the point-count high-water mark stopped moving.
+        self.cell_start.reserve(max_cells + 1);
+        self.cell_start.resize(ncells + 1, 0);
+        for i in 0..n {
+            self.cell_start[cell_of(self.xs[i], self.ys[i]) + 1] += 1;
+        }
+        for c in 1..self.cell_start.len() {
+            self.cell_start[c] += self.cell_start[c - 1];
+        }
+        self.cell_items.clear();
+        self.cell_items.resize(n, 0);
+        for i in 0..n {
+            let c = cell_of(self.xs[i], self.ys[i]);
+            self.cell_items[self.cell_start[c] as usize] = i as u32;
+            self.cell_start[c] += 1;
+        }
+        // Each start has advanced to its cell's end == the next start.
+        for c in (1..=ncells).rev() {
+            self.cell_start[c] = self.cell_start[c - 1];
+        }
+        self.cell_start[0] = 0;
+    }
+
+    /// In-place variant of [`SpatialGrid::build_auto`]; `items` is
+    /// consumed twice (once for the density estimate, once to fill).
+    pub fn rebuild_auto(&mut self, items: impl Iterator<Item = (Meters, T)> + Clone) {
+        let cell = auto_cell_size(items.clone().map(|(p, _)| p));
+        self.rebuild(items, cell);
+    }
+
+    /// Reserves capacity for indexing up to `n` points without further
+    /// allocation: the coordinate slabs, payloads and item list size to
+    /// `n`, and the cell table to the `max_cells` cap `rebuild` would
+    /// derive from `n` points. Lets a caller with a known fleet-wide
+    /// high-water mark make every later `rebuild` allocation-free.
+    pub fn reserve(&mut self, n: usize) {
+        self.xs.reserve(n);
+        self.ys.reserve(n);
+        self.payloads.reserve(n);
+        self.cell_items.reserve(n);
+        self.cell_start.reserve((4 * n).max(1_024) + 1);
+    }
+
     /// Number of indexed points.
     pub fn len(&self) -> usize {
-        self.points.len()
+        self.xs.len()
     }
 
     /// True when no points are indexed.
     pub fn is_empty(&self) -> bool {
-        self.points.is_empty()
+        self.xs.is_empty()
     }
 
     /// Position of the point with insertion index `i`.
     pub fn point(&self, i: usize) -> Meters {
-        self.points[i]
+        Meters::new(self.xs[i], self.ys[i])
     }
 
     /// Payload of the point with insertion index `i`.
@@ -133,6 +228,15 @@ impl<T> SpatialGrid<T> {
     /// The (possibly adjusted) cell edge length in metres.
     pub fn cell_size(&self) -> f64 {
         self.cell_size
+    }
+
+    /// Squared Euclidean distance from point `i` to `pos` — bit-identical
+    /// to `Meters::dist2` (same subtraction/FMA-free op order).
+    #[inline]
+    fn dist2_to(&self, i: usize, pos: Meters) -> f64 {
+        let dx = self.xs[i] - pos.x;
+        let dy = self.ys[i] - pos.y;
+        dx * dx + dy * dy
     }
 
     fn center_cell(&self, pos: Meters) -> (usize, usize) {
@@ -208,50 +312,129 @@ impl<T> SpatialGrid<T> {
     /// ordered by `(distance, insertion index)` — exactly what a stable
     /// sort of all points by distance would yield.
     pub fn k_nearest(&self, pos: Meters, k: usize) -> Vec<usize> {
-        if k == 0 || self.is_empty() {
-            return Vec::new();
+        let mut out = Vec::new();
+        self.k_nearest_into(pos, k, &mut GridScratch::new(), &mut out);
+        out
+    }
+
+    /// Allocation-free [`SpatialGrid::k_nearest`]: clears `out` and fills
+    /// it with the same indices, using `scratch` for candidates.
+    pub fn k_nearest_into(
+        &self,
+        pos: Meters,
+        k: usize,
+        scratch: &mut GridScratch,
+        out: &mut Vec<usize>,
+    ) {
+        out.clear();
+        self.k_nearest_and_l1_core(pos, k, false, scratch, out);
+    }
+
+    /// Fused per-tier kernel: one ring expansion answering both of
+    /// pingClient's questions — the `k` nearest points by Euclidean
+    /// distance (into `out`, same order as [`SpatialGrid::k_nearest`])
+    /// *and* the unbounded L1-nearest point (returned, same answer as
+    /// `nearest_l1(pos, |_| true)`). Visiting the union of the rings
+    /// either query alone would visit changes neither answer (both are
+    /// exact over all visited candidates), so the fusion is
+    /// byte-identical to two separate calls.
+    pub fn k_nearest_and_l1_into(
+        &self,
+        pos: Meters,
+        k: usize,
+        scratch: &mut GridScratch,
+        out: &mut Vec<usize>,
+    ) -> Option<(usize, f64)> {
+        out.clear();
+        self.k_nearest_and_l1_core(pos, k, true, scratch, out)
+    }
+
+    fn k_nearest_and_l1_core(
+        &self,
+        pos: Meters,
+        k: usize,
+        want_l1: bool,
+        scratch: &mut GridScratch,
+        out: &mut Vec<usize>,
+    ) -> Option<(usize, f64)> {
+        if self.is_empty() {
+            return None;
         }
         let (cx, cy) = self.center_cell(pos);
-        let mut cands: Vec<(f64, u32)> = Vec::new();
+        let cands = &mut scratch.cands;
+        cands.clear();
+        let mut best_l1: Option<(f64, u32)> = None;
+        // Each query keeps its own done-flag; rings expand until both are
+        // satisfied (the k-nearest side is vacuously done for k == 0).
+        let mut k_done = k == 0;
+        let mut l1_done = !want_l1;
         let mut r = 0;
         loop {
             self.for_ring_cells(cx, cy, r, |items| {
                 for &i in items {
-                    cands.push((self.points[i as usize].dist2(pos), i));
+                    if !k_done {
+                        cands.push((self.dist2_to(i as usize, pos), i));
+                    }
+                    if want_l1 {
+                        let dist = (self.xs[i as usize] - pos.x).abs()
+                            + (self.ys[i as usize] - pos.y).abs();
+                        if best_l1.is_none_or(|(bd, bi)| dist < bd || (dist == bd && i < bi)) {
+                            best_l1 = Some((dist, i));
+                        }
+                    }
                 }
             });
             let Some(lb) = self.next_ring_bound(pos, cx, cy, r) else { break };
-            if cands.len() >= k {
+            if !k_done && cands.len() >= k {
                 cands.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
                 // A later ring can still matter on an exact tie (a
                 // same-distance point with a lower insertion index), so
                 // only stop on a strict improvement margin.
                 if lb * lb > cands[k - 1].0 {
-                    break;
+                    k_done = true;
                 }
+            }
+            // Same margin logic for the L1 side: stop only once no
+            // unvisited cell can beat (or tie) the best.
+            if !l1_done && best_l1.is_some_and(|(bd, _)| lb > bd) {
+                l1_done = true;
+            }
+            if k_done && l1_done {
+                break;
             }
             r += 1;
         }
-        cands.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-        cands.truncate(k);
-        cands.into_iter().map(|(_, i)| i as usize).collect()
+        if k > 0 {
+            cands.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            cands.truncate(k);
+            out.extend(cands.iter().map(|&(_, i)| i as usize));
+        }
+        best_l1.map(|(d, i)| (i as usize, d))
     }
 
     /// Insertion indices of all points within `radius` of `pos`
     /// (Euclidean, inclusive), in ascending insertion order.
     pub fn within_radius(&self, pos: Meters, radius: f64) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.within_radius_into(pos, radius, &mut out);
+        out
+    }
+
+    /// Allocation-free [`SpatialGrid::within_radius`]: clears `out` and
+    /// fills it with the same indices.
+    pub fn within_radius_into(&self, pos: Meters, radius: f64, out: &mut Vec<usize>) {
+        out.clear();
         if self.is_empty() || radius < 0.0 {
-            return Vec::new();
+            return;
         }
         let (cx, cy) = self.center_cell(pos);
         let r2 = radius * radius;
-        let mut hits: Vec<usize> = Vec::new();
         let mut r = 0;
         loop {
             self.for_ring_cells(cx, cy, r, |items| {
                 for &i in items {
-                    if self.points[i as usize].dist2(pos) <= r2 {
-                        hits.push(i as usize);
+                    if self.dist2_to(i as usize, pos) <= r2 {
+                        out.push(i as usize);
                     }
                 }
             });
@@ -260,8 +443,7 @@ impl<T> SpatialGrid<T> {
                 _ => break,
             }
         }
-        hits.sort_unstable();
-        hits
+        out.sort_unstable();
     }
 
     /// The point minimizing `(L1 distance to pos, insertion index)`
@@ -270,7 +452,9 @@ impl<T> SpatialGrid<T> {
     ///
     /// The L1 metric matches the city model's rectilinear drive metric,
     /// and the lexicographic tie-break reproduces a first-strictly-less
-    /// linear scan in insertion order.
+    /// linear scan in insertion order. Already allocation-free — the
+    /// caller-buffer discipline of the `_into` variants needs no separate
+    /// entry point here.
     pub fn nearest_l1_within(
         &self,
         pos: Meters,
@@ -286,8 +470,8 @@ impl<T> SpatialGrid<T> {
         loop {
             self.for_ring_cells(cx, cy, r, |items| {
                 for &i in items {
-                    let p = self.points[i as usize];
-                    let dist = (p.x - pos.x).abs() + (p.y - pos.y).abs();
+                    let dist = (self.xs[i as usize] - pos.x).abs()
+                        + (self.ys[i as usize] - pos.y).abs();
                     if dist <= max_dist
                         && best.is_none_or(|(bd, bi)| dist < bd || (dist == bd && i < bi))
                         && filter(&self.payloads[i as usize])
@@ -463,6 +647,83 @@ mod tests {
             );
         }
     }
+
+    /// Tiny deterministic PRNG for the seeded equivalence sweeps (the geo
+    /// crate deliberately has no RNG dependency).
+    pub(super) struct XorShift(u64);
+    impl XorShift {
+        pub(super) fn new(seed: u64) -> Self {
+            XorShift(seed.max(1))
+        }
+        pub(super) fn next_u64(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+        /// Uniform in `[lo, hi)`, coarsely quantized (ties on purpose).
+        pub(super) fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+            let u = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            let v = lo + u * (hi - lo);
+            (v / 50.0).round() * 50.0
+        }
+    }
+
+    /// Satellite contract: every `_into` variant (and the fused kernel)
+    /// returns byte-identical results to its allocating counterpart,
+    /// across 3 seeds × mixed radii/k, with scratch and output buffers
+    /// reused across queries — and an in-place `rebuild` answers exactly
+    /// like a fresh `build`.
+    #[test]
+    fn into_variants_match_allocating_counterparts_across_seeds() {
+        let mut scratch = GridScratch::new();
+        let mut out_k = Vec::new();
+        let mut out_r = Vec::new();
+        let mut reused: SpatialGrid<usize> = SpatialGrid::empty();
+        for seed in [2026u64, 777, 0xDEAD] {
+            let mut rng = XorShift::new(seed);
+            for round in 0..12 {
+                let n = (rng.next_u64() % 150) as usize;
+                let pts: Vec<Meters> = (0..n)
+                    .map(|_| Meters::new(rng.f64_in(-2_500.0, 2_500.0), rng.f64_in(-2_500.0, 2_500.0)))
+                    .collect();
+                let cell = 40.0 + (rng.next_u64() % 400) as f64;
+                let g = SpatialGrid::build(
+                    pts.iter().enumerate().map(|(i, p)| (*p, i)).collect(),
+                    cell,
+                );
+                reused.rebuild(pts.iter().enumerate().map(|(i, p)| (*p, i)), cell);
+                for _ in 0..8 {
+                    let pos =
+                        Meters::new(rng.f64_in(-3_000.0, 3_000.0), rng.f64_in(-3_000.0, 3_000.0));
+                    let k = (rng.next_u64() % 12) as usize;
+                    let radius = (rng.next_u64() % 2_500) as f64;
+
+                    let alloc_k = g.k_nearest(pos, k);
+                    g.k_nearest_into(pos, k, &mut scratch, &mut out_k);
+                    assert_eq!(out_k, alloc_k, "k_nearest_into seed {seed} round {round}");
+                    reused.k_nearest_into(pos, k, &mut scratch, &mut out_k);
+                    assert_eq!(out_k, alloc_k, "rebuilt grid k_nearest seed {seed}");
+
+                    let l1 = g.k_nearest_and_l1_into(pos, k, &mut scratch, &mut out_k);
+                    assert_eq!(out_k, alloc_k, "fused k side seed {seed} round {round}");
+                    assert_eq!(
+                        l1.map(|(i, d)| (i, d.to_bits())),
+                        g.nearest_l1(pos, |_| true).map(|(i, d)| (i, d.to_bits())),
+                        "fused l1 side seed {seed} round {round}"
+                    );
+
+                    let alloc_r = g.within_radius(pos, radius);
+                    g.within_radius_into(pos, radius, &mut out_r);
+                    assert_eq!(out_r, alloc_r, "within_radius_into seed {seed} round {round}");
+                    reused.within_radius_into(pos, radius, &mut out_r);
+                    assert_eq!(out_r, alloc_r, "rebuilt grid within_radius seed {seed}");
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -524,6 +785,29 @@ mod proptests {
             prop_assert_eq!(
                 g.nearest_l1_within(pos, max_dist, |_| true),
                 brute_l1(&pts, pos, max_dist)
+            );
+        }
+
+        /// The fused ring expansion visits the union of the rings either
+        /// query alone would visit; both answers must stay byte-identical
+        /// to their standalone counterparts on arbitrary inputs.
+        #[test]
+        fn fused_kernel_matches_separate_queries(
+            pts in arb_points(120),
+            qx in -3_000.0f64..3_000.0,
+            qy in -3_000.0f64..3_000.0,
+            k in 0usize..12,
+            cell in 40.0f64..400.0,
+        ) {
+            let g = SpatialGrid::build(pts.iter().map(|p| (*p, ())).collect::<Vec<_>>(), cell);
+            let pos = Meters::new(qx, qy);
+            let mut scratch = GridScratch::new();
+            let mut out = Vec::new();
+            let l1 = g.k_nearest_and_l1_into(pos, k, &mut scratch, &mut out);
+            prop_assert_eq!(out, brute_k(&pts, pos, k));
+            prop_assert_eq!(
+                l1.map(|(i, d)| (i, d.to_bits())),
+                brute_l1(&pts, pos, f64::INFINITY).map(|(i, d)| (i, d.to_bits()))
             );
         }
     }

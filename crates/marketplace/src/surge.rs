@@ -19,6 +19,7 @@
 //! clients, and the `api` crate needs them to reproduce it.
 
 use serde::{Deserialize, Error, Serialize, Value};
+use std::sync::Arc;
 use surgescope_city::{AreaId, CarType, SurgeTuning};
 use surgescope_simcore::{SimRng, SimTime};
 
@@ -160,8 +161,11 @@ impl Deserialize for SurgePolicy {
 pub struct SurgeEngine {
     tuning: SurgeTuning,
     policy: SurgePolicy,
-    current: SurgeSnapshot,
-    previous: SurgeSnapshot,
+    /// Boards are published behind `Arc`s so per-tick world snapshots
+    /// share them instead of deep-cloning the base vectors; a published
+    /// board is immutable until `recompute` replaces the whole `Arc`.
+    current: Arc<SurgeSnapshot>,
+    previous: Arc<SurgeSnapshot>,
     windows: Vec<AreaWindow>,
     /// Unquantized EMA state per area (only used by `Smoothed`).
     ema: Vec<f64>,
@@ -182,11 +186,11 @@ fn quantize(m: f64) -> f64 {
 impl SurgeEngine {
     /// Creates an engine for `area_count` areas with all multipliers at 1.
     pub fn new(area_count: usize, tuning: SurgeTuning, rng: SimRng) -> Self {
-        let flat = SurgeSnapshot { interval: 0, base: vec![1.0; area_count] };
+        let flat = Arc::new(SurgeSnapshot { interval: 0, base: vec![1.0; area_count] });
         SurgeEngine {
             tuning,
             policy: SurgePolicy::Threshold,
-            current: flat.clone(),
+            current: Arc::clone(&flat),
             previous: flat,
             windows: vec![AreaWindow::default(); area_count],
             ema: vec![1.0; area_count],
@@ -218,10 +222,21 @@ impl SurgeEngine {
         &self.current
     }
 
+    /// The current board's shared handle (snapshots clone the `Arc`, not
+    /// the base vector).
+    pub fn current_arc(&self) -> Arc<SurgeSnapshot> {
+        Arc::clone(&self.current)
+    }
+
     /// Multipliers from the immediately preceding interval (what the
     /// consistency bug leaks to unlucky clients).
     pub fn previous(&self) -> &SurgeSnapshot {
         &self.previous
+    }
+
+    /// The previous board's shared handle.
+    pub fn previous_arc(&self) -> Arc<SurgeSnapshot> {
+        Arc::clone(&self.previous)
     }
 
     /// Convenience: current multiplier for an area/tier.
@@ -301,7 +316,7 @@ impl SurgeEngine {
         }
         self.previous = std::mem::replace(
             &mut self.current,
-            SurgeSnapshot { interval: now.surge_interval(), base },
+            Arc::new(SurgeSnapshot { interval: now.surge_interval(), base }),
         );
         for w in &mut self.windows {
             *w = AreaWindow::default();
@@ -333,8 +348,8 @@ impl Deserialize for SurgeEngine {
         Ok(SurgeEngine {
             tuning: SurgeTuning::from_value(v.field("tuning")?)?,
             policy: SurgePolicy::from_value(v.field("policy")?)?,
-            current: SurgeSnapshot::from_value(v.field("current")?)?,
-            previous: SurgeSnapshot::from_value(v.field("previous")?)?,
+            current: Arc::new(SurgeSnapshot::from_value(v.field("current")?)?),
+            previous: Arc::new(SurgeSnapshot::from_value(v.field("previous")?)?),
             windows: Vec::<AreaWindow>::from_value(v.field("windows")?)?,
             ema: Vec::<f64>::from_value(v.field("ema")?)?,
             rng: SimRng::from_value(v.field("rng")?)?,

@@ -276,17 +276,24 @@ impl Marketplace {
 
     /// All currently visible (idle) cars, in driver-index order.
     pub fn visible_cars(&self) -> Vec<VisibleCar> {
-        self.drivers
-            .iter()
-            .filter(|d| d.state.is_visible())
-            .map(|d| VisibleCar {
+        let mut out = Vec::new();
+        self.for_each_visible_car(|c| out.push(c));
+        out
+    }
+
+    /// Visits every visible (idle) car in driver-index order without
+    /// materializing a vector — the per-tick snapshot capture streams
+    /// cars straight into its reused tier buckets through this.
+    pub fn for_each_visible_car(&self, mut f: impl FnMut(VisibleCar)) {
+        for d in self.drivers.iter().filter(|d| d.state.is_visible()) {
+            f(VisibleCar {
                 session: d.session.expect("idle driver always has a session"),
                 car_type: d.car_type,
                 position: d.position,
                 latlng: self.city.projection.to_latlng(d.position),
                 path: d.path.clone(),
-            })
-            .collect()
+            });
+        }
     }
 
     /// True number of online drivers (any state).

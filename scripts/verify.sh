@@ -59,4 +59,25 @@ for csv in "$SCHED_TMP"/j1/results/*.csv; do
 done
 echo "scheduler CSVs byte-identical at jobs=1 and jobs=4"
 
+echo "== perf: campaign throughput and scheduler scaling =="
+# Refresh BENCH_campaign.json from this build, then gate on it: the
+# allocation-free tick pipeline must hold clean throughput at >= 1.3x
+# the pre-arena baseline (4024.7 ticks/s). The jobs=2 scheduler scaling
+# gate only means something with a second core to scale onto.
+cargo run --release -p surgescope-bench --bin bench_campaign >/dev/null
+python3 - <<'EOF'
+import json, os
+b = json.load(open("BENCH_campaign.json"))
+tps = b["ticks_per_sec"]
+floor = 4024.7 * 1.3
+assert tps >= floor, f"clean throughput {tps:.1f} ticks/s below gate {floor:.1f}"
+print(f"clean throughput {tps:.1f} ticks/s (gate {floor:.1f})")
+if (os.cpu_count() or 1) >= 2:
+    s2 = b["scaling_2j"]
+    assert s2 >= 1.5, f"jobs=2 scheduler scaling {s2:.2f}x below 1.5x gate"
+    print(f"jobs=2 scheduler scaling {s2:.2f}x (gate 1.5x)")
+else:
+    print(f"jobs=2 scheduler scaling {b['scaling_2j']:.2f}x (single-core host; 1.5x gate skipped)")
+EOF
+
 echo "verify: all gates passed"
