@@ -8,6 +8,7 @@
 
 use serde::{Deserialize, Error, Serialize, Value};
 use std::collections::HashMap;
+use surgescope_obs::Counter;
 use surgescope_simcore::SimTime;
 
 /// The paper's documented limit.
@@ -40,13 +41,26 @@ pub struct RateLimiter {
     limit_per_hour: u32,
     // account -> (hour index, count in that hour)
     windows: HashMap<u64, (u64, u32)>,
+    // Telemetry (not serialized): requests refused over quota. Throttle
+    // decisions are a pure function of simulated request times, so the
+    // total is deterministic and snapshot-safe.
+    throttled: Counter,
 }
 
 impl RateLimiter {
     /// Creates a limiter with the given hourly budget.
     pub fn new(limit_per_hour: u32) -> Self {
         assert!(limit_per_hour > 0, "limit must be positive");
-        RateLimiter { limit_per_hour, windows: HashMap::new() }
+        RateLimiter {
+            limit_per_hour,
+            windows: HashMap::new(),
+            throttled: Counter::new(),
+        }
+    }
+
+    /// Telemetry handle counting requests refused over quota.
+    pub fn throttled(&self) -> &Counter {
+        &self.throttled
     }
 
     /// Records one request from `account` at `now`; errors if the account
@@ -58,6 +72,7 @@ impl RateLimiter {
             *entry = (hour, 0);
         }
         if entry.1 >= self.limit_per_hour {
+            self.throttled.incr();
             return Err(RateLimitError {
                 account,
                 retry_after_secs: 3600 - now.as_secs() % 3600,
@@ -110,7 +125,9 @@ impl Deserialize for RateLimiter {
             .into_iter()
             .map(|(account, hour, count)| (account, (hour, count)))
             .collect();
-        Ok(RateLimiter { limit_per_hour, windows })
+        // The throttle counter starts fresh: it tracks this process's
+        // work, not the checkpointed history.
+        Ok(RateLimiter { limit_per_hour, windows, throttled: Counter::new() })
     }
 }
 
@@ -150,6 +167,22 @@ mod tests {
         rl.check(1, t).unwrap();
         assert!(rl.check(1, t).is_err());
         rl.check(2, t).unwrap();
+    }
+
+    #[test]
+    fn throttled_counter_tracks_refusals_only() {
+        let mut rl = RateLimiter::new(2);
+        let t = SimTime(0);
+        rl.check(1, t).unwrap();
+        rl.check(1, t).unwrap();
+        assert_eq!(rl.throttled().get(), 0, "granted requests don't count");
+        assert!(rl.check(1, t).is_err());
+        assert!(rl.check(1, t).is_err());
+        assert_eq!(rl.throttled().get(), 2);
+        // Restore resets telemetry but not spent quota.
+        let restored = RateLimiter::from_value(&rl.to_value()).unwrap();
+        assert_eq!(restored.throttled().get(), 0);
+        assert_eq!(restored.remaining(1, t), 0);
     }
 
     #[test]

@@ -15,6 +15,7 @@ use std::sync::Arc;
 use surgescope_city::{AreaId, CarType, CityModel};
 use surgescope_geo::{GridScratch, LatLng, Meters, PathVector, SpatialGrid};
 use surgescope_marketplace::{Marketplace, MarketplaceConfig, SurgeSnapshot};
+use surgescope_obs::Counter;
 use surgescope_simcore::{SimRng, SimTime};
 
 /// The client app shows at most this many cars per tier (§3.3).
@@ -241,11 +242,13 @@ impl WorldSnapshot {
 }
 
 /// The stateless core of the protocol endpoint: everything a pingClient
-/// response depends on besides the [`WorldSnapshot`] itself. `Copy`, so
-/// fan-out worker threads carry their own and answer pings without
-/// touching the service (whose only mutable state, the rate limiter,
-/// guards the *estimates* endpoints — pingClient was never throttled).
-#[derive(Debug, Clone, Copy)]
+/// response depends on besides the [`WorldSnapshot`] itself. Cheap to
+/// clone, so fan-out worker threads carry their own and answer pings
+/// without touching the service (whose only mutable state, the rate
+/// limiter, guards the *estimates* endpoints — pingClient was never
+/// throttled). Clones share the jitter-hit counter cell, so worker
+/// threads all feed one total.
+#[derive(Debug, Clone)]
 pub struct PingConfig {
     era: ProtocolEra,
     jitter: JitterConfig,
@@ -254,6 +257,11 @@ pub struct PingConfig {
     /// pingClient responses. Uber stated that "car locations may be
     /// slightly perturbed to protect drivers' safety" (§3.3); 0 disables.
     location_noise_m: f64,
+    /// Telemetry: pings answered from the previous board *because of the
+    /// consistency bug's jitter window* (not mere propagation delay).
+    /// Window membership is a pure function of (client, interval), so the
+    /// total is deterministic at any fan-out width.
+    jitter_hits: Counter,
 }
 
 /// The protocol endpoint.
@@ -284,6 +292,7 @@ impl ApiService {
                 jitter: JitterConfig::default(),
                 bug_seed,
                 location_noise_m: 0.0,
+                jitter_hits: Counter::new(),
             },
             limiter: RateLimiter::default(),
         }
@@ -307,9 +316,15 @@ impl ApiService {
         self.ping.era
     }
 
-    /// The stateless ping core, for fan-out workers.
+    /// The stateless ping core, for fan-out workers. The clone shares
+    /// the jitter-hit counter cell with the service's own copy.
     pub fn ping_config(&self) -> PingConfig {
-        self.ping
+        self.ping.clone()
+    }
+
+    /// Telemetry handle counting consistency-bug window hits.
+    pub fn jitter_hits(&self) -> &Counter {
+        &self.ping.jitter_hits
     }
 
     /// The rate limiter's current state — the only mutable state the
@@ -487,13 +502,21 @@ impl PingConfig {
         let board = area.map(|_| {
             let interval = now.surge_interval();
             let elapsed = now.seconds_into_surge_interval();
-            let stale = elapsed < self.update_delay(interval, Consumer::Client)
-                || (self.era == ProtocolEra::Apr2015
-                    && self
-                        .jitter
-                        .window(self.bug_seed, client_key, interval)
-                        .is_some_and(|w| w.contains(elapsed)));
-            if stale { &snap.surge_previous } else { &snap.surge_current }
+            // Split the two staleness causes so the bug window is counted
+            // separately from ordinary propagation delay; `!delayed &&`
+            // preserves the original short-circuit (a ping inside the
+            // delay window never consults the jitter window).
+            let delayed = elapsed < self.update_delay(interval, Consumer::Client);
+            let jittered = !delayed
+                && self.era == ProtocolEra::Apr2015
+                && self
+                    .jitter
+                    .window(self.bug_seed, client_key, interval)
+                    .is_some_and(|w| w.contains(elapsed));
+            if jittered {
+                self.jitter_hits.incr();
+            }
+            if delayed || jittered { &snap.surge_previous } else { &snap.surge_current }
         });
         for ti in 0..snap.by_type.len() {
             let (t, cars) = (snap.by_type[ti].0, snap.by_type[ti].1.as_slice());

@@ -14,7 +14,7 @@ use std::time::Instant;
 use surgescope_api::ProtocolEra;
 use surgescope_city::CityModel;
 use surgescope_core::persist::replay_campaign;
-use surgescope_core::{Campaign, CampaignConfig, CampaignRunner};
+use surgescope_core::{CampaignConfig, CampaignRunner};
 use surgescope_simcore::FaultPlan;
 
 struct Datapoint {
@@ -24,6 +24,9 @@ struct Datapoint {
     wall_secs: f64,
     ticks_per_sec: f64,
     gap_frac: f64,
+    /// Full obs snapshot (deterministic counters + wall-clock phase
+    /// timers), rendered as a JSON object.
+    metrics: String,
 }
 
 fn run(label: &'static str, faults: FaultPlan, threads: usize) -> Datapoint {
@@ -36,7 +39,11 @@ fn run(label: &'static str, faults: FaultPlan, threads: usize) -> Datapoint {
         ..CampaignConfig::test_default(2026)
     };
     let start = Instant::now();
-    let data = Campaign::run_uber(CityModel::san_francisco_downtown(), &cfg);
+    let mut runner = CampaignRunner::new(CityModel::san_francisco_downtown(), &cfg)
+        .expect("memory-only campaign");
+    runner.run_to_end().expect("memory-only campaign");
+    let metrics = runner.metrics_snapshot().to_json();
+    let data = runner.finish().expect("memory-only campaign");
     let wall_secs = start.elapsed().as_secs_f64();
     let total = (data.ticks * data.clients.len()) as f64;
     let gaps = data
@@ -52,6 +59,7 @@ fn run(label: &'static str, faults: FaultPlan, threads: usize) -> Datapoint {
         wall_secs,
         ticks_per_sec: data.ticks as f64 / wall_secs,
         gap_frac: gaps / total.max(1.0),
+        metrics,
     }
 }
 
@@ -189,8 +197,9 @@ fn main() {
         }
         runs.push_str(&format!(
             "    {{\n      \"label\": \"{}\",\n      \"wall_secs\": {:.3},\n      \
-             \"ticks_per_sec\": {:.2},\n      \"gap_frac\": {:.4}\n    }}",
-            p.label, p.wall_secs, p.ticks_per_sec, p.gap_frac,
+             \"ticks_per_sec\": {:.2},\n      \"gap_frac\": {:.4},\n      \
+             \"metrics\": {}\n    }}",
+            p.label, p.wall_secs, p.ticks_per_sec, p.gap_frac, p.metrics,
         ));
     }
     let mut sched_json = String::new();

@@ -33,6 +33,7 @@ use surgescope_api::{ApiService, ProtocolEra, RateLimiter};
 use surgescope_city::{CarType, CityModel};
 use surgescope_geo::{Meters, Polygon};
 use surgescope_marketplace::{GroundTruth, Marketplace, MarketplaceConfig};
+use surgescope_obs::{Counter, MetricsRegistry, Snapshot, Timer};
 use surgescope_simcore::{FaultPlan, SimRng, SimTime, Transport};
 use surgescope_store::{LogWriter, StoreError};
 
@@ -309,6 +310,49 @@ pub struct CampaignRunner {
     ticks_total: usize,
     ticks_done: usize,
     log: Option<LogWriter>,
+    /// Campaign-scoped metrics registry plus the runner's own handles.
+    /// Observational only: never serialized, never part of
+    /// [`CampaignData`] (which must stay byte-stable across resume).
+    metrics: RunnerMetrics,
+}
+
+/// The runner's own instruments plus the registry that aggregates them
+/// with every layer below (system, marketplace, transport, api, store).
+struct RunnerMetrics {
+    registry: MetricsRegistry,
+    /// Ticks on which a client recorded a NaN gap (one per client-tick).
+    gaps: Counter,
+    /// NaN values recorded by throttled API probes.
+    probe_nan: Counter,
+    /// Ticks completed by this process.
+    ticks: Counter,
+    /// Checkpoints written.
+    checkpoints: Counter,
+    /// Wall clock spent serializing + writing checkpoints.
+    checkpoint_timer: Timer,
+}
+
+impl RunnerMetrics {
+    /// Builds the campaign registry: the runner's own instruments plus
+    /// everything the fully-constructed `sys` (and the open log, if any)
+    /// exposes. Call only after restore-time `set_*` calls are done —
+    /// they install fresh counter cells.
+    fn new(sys: &UberSystem, n_clients: usize, log: Option<&mut LogWriter>) -> Self {
+        let registry = MetricsRegistry::new();
+        sys.register_metrics(&registry);
+        registry.gauge("campaign.clients").set(n_clients as u64);
+        let gaps = registry.counter("campaign.gaps");
+        let probe_nan = registry.counter("campaign.probe_nan");
+        let ticks = registry.counter("campaign.ticks");
+        let checkpoints = registry.counter("store.checkpoints");
+        let checkpoint_timer = registry.timer("store.checkpoint");
+        let log_bytes = registry.counter("store.log_bytes");
+        let log_records = registry.counter("store.log_records");
+        if let Some(w) = log {
+            w.set_metrics(log_bytes, log_records);
+        }
+        RunnerMetrics { registry, gaps, probe_nan, ticks, checkpoints, checkpoint_timer }
+    }
 }
 
 /// Client lattice and surge-area geometry, derived deterministically from
@@ -357,10 +401,11 @@ impl CampaignRunner {
 
         let n = clients.len();
         let ticks_total = (cfg.hours * 3600 / 5) as usize;
-        let log = match &cfg.store.log_path {
+        let mut log = match &cfg.store.log_path {
             Some(p) => Some(LogWriter::create(p, cfg.config_hash())?),
             None => None,
         };
+        let metrics = RunnerMetrics::new(&sys, n, log.as_mut());
         Ok(CampaignRunner {
             city,
             clients,
@@ -394,7 +439,17 @@ impl CampaignRunner {
             ticks_done: 0,
             log,
             cfg,
+            metrics,
         })
+    }
+
+    /// A point-in-time reading of every instrument in the campaign's
+    /// registry (system, marketplace, transport, api, store and the
+    /// runner itself). The snapshot's deterministic section is
+    /// byte-identical at any parallelism; wall-clock timers live in its
+    /// timing section only.
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        self.metrics.registry.snapshot()
     }
 
     /// Total ticks this campaign will run.
@@ -465,6 +520,7 @@ impl CampaignRunner {
                 // or still in flight): a gap, never a fabricated 1.0×.
                 self.client_surge[i].push(f32::NAN);
                 self.client_ewt[i].push(f32::NAN);
+                self.metrics.gaps.incr();
             }
         }
         self.obs = obs;
@@ -488,6 +544,7 @@ impl CampaignRunner {
                 // The probe budget sits far below the rate limit, but
                 // a throttled probe must degrade to a gap — one NaN
                 // interval — rather than abort a multi-day campaign.
+                let probe_nan = &self.metrics.probe_nan;
                 let mut limited = |e: &dyn std::fmt::Display| {
                     if !limited_logged {
                         eprintln!(
@@ -496,6 +553,7 @@ impl CampaignRunner {
                         );
                         limited_logged = true;
                     }
+                    probe_nan.incr();
                     f64::NAN
                 };
                 let surge = match self.sys.api.estimates_price(&snap, account, loc) {
@@ -561,6 +619,7 @@ impl CampaignRunner {
             self.log.as_mut().unwrap().append(persist::REC_TICK, &rec)?;
         }
         self.ticks_done += 1;
+        self.metrics.ticks.incr();
         Ok(())
     }
 
@@ -639,6 +698,8 @@ impl CampaignRunner {
         let path = self.cfg.store.checkpoint_path.as_ref().ok_or_else(|| {
             StoreError::Schema("write_checkpoint: no checkpoint_path configured".into())
         })?;
+        let _span = self.metrics.checkpoint_timer.start();
+        self.metrics.checkpoints.incr();
         surgescope_store::write_checkpoint(path, self.cfg.config_hash(), &self.checkpoint_value())
     }
 
@@ -706,7 +767,7 @@ impl CampaignRunner {
             ));
         }
 
-        let log = match &cfg.store.log_path {
+        let mut log = match &cfg.store.log_path {
             Some(p) => {
                 // Rewrite the prefix the interrupted process had streamed:
                 // the checkpointed series *is* those TICK records.
@@ -721,6 +782,10 @@ impl CampaignRunner {
             }
             None => None,
         };
+        // Registered last: the restore calls above installed fresh counter
+        // cells in the system's layers. `store.log_bytes` credits the
+        // rewritten prefix — it reports this process's writes.
+        let metrics = RunnerMetrics::new(&sys, n, log.as_mut());
 
         Ok(CampaignRunner {
             city,
@@ -758,6 +823,7 @@ impl CampaignRunner {
             ticks_done,
             log,
             cfg,
+            metrics,
         })
     }
 
@@ -993,6 +1059,55 @@ mod tests {
         // undiluted (no fabricated 0.0-minute EWTs pulling means down).
         assert!(data.client_mean_ewt.iter().all(|m| m.is_finite()));
         assert!(data.client_interval_cars.iter().all(|m| m.is_finite()));
+    }
+
+    #[test]
+    fn metrics_snapshot_deterministic_across_parallelism() {
+        let run = |parallelism: usize, faults: FaultPlan| {
+            let cfg = CampaignConfig {
+                hours: 1,
+                parallelism,
+                faults,
+                ..CampaignConfig::test_default(44)
+            };
+            let mut r = CampaignRunner::new(CityModel::manhattan_midtown(), &cfg)
+                .expect("memory-only runner");
+            r.run_to_end().expect("no store configured");
+            let snap = r.metrics_snapshot();
+            r.finish().expect("no store configured");
+            snap
+        };
+        for faults in [FaultPlan::none(), FaultPlan { drop_chance: 0.1, delay_chance: 0.2, max_delay_secs: 60 }] {
+            let serial = run(1, faults);
+            let fanned = run(4, faults);
+            assert_eq!(
+                serial.deterministic_json(),
+                fanned.deterministic_json(),
+                "deterministic metrics section must not depend on parallelism"
+            );
+            // Sanity: the counters describe the campaign that actually ran.
+            let clients = serial.value("campaign.clients").unwrap();
+            assert!(clients > 0);
+            assert_eq!(serial.value("campaign.ticks"), Some(720));
+            let delivered = serial.value("pings.delivered").unwrap();
+            let delayed = serial.value("pings.delayed").unwrap();
+            let dropped = serial.value("pings.dropped").unwrap();
+            assert_eq!(delivered + delayed + dropped, clients * 720);
+            assert_eq!(serial.value("transport.sent_delayed"), Some(delayed));
+            if faults.is_none() {
+                assert_eq!(serial.value("campaign.gaps"), Some(0));
+                assert_eq!(dropped, 0);
+            } else {
+                assert!(dropped > 0 && delayed > 0);
+                assert!(serial.value("campaign.gaps").unwrap() > 0);
+            }
+            // Wall-clock values never leak into the deterministic section.
+            assert!(serial
+                .deterministic
+                .iter()
+                .all(|(k, _)| !k.ends_with(".ns") && !k.ends_with(".calls")));
+            assert!(serial.timing.iter().any(|(k, _)| k == "phase.move.ns"));
+        }
     }
 
     #[test]

@@ -42,4 +42,4 @@ mod systems;
 
 pub use campaign::{Campaign, CampaignConfig, CampaignData, CampaignRunner, StoreHooks};
 pub use observe::{ClientSpec, ObservedCar, PingObservation, TypeObservation};
-pub use systems::{MeasuredSystem, TaxiSystem, UberSystem};
+pub use systems::{MeasuredSystem, SystemMetrics, TaxiSystem, UberSystem};

@@ -13,8 +13,28 @@ use surgescope_api::{ApiService, PingConfig, PingScratch, WorldSnapshot, NEAREST
 use surgescope_city::CarType;
 use surgescope_geo::{LocalProjection, Meters};
 use surgescope_marketplace::Marketplace;
+use surgescope_obs::{Counter, MetricsRegistry, Timer};
 use surgescope_simcore::{ticks_late, FaultOutcome, FaultPlan, SimRng, SimTime, Transport};
 use surgescope_taxi::{TaxiReplay, TaxiTrace};
+
+/// Telemetry handles owned by an [`UberSystem`]: fault-outcome counters
+/// for the ping fan-out plus wall-clock timers for snapshot capture and
+/// the ping pipeline. Counter totals come from the serial fault pre-pass,
+/// so they are identical at any `parallelism`; the timers land in the
+/// snapshot's timing section.
+#[derive(Debug, Clone, Default)]
+pub struct SystemMetrics {
+    /// Pings whose response reached the client within its send tick.
+    pub pings_delivered: Counter,
+    /// Pings answered but parked in the transport queue (`Delay` faults).
+    pub pings_delayed: Counter,
+    /// Pings lost outright (`Drop` faults).
+    pub pings_dropped: Counter,
+    /// Wall clock spent (re)capturing the per-tick world snapshot.
+    pub capture: Timer,
+    /// Wall clock spent in `ping_all_into` (fault draws, fan-out, merge).
+    pub ping: Timer,
+}
 
 /// Anything the client fleet can measure.
 pub trait MeasuredSystem {
@@ -89,6 +109,8 @@ pub struct UberSystem {
     /// across tier-count fluctuations, not just in the strict steady
     /// state.
     spare_blocks: Vec<TypeObservation>,
+    /// Fan-out telemetry (fault-outcome counters + capture/ping timers).
+    metrics: SystemMetrics,
 }
 
 /// One chunk of a tick's fan-out, shipped to a pool worker.
@@ -168,7 +190,8 @@ impl PingPool {
         for (i, start) in (0..n).step_by(chunk_size).enumerate() {
             let job = PingJob {
                 snap: Arc::clone(snap),
-                ping,
+                // Arc-handle bump (shared jitter counter), not a deep copy.
+                ping: ping.clone(),
                 proj,
                 clients: Arc::clone(&clients),
                 outcomes: Arc::clone(&outcomes),
@@ -220,7 +243,30 @@ impl UberSystem {
             scratch: PingScratch::new(),
             outcomes: Vec::new(),
             spare_blocks: Vec::new(),
+            metrics: SystemMetrics::default(),
         }
+    }
+
+    /// This system's own telemetry handles.
+    pub fn metrics(&self) -> &SystemMetrics {
+        &self.metrics
+    }
+
+    /// Registers every instrument this system (and its layers) owns into
+    /// `reg` under stable names. Call after construction is complete —
+    /// in particular after any [`UberSystem::set_transport`] /
+    /// [`ApiService::set_limiter`] restore calls, which install fresh
+    /// counter cells.
+    pub fn register_metrics(&self, reg: &MetricsRegistry) {
+        reg.adopt_counter("pings.delivered", &self.metrics.pings_delivered);
+        reg.adopt_counter("pings.delayed", &self.metrics.pings_delayed);
+        reg.adopt_counter("pings.dropped", &self.metrics.pings_dropped);
+        reg.adopt_timer("phase.capture", &self.metrics.capture);
+        reg.adopt_timer("phase.ping", &self.metrics.ping);
+        self.marketplace.tick_timers().register(reg);
+        self.transport.metrics().register(reg);
+        reg.adopt_counter("api.rate_limited", self.api.limiter().throttled());
+        reg.adopt_counter("api.jitter_window_hits", self.api.jitter_hits());
     }
 
     /// The world snapshot for the current tick, captured on first use and
@@ -228,6 +274,7 @@ impl UberSystem {
     /// — `ping_all` and same-tick probes see literally the same object.
     pub fn tick_snapshot(&mut self) -> Arc<WorldSnapshot> {
         if self.last_snap.is_none() {
+            let _span = self.metrics.capture.start();
             let snap = match self.arena.take() {
                 // Steady state: re-capture into the reclaimed shell —
                 // tier buckets, grid slabs and the Arc box all reused.
@@ -395,6 +442,7 @@ impl MeasuredSystem for UberSystem {
     /// the tick, and a stale response genuinely displaces fresh data on
     /// the screen, which is the §5.2 staleness channel.
     fn ping_all_into(&mut self, clients: &[ClientSpec], out: &mut Vec<Vec<TypeObservation>>) {
+        let _ping_span = self.metrics.ping.start();
         let proj = self.projection();
         let snap = self.tick_snapshot();
         let tick_secs = self.marketplace.config().tick_secs;
@@ -412,6 +460,20 @@ impl MeasuredSystem for UberSystem {
                 faults.decide(fault_rng)
             }
         }));
+        // Tally the draws locally, then publish in three atomic adds —
+        // the counts come from the serial pre-pass, so they are the same
+        // at any parallelism.
+        let (mut delivered, mut delayed, mut dropped) = (0u64, 0u64, 0u64);
+        for oc in &self.outcomes {
+            match oc {
+                FaultOutcome::Deliver => delivered += 1,
+                FaultOutcome::Delay(_) => delayed += 1,
+                FaultOutcome::Drop => dropped += 1,
+            }
+        }
+        self.metrics.pings_delivered.add(delivered);
+        self.metrics.pings_delayed.add(delayed);
+        self.metrics.pings_dropped.add(dropped);
 
         let ping = self.api.ping_config();
         let threads = self.parallelism.min(clients.len().max(1)).max(1);

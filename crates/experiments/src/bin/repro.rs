@@ -28,7 +28,8 @@ fn usage() -> ! {
          \x20 --jobs N     simulate distinct campaigns on N worker threads\n\
          \x20              (default: available parallelism; results are\n\
          \x20              byte-identical at any value)\n\
-         \x20 --resume P   finish the campaign checkpointed at P first"
+         \x20 --resume P   finish the campaign checkpointed at P first\n\
+         \x20 --metrics P  write the run's metrics snapshot (JSON) to P"
     );
     std::process::exit(2);
 }
@@ -98,6 +99,7 @@ fn main() {
     let mut seed = 2015u64;
     let mut jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut resume: Option<PathBuf> = None;
+    let mut metrics: Option<PathBuf> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -129,6 +131,12 @@ fn main() {
                     std::process::exit(2);
                 })))
             }
+            "--metrics" => {
+                metrics = Some(PathBuf::from(it.next().unwrap_or_else(|| {
+                    eprintln!("--metrics needs an output path");
+                    std::process::exit(2);
+                })))
+            }
             "list" => {
                 for id in ALL_IDS {
                     println!("{id}");
@@ -157,8 +165,11 @@ fn main() {
     }
     // Plan: simulate every distinct campaign the requested experiments
     // declare, concurrently, before the (serial, order-preserving)
-    // experiment loop reads them from the cache.
-    if jobs > 1 && ids.len() > 1 {
+    // experiment loop reads them from the cache. Running the planner even
+    // at --jobs 1 keeps the schedule.* metrics (and the logged plan)
+    // identical across jobs settings; with one worker it drains the same
+    // order on the caller's thread.
+    if ids.len() > 1 {
         surgescope_experiments::schedule::prefetch(&ids, &ctx, &cache, jobs);
     }
     let mut failed = false;
@@ -169,6 +180,14 @@ fn main() {
                 eprintln!("unknown experiment id: {id}");
                 failed = true;
             }
+        }
+    }
+    if let Some(path) = &metrics {
+        if let Err(e) = std::fs::write(path, cache.metrics_json() + "\n") {
+            eprintln!("--metrics: cannot write {}: {e}", path.display());
+            failed = true;
+        } else if !quiet {
+            eprintln!("[metrics] wrote {}", path.display());
         }
     }
     if failed {

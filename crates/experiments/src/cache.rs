@@ -16,10 +16,11 @@
 //!   periodic checkpoint instead of starting over.
 
 use crate::RunCtx;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 use surgescope_api::ProtocolEra;
+use surgescope_obs::{Counter, MetricsRegistry, Snapshot};
 use surgescope_city::CityModel;
 use surgescope_core::estimate::{EstimatorConfig, SupplyDemandEstimator};
 use surgescope_core::persist::replay_campaign;
@@ -73,10 +74,41 @@ pub struct TaxiValidation {
 /// experiments later read it from any thread. The locks guard only the
 /// map, never a running simulation, so concurrent *distinct* campaigns
 /// proceed in parallel.
-#[derive(Default)]
 pub struct CampaignCache {
     campaigns: Mutex<HashMap<u64, Arc<CampaignData>>>,
     taxi: Mutex<Option<Arc<TaxiValidation>>>,
+    /// Run-level metrics registry: the cache's own counters plus whatever
+    /// the scheduler registers ([`crate::schedule::prefetch`] adds its
+    /// drain order and per-worker busy timers here).
+    registry: MetricsRegistry,
+    hits: Counter,
+    misses: Counter,
+    disk_replays: Counter,
+    resumes: Counter,
+    store_failures: Counter,
+    taxi_runs: Counter,
+    /// Per-campaign metrics snapshots, captured just before each
+    /// simulated campaign finished, keyed by cache key. Replayed and
+    /// in-process-hit campaigns have no entry — nothing was simulated.
+    snapshots: Mutex<BTreeMap<u64, Snapshot>>,
+}
+
+impl Default for CampaignCache {
+    fn default() -> Self {
+        let registry = MetricsRegistry::new();
+        CampaignCache {
+            campaigns: Mutex::new(HashMap::new()),
+            taxi: Mutex::new(None),
+            hits: registry.counter("cache.hits"),
+            misses: registry.counter("cache.misses"),
+            disk_replays: registry.counter("cache.disk_replays"),
+            resumes: registry.counter("cache.resumes"),
+            store_failures: registry.counter("cache.store_failures"),
+            taxi_runs: registry.counter("cache.taxi_runs"),
+            registry,
+            snapshots: Mutex::new(BTreeMap::new()),
+        }
+    }
 }
 
 /// Cache identity of one campaign: the semantic config hash folded with
@@ -115,6 +147,54 @@ impl CampaignCache {
     /// Empty cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The run-level metrics registry (cache counters + scheduler
+    /// instruments). The scheduler registers into this, so one registry
+    /// describes the whole `repro` run.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Renders the full metrics document for this run: the run-level
+    /// registry plus one entry per *simulated* campaign, keyed by cache
+    /// key — `{"run": {...}, "campaigns": {"campaign-<key>": {...}}}`.
+    /// Keys are sorted at every level; see
+    /// [`CampaignCache::metrics_deterministic_json`] for the
+    /// determinism-checked subset.
+    pub fn metrics_json(&self) -> String {
+        let mut s = String::from("{\"run\":");
+        s.push_str(&self.registry.snapshot().to_json());
+        s.push_str(",\"campaigns\":{");
+        let snaps = self.snapshots.lock().expect("cache lock");
+        for (i, (key, snap)) in snaps.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"campaign-{key:016x}\":"));
+            s.push_str(&snap.to_json());
+        }
+        s.push_str("}}");
+        s
+    }
+
+    /// The determinism-checked sections only (run + per-campaign), in the
+    /// same shape as [`CampaignCache::metrics_json`]. Byte-identical at
+    /// any `--jobs`/parallelism setting for the same inputs.
+    pub fn metrics_deterministic_json(&self) -> String {
+        let mut s = String::from("{\"run\":");
+        s.push_str(&self.registry.snapshot().deterministic_json());
+        s.push_str(",\"campaigns\":{");
+        let snaps = self.snapshots.lock().expect("cache lock");
+        for (i, (key, snap)) in snaps.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"campaign-{key:016x}\":"));
+            s.push_str(&snap.deterministic_json());
+        }
+        s.push_str("}}");
+        s
     }
 
     /// The standard campaign configuration for (city, era) under `ctx` —
@@ -165,6 +245,7 @@ impl CampaignCache {
         cfg.store = StoreHooks::none();
         let key = cache_key(&city.model().name, &cfg);
         if let Some(c) = self.campaigns.lock().expect("cache lock").get(&key) {
+            self.hits.incr();
             return Arc::clone(c);
         }
 
@@ -174,6 +255,7 @@ impl CampaignCache {
             if lp.exists() {
                 match replay_campaign(&lp) {
                     Ok(data) => {
+                        self.disk_replays.incr();
                         if !ctx.quiet {
                             eprintln!(
                                 "[cache] replayed {} campaign ({:?} era) from {}",
@@ -190,10 +272,12 @@ impl CampaignCache {
                         return data;
                     }
                     Err(e) => {
-                        eprintln!(
-                            "[cache] cached log {} unusable ({e}); re-running",
-                            lp.display()
-                        );
+                        if !ctx.quiet {
+                            eprintln!(
+                                "[cache] cached log {} unusable ({e}); re-running",
+                                lp.display()
+                            );
+                        }
                         let _ = std::fs::remove_file(&lp);
                     }
                 }
@@ -208,7 +292,11 @@ impl CampaignCache {
             }
         }
 
-        let data = Self::run_campaign(city, &cfg, ctx.quiet);
+        self.misses.incr();
+        let (data, snapshot) = self.run_campaign(city, &cfg, ctx.quiet);
+        if let Some(snap) = snapshot {
+            self.snapshots.lock().expect("cache lock").insert(key, snap);
+        }
         if let Some(cp) = &cfg.store.checkpoint_path {
             let _ = std::fs::remove_file(cp);
         }
@@ -219,11 +307,19 @@ impl CampaignCache {
 
     /// Runs (or crash-resumes) one campaign, degrading to a memory-only
     /// run if the store layer fails — a broken disk must cost the cache,
-    /// never the run.
-    fn run_campaign(city: City, cfg: &CampaignConfig, quiet: bool) -> CampaignData {
+    /// never the run. Returns the campaign plus its metrics snapshot,
+    /// read at the last tick boundary (the store-failure fallback path
+    /// has no runner to read from and returns `None`).
+    fn run_campaign(
+        &self,
+        city: City,
+        cfg: &CampaignConfig,
+        quiet: bool,
+    ) -> (CampaignData, Option<Snapshot>) {
         if let Some(cp) = cfg.store.checkpoint_path.as_ref().filter(|p| p.exists()) {
             match CampaignRunner::resume_from_file(cp, cfg.parallelism, cfg.store.clone()) {
                 Ok(mut runner) => {
+                    self.resumes.incr();
                     if !quiet {
                         eprintln!(
                             "[cache] resuming {} campaign ({:?} era) from checkpoint at tick {}/{}…",
@@ -233,17 +329,29 @@ impl CampaignCache {
                             runner.ticks_total()
                         );
                     }
-                    match runner.run_to_end().and_then(|()| runner.finish()) {
-                        Ok(data) => return data,
+                    let finished = runner.run_to_end().and_then(|()| {
+                        let snap = runner.metrics_snapshot();
+                        runner.finish().map(|data| (data, Some(snap)))
+                    });
+                    match finished {
+                        Ok(out) => return out,
                         Err(e) => {
-                            eprintln!("[cache] resumed run failed to persist ({e}); re-running")
+                            if !quiet {
+                                eprintln!(
+                                    "[cache] resumed run failed to persist ({e}); re-running"
+                                );
+                            }
                         }
                     }
                 }
-                Err(e) => eprintln!(
-                    "[cache] checkpoint {} unusable ({e}); re-running from scratch",
-                    cp.display()
-                ),
+                Err(e) => {
+                    if !quiet {
+                        eprintln!(
+                            "[cache] checkpoint {} unusable ({e}); re-running from scratch",
+                            cp.display()
+                        );
+                    }
+                }
             }
         }
         if !quiet {
@@ -256,14 +364,20 @@ impl CampaignCache {
         }
         let fallible = CampaignRunner::new(city.model(), cfg)
             .and_then(|mut r| r.run_to_end().map(|()| r))
-            .and_then(CampaignRunner::finish);
+            .and_then(|r| {
+                let snap = r.metrics_snapshot();
+                r.finish().map(|data| (data, snap))
+            });
         match fallible {
-            Ok(data) => data,
+            Ok((data, snap)) => (data, Some(snap)),
             Err(e) => {
-                eprintln!("[cache] store layer failed ({e}); running without persistence");
+                self.store_failures.incr();
+                if !quiet {
+                    eprintln!("[cache] store layer failed ({e}); running without persistence");
+                }
                 let mut plain = cfg.clone();
                 plain.store = StoreHooks::none();
-                Campaign::run_uber(city.model(), &plain)
+                (Campaign::run_uber(city.model(), &plain), None)
             }
         }
     }
@@ -273,6 +387,7 @@ impl CampaignCache {
         if let Some(t) = self.taxi.lock().expect("cache lock").as_ref() {
             return Arc::clone(t);
         }
+        self.taxi_runs.incr();
         if !ctx.quiet {
             eprintln!("[cache] running taxi validation replay…");
         }

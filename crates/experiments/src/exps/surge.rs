@@ -115,21 +115,24 @@ pub fn fig13(ctx: &RunCtx, cache: &CampaignCache) -> Outcome {
 pub fn fig14(ctx: &RunCtx, cache: &CampaignCache) -> Outcome {
     let data = cache.campaign(City::SanFrancisco, ProtocolEra::Apr2015, ctx);
     // Find a client and a 5-interval window containing a jitter event.
-    let mut pick: Option<(usize, usize)> = None; // (client, start interval)
+    // The pick carries the client's resolved area so the render loop
+    // never has to re-unwrap `client_area` — clients that never resolved
+    // an area (possible under heavily faulted campaigns) are skipped by
+    // the search itself.
+    let mut pick: Option<(usize, usize, usize)> = None; // (client, area, start interval)
     'outer: for (ci, series) in data.client_surge.iter().enumerate() {
         let Some(area) = data.client_area[ci] else { continue };
         let events = detect_jitter(series, &data.api_surge[area], data.tick_secs);
         for e in &events {
             if e.interval >= 2 && (e.interval as usize) + 3 < data.intervals {
-                pick = Some((ci, e.interval as usize - 2));
+                pick = Some((ci, area, e.interval as usize - 2));
                 break 'outer;
             }
         }
     }
     let mut table = TextTable::new(&["t (min)", "API m", "client m"]);
     let mut jitter_points = 0u32;
-    if let Some((ci, start_iv)) = pick {
-        let area = data.client_area[ci].unwrap();
+    if let Some((ci, area, start_iv)) = pick {
         let ticks_per_iv = (300 / data.tick_secs) as usize;
         for k in 0..(5 * ticks_per_iv) {
             let tick = start_iv * ticks_per_iv + k;

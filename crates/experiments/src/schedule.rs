@@ -27,6 +27,7 @@ use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use surgescope_api::ProtocolEra;
 use surgescope_core::CampaignConfig;
+use surgescope_obs::Timer;
 
 /// One unit of prefetch work.
 pub enum Prefetch {
@@ -188,6 +189,16 @@ pub fn prefetch(ids: &[String], ctx: &RunCtx, cache: &CampaignCache, jobs: usize
     let n = tasks.len();
     order_longest_first(&mut tasks, ctx);
     let jobs = jobs.max(1).min(n.max(1));
+    // Plan telemetry into the run registry. The drain order (and hence
+    // `schedule.order.<i>` = the task's semantic key) is the sorted order
+    // at *any* `jobs` value, so these gauges sit in the deterministic
+    // section; per-worker busy time is wall clock and lands in the
+    // timing section, where worker count may legitimately vary.
+    let reg = cache.registry();
+    reg.gauge("schedule.tasks").set(n as u64);
+    for (i, t) in tasks.iter().enumerate() {
+        reg.gauge(&format!("schedule.order.{i:02}")).set(tie_key(t));
+    }
     if !ctx.quiet && n > 0 {
         eprintln!("[schedule] prefetching {n} distinct campaigns on {jobs} workers, longest first:");
         for (i, t) in tasks.iter().enumerate() {
@@ -195,18 +206,26 @@ pub fn prefetch(ids: &[String], ctx: &RunCtx, cache: &CampaignCache, jobs: usize
         }
     }
     if jobs <= 1 {
+        let busy = reg.timer("schedule.worker00.busy");
+        let _span = busy.start();
         for t in &tasks {
             run_task(t, ctx, cache);
         }
         return n;
     }
+    let busy: Vec<Timer> = (0..jobs)
+        .map(|w| reg.timer(&format!("schedule.worker{w:02}.busy")))
+        .collect();
     let next = AtomicUsize::new(0);
     std::thread::scope(|s| {
-        for _ in 0..jobs {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(t) = tasks.get(i) else { break };
-                run_task(t, ctx, cache);
+        for timer in &busy {
+            s.spawn(|| {
+                let _span = timer.start();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(t) = tasks.get(i) else { break };
+                    run_task(t, ctx, cache);
+                }
             });
         }
     });

@@ -141,6 +141,73 @@ fn quick_run_of_campaign_backed_experiments_produces_shapes() {
 }
 
 #[test]
+fn metrics_deterministic_section_identical_across_jobs() {
+    use surgescope_experiments::schedule;
+
+    // fig09 declares the clean Manhattan campaign; fault_sweep declares
+    // four faulted legs (drops 0–20% plus delays). Prefetching the same
+    // plan on 1 worker and on 4 must leave byte-identical deterministic
+    // metrics — counters, gauges, and histograms are commutative, and
+    // everything wall-clock lives in the (excluded) timing section.
+    let ids: Vec<String> =
+        ["fig09", "fault_sweep"].iter().map(|s| s.to_string()).collect();
+    let ctx = RunCtx::quick(77);
+    let runs: Vec<String> = [1usize, 4]
+        .iter()
+        .map(|&jobs| {
+            let cache = CampaignCache::new();
+            let n = schedule::prefetch(&ids, &ctx, &cache, jobs);
+            assert_eq!(n, 5, "one clean + four faulted distinct campaigns");
+            cache.metrics_deterministic_json()
+        })
+        .collect();
+    assert_eq!(
+        runs[0], runs[1],
+        "deterministic metrics section must not depend on --jobs"
+    );
+    assert!(runs[0].contains("\"schedule.tasks\":5"), "{}", runs[0]);
+    assert!(runs[0].contains("\"cache.misses\":5"), "{}", runs[0]);
+    assert!(runs[0].contains("campaign.ticks"), "{}", runs[0]);
+    // Wall-clock values (timer .ns/.calls keys) must never leak into the
+    // determinism-checked section.
+    assert!(!runs[0].contains(".ns\":"), "{}", runs[0]);
+    assert!(!runs[0].contains(".calls\":"), "{}", runs[0]);
+}
+
+#[test]
+fn surge_experiments_survive_faulted_campaigns_with_unresolved_areas() {
+    use surgescope_api::ProtocolEra;
+    use surgescope_core::Campaign;
+    use surgescope_experiments::cache::City;
+    use surgescope_simcore::FaultPlan;
+
+    let ctx = RunCtx::quick(31);
+    let cache = CampaignCache::new();
+    // Pre-seed the cache: simulate each city under heavy faults, force
+    // one client to have no resolved surge area (the shape a badly
+    // faulted campaign can produce), and register the result under the
+    // *standard* Apr-era key so fig14/fig16/fig17 read it.
+    for city in City::BOTH {
+        let std_cfg = CampaignCache::campaign_config(city, ProtocolEra::Apr2015, &ctx);
+        let mut cfg = std_cfg.clone();
+        cfg.faults =
+            FaultPlan { drop_chance: 0.40, delay_chance: 0.30, max_delay_secs: 120 };
+        let mut data = Campaign::run_uber(city.model(), &cfg);
+        data.client_area[0] = None;
+        cache.insert(&std_cfg, data);
+    }
+    // Regression: fig14 used to `unwrap()` the picked client's area and
+    // panic on exactly this input; all three must skip such clients.
+    for id in ["fig14", "fig16", "fig17"] {
+        let out = run_experiment(id, &ctx, &cache).expect(id);
+        assert_eq!(out.id, id);
+        for (k, v) in &out.metrics {
+            assert!(v.is_finite(), "{id}: {k} must be finite");
+        }
+    }
+}
+
+#[test]
 fn outcome_rendering_and_csv() {
     let ctx = RunCtx::quick(7);
     let cache = CampaignCache::new();

@@ -30,7 +30,7 @@ mod surge;
 mod world;
 
 pub use driver::{Driver, DriverId, DriverState, SessionId};
-pub use metrics::{GroundTruth, IntervalStats, TripRecord};
+pub use metrics::{GroundTruth, IntervalStats, TickTimers, TripRecord};
 pub use surge::{SurgeEngine, SurgePolicy, SurgeSnapshot};
 pub use world::{Marketplace, MarketplaceConfig, VisibleCar};
 

@@ -12,7 +12,36 @@
 
 use serde::{Deserialize, Serialize};
 use surgescope_city::CarType;
+use surgescope_obs::{MetricsRegistry, Timer};
 use surgescope_simcore::SimTime;
+
+/// Wall-clock timers for the marketplace tick phases, one [`Timer`] per
+/// phase of [`Marketplace::tick`](crate::Marketplace::tick)'s fixed
+/// order. Always live (two `Instant::now` calls per phase per tick, no
+/// allocation); campaigns that want them in a snapshot register them via
+/// [`TickTimers::register`]. Wall time lands in the snapshot's *timing*
+/// section — it is never part of the determinism contract.
+#[derive(Debug, Clone, Default)]
+pub struct TickTimers {
+    /// Shift management, priced-out retries and fresh demand generation.
+    pub dispatch: Timer,
+    /// Driver movement (trips, cruising, repositioning).
+    pub mv: Timer,
+    /// Per-area interval accounting.
+    pub accumulate: Timer,
+    /// Surge-interval close (multiplier recomputation; every 60th tick).
+    pub surge: Timer,
+}
+
+impl TickTimers {
+    /// Adopts every phase timer into `reg` under `phase.*` names.
+    pub fn register(&self, reg: &MetricsRegistry) {
+        reg.adopt_timer("phase.dispatch", &self.dispatch);
+        reg.adopt_timer("phase.move", &self.mv);
+        reg.adopt_timer("phase.accumulate", &self.accumulate);
+        reg.adopt_timer("phase.surge", &self.surge);
+    }
+}
 
 /// True per-area statistics for one 5-minute interval.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

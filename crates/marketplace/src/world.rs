@@ -7,7 +7,7 @@
 //! run is bit-reproducible.
 
 use crate::driver::{Driver, DriverId, DriverState};
-use crate::metrics::{GroundTruth, IntervalStats, TripRecord};
+use crate::metrics::{GroundTruth, IntervalStats, TickTimers, TripRecord};
 use crate::surge::{SurgeEngine, SurgePolicy};
 use serde::{Deserialize, Serialize, Value};
 use std::sync::Arc;
@@ -136,6 +136,9 @@ pub struct Marketplace {
     /// subsystems (e.g. the transport fault injector) can derive their own
     /// independent streams from the same campaign seed.
     seed: u64,
+    /// Wall-clock tick-phase telemetry. Purely observational (never
+    /// serialized — a restored world starts fresh timers).
+    timers: TickTimers,
 }
 
 impl Marketplace {
@@ -176,6 +179,7 @@ impl Marketplace {
             idle_index: Vec::new(),
             drift_scratch: Vec::new(),
             seed,
+            timers: TickTimers::default(),
         };
         mp.rebuild_idle_index();
         mp
@@ -233,6 +237,7 @@ impl Marketplace {
             idle_index: Vec::new(),
             drift_scratch: Vec::new(),
             seed: u64::from_value(v.field("seed")?)?,
+            timers: TickTimers::default(),
         };
         mp.rebuild_idle_index();
         Ok(mp)
@@ -371,20 +376,35 @@ impl Marketplace {
         }
     }
 
+    /// This world's tick-phase timers (wall clock, observational only).
+    pub fn tick_timers(&self) -> &TickTimers {
+        &self.timers
+    }
+
     /// Advances the world by one tick (5 s by default).
     pub fn tick(&mut self) {
         let dt = self.cfg.tick_secs;
         let t = self.now;
 
-        self.manage_shifts(t);
-        self.process_retries(t);
-        self.generate_demand(t, dt);
-        self.move_drivers(t, dt);
-        self.accumulate(t, dt);
+        {
+            let _span = self.timers.dispatch.start();
+            self.manage_shifts(t);
+            self.process_retries(t);
+            self.generate_demand(t, dt);
+        }
+        {
+            let _span = self.timers.mv.start();
+            self.move_drivers(t, dt);
+        }
+        {
+            let _span = self.timers.accumulate.start();
+            self.accumulate(t, dt);
+        }
 
         self.now = t + SimDuration::secs(dt);
         self.ticks_run += 1;
         if self.now.seconds_into_surge_interval() == 0 {
+            let _span = self.timers.surge.start();
             self.close_interval();
         }
     }

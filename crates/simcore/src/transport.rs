@@ -19,6 +19,11 @@
 use crate::time::SimDuration;
 use serde::{Deserialize, Error, Serialize, Value};
 use std::collections::BTreeMap;
+use surgescope_obs::{Counter, Gauge, Histogram, MetricsRegistry};
+
+/// Bucket bounds (in ticks) for the injected-latency histogram: a fault
+/// plan's `Delay(d)` outcomes land between 1 tick and a few minutes.
+static DELAY_TICKS_BOUNDS: [u64; 7] = [1, 2, 4, 8, 16, 32, 64];
 
 /// A message parked in (or popped from) the transport queue.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,11 +36,50 @@ pub struct Envelope<T> {
     pub payload: T,
 }
 
+/// Telemetry handles owned by a [`Transport`]. Always live (no `Option`
+/// branch in the send/drain paths); a campaign that wants them in its
+/// snapshot registers them via [`TransportMetrics::register`]. Counter
+/// totals are pure functions of the fault draws, so they sit in the
+/// deterministic snapshot section.
+#[derive(Debug, Clone)]
+pub struct TransportMetrics {
+    /// Messages parked for late delivery (one per `Delay` fault).
+    pub sent_delayed: Counter,
+    /// Messages surfaced late to their client.
+    pub delivered_late: Counter,
+    /// High-water mark of the in-flight queue depth.
+    pub max_in_flight: Gauge,
+    /// Distribution of injected delays, in ticks.
+    pub delay_ticks: Histogram,
+}
+
+impl Default for TransportMetrics {
+    fn default() -> Self {
+        TransportMetrics {
+            sent_delayed: Counter::new(),
+            delivered_late: Counter::new(),
+            max_in_flight: Gauge::new(),
+            delay_ticks: Histogram::new(&DELAY_TICKS_BOUNDS),
+        }
+    }
+}
+
+impl TransportMetrics {
+    /// Adopts every handle into `reg` under `transport.*` names.
+    pub fn register(&self, reg: &MetricsRegistry) {
+        reg.adopt_counter("transport.sent_delayed", &self.sent_delayed);
+        reg.adopt_counter("transport.delivered_late", &self.delivered_late);
+        reg.adopt_gauge("transport.max_in_flight", &self.max_in_flight);
+        reg.adopt_histogram("transport.delay_ticks", &self.delay_ticks);
+    }
+}
+
 /// In-flight message queue keyed by delivery tick.
 #[derive(Debug, Clone)]
 pub struct Transport<T> {
     tick: u64,
     in_flight: BTreeMap<u64, Vec<Envelope<T>>>,
+    metrics: TransportMetrics,
 }
 
 impl<T> Default for Transport<T> {
@@ -47,7 +91,16 @@ impl<T> Default for Transport<T> {
 impl<T> Transport<T> {
     /// An empty queue at tick 0.
     pub fn new() -> Self {
-        Transport { tick: 0, in_flight: BTreeMap::new() }
+        Transport {
+            tick: 0,
+            in_flight: BTreeMap::new(),
+            metrics: TransportMetrics::default(),
+        }
+    }
+
+    /// This queue's telemetry handles.
+    pub fn metrics(&self) -> &TransportMetrics {
+        &self.metrics
     }
 
     /// The queue's current tick.
@@ -75,6 +128,9 @@ impl<T> Transport<T> {
             .entry(due)
             .or_default()
             .push(Envelope { sent_tick: self.tick, client, payload });
+        self.metrics.sent_delayed.incr();
+        self.metrics.delay_ticks.record(delay_ticks.max(1));
+        self.metrics.max_in_flight.set_max(self.in_flight() as u64);
     }
 
     /// Drains every message due at or before the current tick, ordered by
@@ -89,6 +145,7 @@ impl<T> Transport<T> {
             due.extend(self.in_flight.remove(&k).unwrap());
         }
         due.sort_by_key(|e| (e.sent_tick, e.client));
+        self.metrics.delivered_late.add(due.len() as u64);
         due
     }
 }
@@ -148,7 +205,9 @@ impl<T: Deserialize> Deserialize for Transport<T> {
                 _ => return Err(Error::custom("transport: expected [due, envelopes]")),
             }
         }
-        Ok(Transport { tick, in_flight })
+        // Telemetry starts fresh on restore: counters describe this
+        // process's work, not the checkpointed history.
+        Ok(Transport { tick, in_flight, metrics: TransportMetrics::default() })
     }
 }
 
@@ -259,6 +318,25 @@ mod tests {
         assert_eq!(a, b);
         // Overdue message (sent tick 0, due tick 1) surfaces first.
         assert_eq!(b[0], (0, 2, vec![20]));
+    }
+
+    #[test]
+    fn metrics_track_sends_and_late_deliveries() {
+        let mut t: Transport<u8> = Transport::new();
+        t.send_delayed(0, 2, 1);
+        t.send_delayed(1, 40, 2);
+        assert_eq!(t.metrics().sent_delayed.get(), 2);
+        assert_eq!(t.metrics().max_in_flight.get(), 2);
+        t.advance_tick();
+        t.advance_tick();
+        assert_eq!(t.take_due().len(), 1);
+        assert_eq!(t.metrics().delivered_late.get(), 1);
+        let reg = MetricsRegistry::new();
+        t.metrics().register(&reg);
+        let snap = reg.snapshot();
+        assert_eq!(snap.value("transport.sent_delayed"), Some(2));
+        assert_eq!(snap.value("transport.delay_ticks.le_2"), Some(1));
+        assert_eq!(snap.value("transport.delay_ticks.le_64"), Some(1));
     }
 
     #[test]

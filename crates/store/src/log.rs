@@ -28,6 +28,7 @@ use serde::Value;
 use std::fs::File;
 use std::io::{BufWriter, Read, Write};
 use std::path::Path;
+use surgescope_obs::Counter;
 
 /// First bytes of every log file.
 pub const LOG_MAGIC: [u8; 8] = *b"SSLOG1\0\0";
@@ -81,6 +82,11 @@ pub struct LogWriter {
     out: BufWriter<File>,
     bytes_written: u64,
     records: u64,
+    // Telemetry mirrors of the two totals above, shared with whoever
+    // called [`LogWriter::set_metrics`]. Byte/record totals are pure
+    // functions of the appended payloads, so they are snapshot-safe.
+    bytes_counter: Counter,
+    records_counter: Counter,
 }
 
 impl LogWriter {
@@ -93,7 +99,24 @@ impl LogWriter {
         }
         let mut out = BufWriter::new(File::create(path)?);
         out.write_all(&encode_header(config_hash))?;
-        Ok(LogWriter { out, bytes_written: HEADER_LEN as u64, records: 0 })
+        Ok(LogWriter {
+            out,
+            bytes_written: HEADER_LEN as u64,
+            records: 0,
+            bytes_counter: Counter::new(),
+            records_counter: Counter::new(),
+        })
+    }
+
+    /// Replaces the telemetry counters with caller-owned handles (e.g. a
+    /// campaign's metrics registry). Bytes already written — at least the
+    /// header — are credited to the new counters so they mirror
+    /// [`bytes_written`](LogWriter::bytes_written) exactly.
+    pub fn set_metrics(&mut self, bytes: Counter, records: Counter) {
+        bytes.add(self.bytes_written);
+        records.add(self.records);
+        self.bytes_counter = bytes;
+        self.records_counter = records;
     }
 
     /// Appends one record with the given kind and already-encoded payload.
@@ -111,6 +134,8 @@ impl LogWriter {
         self.out.write_all(&body)?;
         self.bytes_written += (FRAME_OVERHEAD + body.len()) as u64;
         self.records += 1;
+        self.bytes_counter.add((FRAME_OVERHEAD + body.len()) as u64);
+        self.records_counter.incr();
         Ok(())
     }
 

@@ -52,12 +52,36 @@ for jobs in 1 4; do
   mkdir -p "$SCHED_TMP/j$jobs"
   (cd "$SCHED_TMP/j$jobs" && \
    SURGESCOPE_CACHE_DIR="$SCHED_TMP/j$jobs/cache" \
-   "$REPRO" --quick --jobs "$jobs" fig05 fig12 fig16 >/dev/null)
+   "$REPRO" --quick --jobs "$jobs" --metrics metrics.json fig05 fig12 fig16 >/dev/null)
 done
-for csv in "$SCHED_TMP"/j1/results/*.csv; do
+# With nullglob an empty results directory would silently skip the loop
+# (and without it, the literal glob string would hit cmp with a bash
+# error) — either way the gate must fail loudly, not pass vacuously.
+shopt -s nullglob
+j1_csvs=("$SCHED_TMP"/j1/results/*.csv)
+shopt -u nullglob
+if [ "${#j1_csvs[@]}" -eq 0 ]; then
+  echo "scheduler gate: no CSVs found in $SCHED_TMP/j1/results/ — repro wrote nothing to compare" >&2
+  exit 1
+fi
+for csv in "${j1_csvs[@]}"; do
   cmp "$csv" "$SCHED_TMP/j4/results/$(basename "$csv")"
 done
-echo "scheduler CSVs byte-identical at jobs=1 and jobs=4"
+echo "scheduler CSVs byte-identical at jobs=1 and jobs=4 (${#j1_csvs[@]} files)"
+# The determinism-checked metrics sections (counters/gauges/histograms;
+# wall-clock timers live in the excluded "timing" sections) must also be
+# identical across jobs settings.
+python3 - "$SCHED_TMP" <<'EOF'
+import json, sys
+def det(path):
+    doc = json.load(open(path))
+    return {"run": doc["run"]["deterministic"],
+            "campaigns": {k: v["deterministic"] for k, v in doc["campaigns"].items()}}
+a = det(sys.argv[1] + "/j1/metrics.json")
+b = det(sys.argv[1] + "/j4/metrics.json")
+assert a == b, "deterministic metrics sections differ between jobs=1 and jobs=4"
+print("metrics deterministic sections identical at jobs=1 and jobs=4")
+EOF
 
 echo "== perf: campaign throughput and scheduler scaling =="
 # Refresh BENCH_campaign.json from this build, then gate on it: the
