@@ -32,7 +32,7 @@ mod service;
 
 pub use jitter::{JitterConfig, JitterWindow};
 pub use messages::{CarInfo, PingClientResponse, PriceEstimate, TimeEstimate, TypeStatus};
-pub use ratelimit::{RateLimitError, RateLimiter};
+pub use ratelimit::{session_key, RateLimitError, RateLimiter, DEFAULT_LIMIT_PER_HOUR};
 pub use service::{
     ApiService, PingConfig, PingScratch, ProtocolEra, SnapCar, TierPing, WorldSnapshot,
     NEAREST_CARS_SHOWN,

@@ -35,6 +35,15 @@ impl std::fmt::Display for RateLimitError {
 
 impl std::error::Error for RateLimitError {}
 
+/// Mixes a server-assigned session token into a claimed account id, so a
+/// network peer draws quota from its **session's** budget no matter which
+/// account number it claims. The rotate keeps both inputs in disjoint bit
+/// ranges for realistic (small) values, so distinct (session, account)
+/// pairs get distinct buckets.
+pub fn session_key(session: u64, account: u64) -> u64 {
+    session.rotate_left(32) ^ account
+}
+
 /// Fixed-window rate limiter keyed by account.
 #[derive(Debug, Clone)]
 pub struct RateLimiter {
@@ -225,6 +234,20 @@ mod tests {
         assert_eq!(restored.remaining(1, boundary), 4);
         rl.check(1, boundary).unwrap();
         assert_eq!(rl.remaining(1, boundary), 3);
+    }
+
+    #[test]
+    fn session_key_separates_sessions_and_accounts() {
+        // Same claimed account under different sessions -> different
+        // buckets; same session probing different accounts likewise.
+        assert_ne!(session_key(1, 42), session_key(2, 42));
+        assert_ne!(session_key(1, 42), session_key(1, 43));
+        let mut rl = RateLimiter::new(1);
+        let t = SimTime(0);
+        rl.check(session_key(1, 42), t).unwrap();
+        assert!(rl.check(session_key(1, 42), t).is_err());
+        // A second session claiming the same account has its own budget.
+        rl.check(session_key(2, 42), t).unwrap();
     }
 
     #[test]

@@ -168,6 +168,62 @@ fn run_scheduler(jobs: usize) -> SchedulerPoint {
     }
 }
 
+/// Serving-layer throughput: an in-process loopback server hosting a
+/// free-running world, hammered by the closed-loop load generator for a
+/// short burst. Client-side latency percentiles; server-side frame-error
+/// count (must be zero — the load generator only sends well-formed
+/// frames).
+struct ServePoint {
+    conns: usize,
+    wall_secs: f64,
+    requests: u64,
+    errors: u64,
+    requests_per_sec: f64,
+    p50_us: u64,
+    p90_us: u64,
+    p99_us: u64,
+    frame_errors: u64,
+}
+
+fn run_serve(conns: usize) -> ServePoint {
+    use surgescope_geo::LatLng;
+    use surgescope_serve::{run_load, FreeWorldSpec, LoadConfig, ServeConfig, Server};
+    let spec = FreeWorldSpec {
+        city: CityModel::san_francisco_downtown(),
+        scale: 0.5,
+        seed: 2026,
+        era: ProtocolEra::Apr2015,
+        warmup_hours: 1,
+        tick_ms: None,
+    };
+    let mut server = Server::bind("127.0.0.1:0", ServeConfig { free: Some(spec), ..Default::default() })
+        .expect("bind loopback server");
+    let cfg = LoadConfig {
+        addr: server.local_addr().to_string(),
+        conns,
+        // Unpaced: each connection's closed loop runs as fast as the
+        // server answers, so the burst measures capacity, not the pacer.
+        req_per_sec: 0,
+        duration: std::time::Duration::from_secs(2),
+        location: LatLng::new(37.7749, -122.4194),
+    };
+    let report = run_load(&cfg).expect("loopback load run");
+    server.shutdown();
+    let frame_errors = server.metrics().frame_errors.get();
+    assert_eq!(frame_errors, 0, "well-formed load traffic must not raise frame errors");
+    ServePoint {
+        conns,
+        wall_secs: report.wall_secs,
+        requests: report.requests,
+        errors: report.errors,
+        requests_per_sec: report.requests_per_sec,
+        p50_us: report.p50_us,
+        p90_us: report.p90_us,
+        p99_us: report.p99_us,
+        frame_errors,
+    }
+}
+
 fn main() {
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     // Warmup: one short untimed campaign so the timed runs measure the
@@ -189,6 +245,8 @@ fn main() {
     // curve is flat by physics; the ratios below record what this
     // machine actually delivers.
     let sched = [run_scheduler(1), run_scheduler(2), run_scheduler(4)];
+    // Serving layer: one 2-second unpaced burst against a loopback server.
+    let serve = run_serve(4.min(threads.max(1)));
 
     let mut runs = String::new();
     for (i, p) in points.iter().enumerate() {
@@ -223,9 +281,23 @@ fn main() {
          \"store\": {{\n    \"logged_wall_secs\": {lw:.3},\n    \"replay_wall_secs\": {rw:.3},\n    \
          \"replay_ticks_per_sec\": {rtps:.2},\n    \"log_bytes\": {lb},\n    \
          \"log_bytes_per_tick\": {lbpt:.1}\n  }},\n  \"scheduler\": [\n{sched_json}\n  ],\n  \
-         \"scaling_2j\": {s2:.3},\n  \"scaling_4j\": {s4:.3}\n}}\n",
+         \"scaling_2j\": {s2:.3},\n  \"scaling_4j\": {s4:.3},\n  \"serve\": {{\n    \
+         \"conns\": {sv_conns},\n    \"wall_secs\": {sv_wall:.3},\n    \
+         \"requests\": {sv_reqs},\n    \"errors\": {sv_errs},\n    \
+         \"serve.requests_per_sec\": {sv_rps:.1},\n    \"serve.p50_us\": {sv_p50},\n    \
+         \"serve.p90_us\": {sv_p90},\n    \"serve.p99_us\": {sv_p99},\n    \
+         \"serve.frame_errors\": {sv_fe}\n  }}\n}}\n",
         s2 = scaling_2j,
         s4 = scaling_4j,
+        sv_conns = serve.conns,
+        sv_wall = serve.wall_secs,
+        sv_reqs = serve.requests,
+        sv_errs = serve.errors,
+        sv_rps = serve.requests_per_sec,
+        sv_p50 = serve.p50_us,
+        sv_p90 = serve.p90_us,
+        sv_p99 = serve.p99_us,
+        sv_fe = serve.frame_errors,
         clients = base.clients,
         ticks = base.ticks,
         wall = base.wall_secs,
@@ -263,4 +335,16 @@ fn main() {
             p.jobs, p.campaigns, p.wall_secs, p.campaigns_per_min,
         );
     }
+    eprintln!(
+        "serve[{} conns]: {} requests in {:.2}s ({:.0} req/s; p50 {}us, p90 {}us, p99 {}us; {} errors, {} frame errors)",
+        serve.conns,
+        serve.requests,
+        serve.wall_secs,
+        serve.requests_per_sec,
+        serve.p50_us,
+        serve.p90_us,
+        serve.p99_us,
+        serve.errors,
+        serve.frame_errors,
+    );
 }

@@ -24,14 +24,17 @@ use crate::calibration::placement;
 use crate::estimate::{EstimatorConfig, SupplyDemandEstimator};
 use crate::observe::{latest_of_type, ClientSpec, TypeObservation};
 use crate::persist;
+use crate::remote::{RemoteMeasuredSystem, RemoteWorldSpec};
 use crate::systems::{MeasuredSystem, TaxiSystem, UberSystem};
 use crate::transitions::TransitionTracker;
 use serde::{Deserialize, Serialize, Value};
 use surgescope_simcore::FastHashSet;
 use std::path::{Path, PathBuf};
-use surgescope_api::{ApiService, ProtocolEra, RateLimiter};
+use surgescope_api::{
+    ApiService, PriceEstimate, ProtocolEra, RateLimitError, RateLimiter, TimeEstimate,
+};
 use surgescope_city::{CarType, CityModel};
-use surgescope_geo::{Meters, Polygon};
+use surgescope_geo::{LatLng, Meters, Polygon};
 use surgescope_marketplace::{GroundTruth, Marketplace, MarketplaceConfig};
 use surgescope_obs::{Counter, MetricsRegistry, Snapshot, Timer};
 use surgescope_simcore::{FaultPlan, SimRng, SimTime, Transport};
@@ -263,6 +266,109 @@ impl CampaignData {
 /// settled multiplier.
 const PROBE_OFFSET_SECS: u64 = 45;
 
+/// The measured system behind a campaign: the in-process simulated
+/// marketplace, or a lockstep party of sockets to a `surgescope-serve`
+/// endpoint. Both expose the same [`MeasuredSystem`] surface plus the
+/// interval API probes; every byte the runner accumulates is identical
+/// across the two (that is the serving layer's determinism contract,
+/// regression-locked by the lockstep integration tests).
+enum SystemBackend {
+    /// Everything in this process: [`UberSystem`] over the marketplace.
+    Local(UberSystem),
+    /// The marketplace lives behind a wire; pings, probes and ground
+    /// truth travel over TCP. Fault injection stays client-side.
+    Remote(RemoteMeasuredSystem),
+}
+
+impl SystemBackend {
+    fn advance_tick(&mut self) {
+        match self {
+            SystemBackend::Local(u) => u.advance_tick(),
+            SystemBackend::Remote(r) => r.advance_tick(),
+        }
+    }
+
+    fn now(&self) -> SimTime {
+        match self {
+            SystemBackend::Local(u) => u.now(),
+            SystemBackend::Remote(r) => r.now(),
+        }
+    }
+
+    fn ping_all_into(&mut self, clients: &[ClientSpec], out: &mut Vec<Vec<TypeObservation>>) {
+        match self {
+            SystemBackend::Local(u) => u.ping_all_into(clients, out),
+            SystemBackend::Remote(r) => r.ping_all_into(clients, out),
+        }
+    }
+
+    fn in_flight(&self) -> usize {
+        match self {
+            SystemBackend::Local(u) => u.in_flight(),
+            SystemBackend::Remote(r) => r.in_flight(),
+        }
+    }
+
+    /// `estimates/price` against the current tick's state. The local arm
+    /// reuses the tick's cached snapshot (the fan-out above captured it);
+    /// the remote arm asks the server, whose world is frozen at the same
+    /// tick by the lockstep barrier.
+    fn probe_price(
+        &mut self,
+        account: u64,
+        loc: LatLng,
+    ) -> Result<Vec<PriceEstimate>, RateLimitError> {
+        match self {
+            SystemBackend::Local(u) => {
+                let snap = u.tick_snapshot();
+                u.api.estimates_price(&snap, account, loc)
+            }
+            SystemBackend::Remote(r) => r.probe_price(account, loc),
+        }
+    }
+
+    /// `estimates/time`; see [`SystemBackend::probe_price`].
+    fn probe_time(
+        &mut self,
+        account: u64,
+        loc: LatLng,
+    ) -> Result<Vec<TimeEstimate>, RateLimitError> {
+        match self {
+            SystemBackend::Local(u) => {
+                let snap = u.tick_snapshot();
+                u.api.estimates_time(&snap, account, loc)
+            }
+            SystemBackend::Remote(r) => r.probe_time(account, loc),
+        }
+    }
+
+    fn register_metrics(&self, reg: &MetricsRegistry) {
+        match self {
+            SystemBackend::Local(u) => u.register_metrics(reg),
+            SystemBackend::Remote(r) => r.register_metrics(reg),
+        }
+    }
+
+    /// The in-process system, when there is one. Checkpoint/resume needs
+    /// direct marketplace access and is local-only by construction
+    /// ([`CampaignRunner::new_remote`] rejects store hooks).
+    fn local(&self) -> Option<&UberSystem> {
+        match self {
+            SystemBackend::Local(u) => Some(u),
+            SystemBackend::Remote(_) => None,
+        }
+    }
+
+    /// Consumes the backend and yields the marketplace ground truth —
+    /// directly for a local run, over the wire (`FINISH`) for a remote.
+    fn into_truth(self) -> Result<GroundTruth, StoreError> {
+        match self {
+            SystemBackend::Local(u) => Ok(u.marketplace.into_truth()),
+            SystemBackend::Remote(r) => r.finish().map_err(StoreError::Io),
+        }
+    }
+}
+
 /// A measurement campaign as a resumable state machine.
 ///
 /// [`Campaign::run_uber`] used to be one monolithic loop; the runner
@@ -277,7 +383,7 @@ pub struct CampaignRunner {
     client_area: Vec<Option<usize>>,
     centroids: Vec<Meters>,
     n_areas: usize,
-    sys: UberSystem,
+    sys: SystemBackend,
     estimator: SupplyDemandEstimator,
     transitions: TransitionTracker,
     client_surge: Vec<Vec<f32>>,
@@ -337,7 +443,7 @@ impl RunnerMetrics {
     /// everything the fully-constructed `sys` (and the open log, if any)
     /// exposes. Call only after restore-time `set_*` calls are done —
     /// they install fresh counter cells.
-    fn new(sys: &UberSystem, n_clients: usize, log: Option<&mut LogWriter>) -> Self {
+    fn new(sys: &SystemBackend, n_clients: usize, log: Option<&mut LogWriter>) -> Self {
         let registry = MetricsRegistry::new();
         sys.register_metrics(&registry);
         registry.gauge("campaign.clients").set(n_clients as u64);
@@ -352,6 +458,14 @@ impl RunnerMetrics {
             w.set_metrics(log_bytes, log_records);
         }
         RunnerMetrics { registry, gaps, probe_nan, ticks, checkpoints, checkpoint_timer }
+    }
+}
+
+/// Applies the campaign's supply/demand scale factor to the city model.
+fn scale_city(city: &mut CityModel, scale: f64) {
+    if (scale - 1.0).abs() > 1e-9 {
+        city.supply = city.supply.scaled(scale);
+        city.demand = city.demand.scaled(scale);
     }
 }
 
@@ -375,22 +489,61 @@ impl CampaignRunner {
     /// Builds a fresh campaign over `city` (pre-scale; `cfg.scale` is
     /// applied here). Opens the event log if `cfg.store.log_path` is set.
     pub fn new(mut city: CityModel, cfg: &CampaignConfig) -> Result<Self, StoreError> {
-        if (cfg.scale - 1.0).abs() > 1e-9 {
-            city.supply = city.supply.scaled(cfg.scale);
-            city.demand = city.demand.scaled(cfg.scale);
-        }
+        scale_city(&mut city, cfg.scale);
         let cfg = cfg.clone();
-        let (clients, client_area, area_polys, adjacency, centroids) =
-            geometry(&city, &cfg);
-        let n_areas = city.area_count();
-
         let market_cfg =
             MarketplaceConfig { surge_policy: cfg.surge_policy, ..Default::default() };
         let mp = Marketplace::new(city.clone(), market_cfg, cfg.seed);
         let api = ApiService::new(cfg.era, cfg.seed ^ 0xB0B5);
-        let sys = UberSystem::new(mp, api)
-            .with_faults(cfg.faults, cfg.seed)
-            .with_parallelism(cfg.parallelism);
+        let sys = SystemBackend::Local(
+            UberSystem::new(mp, api)
+                .with_faults(cfg.faults, cfg.seed)
+                .with_parallelism(cfg.parallelism),
+        );
+        Self::fresh(city, cfg, sys)
+    }
+
+    /// Builds a campaign measured **over the wire**: the marketplace runs
+    /// inside a `surgescope-serve` server at `addr`, and this process
+    /// drives it through a lockstep party of `connections` sockets. The
+    /// resulting [`CampaignData`] is byte-identical to the in-process
+    /// [`CampaignRunner::new`] run with the same config — clean or
+    /// faulted, at any connection count.
+    ///
+    /// Store hooks are rejected: the event log and checkpoints
+    /// serialize marketplace internals this process does not hold.
+    pub fn new_remote(
+        mut city: CityModel,
+        cfg: &CampaignConfig,
+        addr: &str,
+        connections: usize,
+    ) -> Result<Self, StoreError> {
+        if cfg.store.log_path.is_some() || cfg.store.checkpoint_path.is_some() {
+            return Err(StoreError::Schema(
+                "remote campaigns do not support store hooks \
+                 (the event log and checkpoints are local-only)"
+                    .into(),
+            ));
+        }
+        scale_city(&mut city, cfg.scale);
+        let cfg = cfg.clone();
+        let spec = RemoteWorldSpec {
+            city: &city,
+            seed: cfg.seed,
+            era: cfg.era,
+            surge_policy: cfg.surge_policy,
+        };
+        let remote = RemoteMeasuredSystem::connect(addr, &spec, cfg.faults, connections)
+            .map_err(StoreError::Io)?;
+        Self::fresh(city, cfg, SystemBackend::Remote(remote))
+    }
+
+    /// Shared tail of the constructors: lattice + geometry, estimators,
+    /// log, metrics, zeroed accumulators. `city` is post-scale.
+    fn fresh(city: CityModel, cfg: CampaignConfig, sys: SystemBackend) -> Result<Self, StoreError> {
+        let (clients, client_area, area_polys, adjacency, centroids) =
+            geometry(&city, &cfg);
+        let n_areas = city.area_count();
 
         let estimator = SupplyDemandEstimator::new(
             cfg.estimator,
@@ -533,9 +686,9 @@ impl CampaignRunner {
 
         // API probe once per interval, after the propagation delay.
         if now.seconds_into_surge_interval() == PROBE_OFFSET_SECS {
-            // Same tick as ping_all above, so this reuses its cached
-            // snapshot instead of rescanning the driver table.
-            let snap = self.sys.tick_snapshot();
+            // Same tick as ping_all above: the local backend reuses its
+            // cached snapshot, the remote one probes the barrier-frozen
+            // server world — both read the identical state.
             let mut this_interval = Vec::with_capacity(self.n_areas);
             let mut limited_logged = self.probe_limited_logged;
             for (ai, centroid) in self.centroids.iter().enumerate() {
@@ -556,14 +709,14 @@ impl CampaignRunner {
                     probe_nan.incr();
                     f64::NAN
                 };
-                let surge = match self.sys.api.estimates_price(&snap, account, loc) {
+                let surge = match self.sys.probe_price(account, loc) {
                     Ok(prices) => prices
                         .iter()
                         .find(|p| p.car_type == CarType::UberX)
                         .map_or(1.0, |p| p.surge_multiplier),
                     Err(e) => limited(&e),
                 };
-                let ewt = match self.sys.api.estimates_time(&snap, account, loc) {
+                let ewt = match self.sys.probe_time(account, loc) {
                     Ok(times) => times
                         .iter()
                         .find(|t| t.car_type == CarType::UberX)
@@ -648,6 +801,10 @@ impl CampaignRunner {
     /// boundary. Self-contained: carries the config and the post-scale
     /// city, so [`CampaignRunner::resume`] needs nothing else.
     pub fn checkpoint_value(&self) -> Value {
+        let sys = self
+            .sys
+            .local()
+            .expect("checkpoints require an in-process campaign (remote runs reject store hooks)");
         let sorted = |sets: &[FastHashSet<u64>]| -> Value {
             sets.iter()
                 .map(|s| {
@@ -662,10 +819,10 @@ impl CampaignRunner {
             ("config".into(), self.cfg.to_value()),
             ("city".into(), self.city.to_value()),
             ("ticks_done".into(), (self.ticks_done as u64).to_value()),
-            ("marketplace".into(), self.sys.marketplace.save_state()),
-            ("limiter".into(), self.sys.api.limiter().to_value()),
-            ("fault_rng".into(), self.sys.fault_rng().to_value()),
-            ("transport".into(), self.sys.transport().to_value()),
+            ("marketplace".into(), sys.marketplace.save_state()),
+            ("limiter".into(), sys.api.limiter().to_value()),
+            ("fault_rng".into(), sys.fault_rng().to_value()),
+            ("transport".into(), sys.transport().to_value()),
             ("estimator".into(), self.estimator.to_value()),
             ("transitions".into(), self.transitions.save_state()),
             ("client_surge".into(), persist::f32_rows_to_bits(&self.client_surge)),
@@ -742,6 +899,7 @@ impl CampaignRunner {
             .with_parallelism(cfg.parallelism);
         sys.set_fault_rng(SimRng::from_value(v.field("fault_rng")?)?);
         sys.set_transport(Transport::from_value(v.field("transport")?)?);
+        let sys = SystemBackend::Local(sys);
 
         let estimator = SupplyDemandEstimator::from_value(v.field("estimator")?)?;
         let transitions =
@@ -880,6 +1038,7 @@ impl CampaignRunner {
             .zip(&self.interval_car_n)
             .map(|(s, &k)| s / k.max(1) as f64)
             .collect();
+        let truth = self.sys.into_truth()?;
         let data = CampaignData {
             city: self.city,
             clients: self.clients,
@@ -898,7 +1057,7 @@ impl CampaignRunner {
             tick_secs: 5,
             ticks: self.ticks_done,
             intervals,
-            truth: self.sys.marketplace.into_truth(),
+            truth,
         };
         if let Some(mut log) = self.log {
             log.append(persist::REC_FINISH, &persist::finish_value(&data))?;

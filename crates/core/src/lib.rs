@@ -38,8 +38,12 @@ pub mod surge_obs;
 pub mod transitions;
 
 mod observe;
+mod remote;
 mod systems;
 
 pub use campaign::{Campaign, CampaignConfig, CampaignData, CampaignRunner, StoreHooks};
-pub use observe::{ClientSpec, ObservedCar, PingObservation, TypeObservation};
+pub use observe::{
+    response_to_observations, ClientSpec, ObservedCar, PingObservation, TypeObservation,
+};
+pub use remote::{RemoteMeasuredSystem, RemoteWorldSpec};
 pub use systems::{MeasuredSystem, SystemMetrics, TaxiSystem, UberSystem};

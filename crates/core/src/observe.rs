@@ -1,8 +1,9 @@
 //! Observation records: what one emulated client sees in one ping.
 
 use serde::{Deserialize, Serialize};
+use surgescope_api::PingClientResponse;
 use surgescope_city::CarType;
-use surgescope_geo::Meters;
+use surgescope_geo::{LocalProjection, Meters};
 use surgescope_simcore::SimTime;
 
 /// A client slot in the measurement fleet.
@@ -55,6 +56,35 @@ impl PingObservation {
     pub fn of_type(&self, t: CarType) -> Option<&TypeObservation> {
         self.types.iter().find(|b| b.car_type == t)
     }
+}
+
+/// Converts a full `pingClient` wire response into the per-tier blocks a
+/// measurement client records: positions projected into the city's planar
+/// frame, path vectors reduced to their net displacement. This is the
+/// honest client-side pipeline — the in-process fan-out's snapshot
+/// shortcut is regression-locked byte-identical to it, and the remote
+/// (socket) client uses it directly.
+pub fn response_to_observations(
+    resp: &PingClientResponse,
+    proj: &LocalProjection,
+) -> Vec<TypeObservation> {
+    resp.statuses
+        .iter()
+        .map(|s| TypeObservation {
+            car_type: s.car_type,
+            cars: s
+                .cars
+                .iter()
+                .map(|ci| ObservedCar {
+                    id: ci.id,
+                    position: proj.to_meters(ci.position),
+                    displacement: ci.path.displacement(proj),
+                })
+                .collect(),
+            ewt_min: s.ewt_min,
+            surge: s.surge,
+        })
+        .collect()
 }
 
 /// The last block of tier `t` in arrival order — what the client app

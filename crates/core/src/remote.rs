@@ -1,0 +1,452 @@
+//! The remote measurement client: [`MeasuredSystem`] over TCP sockets.
+//!
+//! The paper's apparatus talked to a production API over a real network;
+//! [`RemoteMeasuredSystem`] reproduces that topology against a
+//! `surgescope-serve` endpoint. The campaign runner drives it through the
+//! exact same trait surface as the in-process [`crate::UberSystem`], and
+//! the combination of the server's lockstep barrier, the serial fault
+//! pre-pass here, and the shared wire/local observation conversion
+//! ([`crate::observe::response_to_observations`]) makes the resulting
+//! `CampaignData` **byte-identical** to the in-process run — clean or
+//! faulted, at any connection count.
+//!
+//! Fault injection stays client-side: the fault RNG is seeded exactly as
+//! `UberSystem` seeds it, draws happen in client order before any I/O, a
+//! `Drop` outcome suppresses the request entirely, and a `Delay(d)`
+//! response is fetched at its send tick (the barrier guarantees the
+//! server still holds the send-time snapshot) and parked in the same
+//! [`Transport`] queue until its delivery tick.
+
+use crate::observe::{response_to_observations, ClientSpec, TypeObservation};
+use crate::systems::{MeasuredSystem, SystemMetrics};
+use serde::{Deserialize, Serialize, Value};
+use std::io::{self, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+use surgescope_api::{PingClientResponse, PriceEstimate, RateLimitError, TimeEstimate};
+use surgescope_city::CityModel;
+use surgescope_geo::{LatLng, LocalProjection};
+use surgescope_marketplace::GroundTruth;
+use surgescope_obs::MetricsRegistry;
+use surgescope_serve::wire;
+use surgescope_simcore::{
+    ticks_late, FaultOutcome, FaultPlan, SimRng, SimTime, Transport,
+};
+
+/// Parameters a remote campaign ships to the server when opening its
+/// lockstep world. Deliberately a subset of `CampaignConfig`: everything
+/// the *server* needs to build the marketplace; client lattice, fault
+/// plan and estimator tuning stay client-side.
+pub struct RemoteWorldSpec<'a> {
+    /// The measured city, **post-scale** (the client applies `cfg.scale`
+    /// before connecting so both sides agree on the exact model).
+    pub city: &'a CityModel,
+    /// Campaign root seed.
+    pub seed: u64,
+    /// Protocol era the fleet speaks.
+    pub era: surgescope_api::ProtocolEra,
+    /// Surge publication policy of the measured marketplace.
+    pub surge_policy: surgescope_marketplace::SurgePolicy,
+}
+
+/// One blocking request/response exchange on a connection.
+fn rpc(stream: &mut TcpStream, kind: u8, payload: &Value) -> io::Result<(u8, Value)> {
+    wire::write_frame(stream, kind, payload)?;
+    read_reply(stream)
+}
+
+/// Reads one response frame, surfacing server-side `RESP_ERR` as an error.
+fn read_reply(stream: &mut TcpStream) -> io::Result<(u8, Value)> {
+    let (kind, value, _) =
+        wire::read_frame(stream, wire::DEFAULT_MAX_FRAME).map_err(|e| e.into_io())?;
+    if kind == wire::RESP_ERR {
+        let msg = value
+            .field("error")
+            .ok()
+            .and_then(|v| String::from_value(v).ok())
+            .unwrap_or_else(|| "unspecified server error".into());
+        return Err(io::Error::new(io::ErrorKind::Other, format!("server: {msg}")));
+    }
+    Ok((kind, value))
+}
+
+fn connect_one(addr: &str) -> io::Result<TcpStream> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(60)))?;
+    let hello = Value::Map(vec![("proto".into(), wire::PROTO_VERSION.to_value())]);
+    let (kind, _) = rpc(&mut stream, wire::REQ_HELLO, &hello)?;
+    if kind != wire::RESP_HELLO {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("handshake answered with {kind:#04x}"),
+        ));
+    }
+    Ok(stream)
+}
+
+/// A measurement fleet whose pings travel over real sockets to a
+/// `surgescope-serve` lockstep campaign. See the module docs for the
+/// determinism contract.
+pub struct RemoteMeasuredSystem {
+    /// Party connections; `conns[0]` opened the campaign and carries the
+    /// probe traffic. Clients are fanned out over all of them.
+    conns: Vec<TcpStream>,
+    campaign: u64,
+    tick: u64,
+    tick_secs: u64,
+    proj: LocalProjection,
+    faults: FaultPlan,
+    fault_rng: SimRng,
+    transport: Transport<Vec<TypeObservation>>,
+    outcomes: Vec<FaultOutcome>,
+    metrics: SystemMetrics,
+}
+
+impl RemoteMeasuredSystem {
+    /// Connects a lockstep party of `connections` sockets to `addr` and
+    /// opens a campaign world there. Fault injection (if any) runs
+    /// client-side with the same seeding as the in-process system.
+    pub fn connect(
+        addr: &str,
+        spec: &RemoteWorldSpec<'_>,
+        faults: FaultPlan,
+        connections: usize,
+    ) -> io::Result<Self> {
+        let connections = connections.max(1);
+        let mut conns = Vec::with_capacity(connections);
+        conns.push(connect_one(addr)?);
+
+        let open = Value::Map(vec![
+            ("city".into(), spec.city.to_value()),
+            ("seed".into(), spec.seed.to_value()),
+            ("era".into(), spec.era.to_value()),
+            ("surge_policy".into(), spec.surge_policy.to_value()),
+            ("party".into(), (connections as u64).to_value()),
+        ]);
+        let (kind, v) = rpc(&mut conns[0], wire::REQ_OPEN, &open)?;
+        if kind != wire::RESP_OPEN {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("OPEN answered with {kind:#04x}"),
+            ));
+        }
+        let campaign = u64::from_value(v.field("campaign").map_err(invalid)?)
+            .map_err(invalid)?;
+
+        let join = Value::Map(vec![("campaign".into(), campaign.to_value())]);
+        for _ in 1..connections {
+            let mut stream = connect_one(addr)?;
+            let (kind, _) = rpc(&mut stream, wire::REQ_JOIN, &join)?;
+            if kind != wire::RESP_OK {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("JOIN answered with {kind:#04x}"),
+                ));
+            }
+            conns.push(stream);
+        }
+
+        Ok(RemoteMeasuredSystem {
+            conns,
+            campaign,
+            tick: 0,
+            tick_secs: 5,
+            proj: spec.city.projection,
+            faults: faults.validated(),
+            fault_rng: SimRng::seed_from_u64(spec.seed).split("transport-faults"),
+            transport: Transport::new(),
+            outcomes: Vec::new(),
+            metrics: SystemMetrics::default(),
+        })
+    }
+
+    /// Number of party connections.
+    pub fn connections(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Delayed responses currently in flight client-side (diagnostic).
+    pub fn in_flight(&self) -> usize {
+        self.transport.in_flight()
+    }
+
+    /// Registers the client-side instruments (ping fault outcomes,
+    /// transport queue, phase timers). Server-side counters live in the
+    /// server's own registry.
+    pub fn register_metrics(&self, reg: &MetricsRegistry) {
+        reg.adopt_counter("pings.delivered", &self.metrics.pings_delivered);
+        reg.adopt_counter("pings.delayed", &self.metrics.pings_delayed);
+        reg.adopt_counter("pings.dropped", &self.metrics.pings_dropped);
+        reg.adopt_timer("phase.ping", &self.metrics.ping);
+        self.transport.metrics().register(reg);
+    }
+
+    /// `estimates/price` probe on the campaign's current tick snapshot.
+    /// A server-side throttle comes back as the same [`RateLimitError`]
+    /// the in-process limiter raises. Panics on transport failure, like
+    /// every mid-campaign wire operation.
+    pub fn probe_price(
+        &mut self,
+        account: u64,
+        loc: LatLng,
+    ) -> Result<Vec<PriceEstimate>, RateLimitError> {
+        let v = Value::Map(vec![
+            ("campaign".into(), self.campaign.to_value()),
+            ("account".into(), account.to_value()),
+            ("lat".into(), loc.lat.to_value()),
+            ("lng".into(), loc.lng.to_value()),
+        ]);
+        let (kind, v) = rpc(&mut self.conns[0], wire::REQ_PRICE, &v)
+            .expect("remote campaign: price probe failed");
+        decode_estimates(kind, &v, wire::RESP_PRICE, account)
+    }
+
+    /// `estimates/time` probe; see [`RemoteMeasuredSystem::probe_price`].
+    pub fn probe_time(
+        &mut self,
+        account: u64,
+        loc: LatLng,
+    ) -> Result<Vec<TimeEstimate>, RateLimitError> {
+        let v = Value::Map(vec![
+            ("campaign".into(), self.campaign.to_value()),
+            ("account".into(), account.to_value()),
+            ("lat".into(), loc.lat.to_value()),
+            ("lng".into(), loc.lng.to_value()),
+        ]);
+        let (kind, v) = rpc(&mut self.conns[0], wire::REQ_TIME, &v)
+            .expect("remote campaign: time probe failed");
+        decode_estimates(kind, &v, wire::RESP_TIME, account)
+    }
+
+    /// Finalizes the remote campaign and fetches the marketplace ground
+    /// truth the server accumulated.
+    pub fn finish(mut self) -> io::Result<GroundTruth> {
+        let v = Value::Map(vec![("campaign".into(), self.campaign.to_value())]);
+        let (kind, v) = rpc(&mut self.conns[0], wire::REQ_FINISH, &v)?;
+        if kind != wire::RESP_FINISH {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("FINISH answered with {kind:#04x}"),
+            ));
+        }
+        GroundTruth::from_value(v.field("truth").map_err(invalid)?).map_err(invalid)
+    }
+}
+
+fn invalid(e: impl std::fmt::Display) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+}
+
+fn decode_estimates<T: Deserialize>(
+    kind: u8,
+    v: &Value,
+    want: u8,
+    account: u64,
+) -> Result<Vec<T>, RateLimitError> {
+    if kind == wire::RESP_THROTTLED {
+        let retry = v
+            .field("retry_after_secs")
+            .ok()
+            .and_then(|r| u64::from_value(r).ok())
+            .unwrap_or(0);
+        return Err(RateLimitError { account, retry_after_secs: retry });
+    }
+    assert_eq!(kind, want, "estimates probe answered with {kind:#04x}");
+    Ok(Vec::<T>::from_value(v.field("estimates").expect("estimates payload"))
+        .expect("estimates decode"))
+}
+
+/// Sends one chunk's pings down one connection (pipelined: all requests
+/// written, then all responses read in order) and routes each response by
+/// its fault outcome. Returns the delayed payloads in client order.
+#[allow(clippy::too_many_arguments)]
+fn ping_chunk(
+    stream: &mut TcpStream,
+    campaign: u64,
+    proj: &LocalProjection,
+    clients: &[ClientSpec],
+    outcomes: &[FaultOutcome],
+    out: &mut [Vec<TypeObservation>],
+    base: usize,
+    tick_secs: u64,
+) -> io::Result<Vec<(usize, u64, Vec<TypeObservation>)>> {
+    let mut sent = 0usize;
+    for (c, oc) in clients.iter().zip(outcomes) {
+        if *oc == FaultOutcome::Drop {
+            continue;
+        }
+        let loc = proj.to_latlng(c.position);
+        let v = Value::Map(vec![
+            ("campaign".into(), campaign.to_value()),
+            ("key".into(), c.key.to_value()),
+            ("lat".into(), loc.lat.to_value()),
+            ("lng".into(), loc.lng.to_value()),
+        ]);
+        stream.write_all(&wire::frame_bytes(wire::REQ_PING, &v))?;
+        sent += 1;
+    }
+    stream.flush()?;
+    let _ = sent;
+
+    let mut delayed = Vec::new();
+    for (i, (slot, oc)) in out.iter_mut().zip(outcomes).enumerate() {
+        match oc {
+            FaultOutcome::Drop => slot.clear(),
+            outcome => {
+                let (kind, v) = read_reply(stream)?;
+                if kind != wire::RESP_PING {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("PING answered with {kind:#04x}"),
+                    ));
+                }
+                let resp = PingClientResponse::from_value(&v).map_err(invalid)?;
+                let blocks = response_to_observations(&resp, proj);
+                match outcome {
+                    FaultOutcome::Deliver => *slot = blocks,
+                    FaultOutcome::Delay(d) => {
+                        slot.clear();
+                        delayed.push((base + i, ticks_late(*d, tick_secs), blocks));
+                    }
+                    FaultOutcome::Drop => unreachable!("filtered above"),
+                }
+            }
+        }
+    }
+    Ok(delayed)
+}
+
+impl MeasuredSystem for RemoteMeasuredSystem {
+    /// Hits the lockstep barrier: every connection requests the advance
+    /// (all writes first — the server releases nobody until the whole
+    /// party arrives), then all acknowledgements are read back.
+    fn advance_tick(&mut self) {
+        self.tick += 1;
+        let v = Value::Map(vec![
+            ("campaign".into(), self.campaign.to_value()),
+            ("tick".into(), self.tick.to_value()),
+        ]);
+        let frame = wire::frame_bytes(wire::REQ_ADVANCE, &v);
+        for conn in &mut self.conns {
+            conn.write_all(&frame).expect("remote campaign: ADVANCE send failed");
+            conn.flush().expect("remote campaign: ADVANCE flush failed");
+        }
+        for conn in &mut self.conns {
+            let (kind, _) =
+                read_reply(conn).expect("remote campaign: ADVANCE barrier failed");
+            assert_eq!(kind, wire::RESP_OK, "ADVANCE answered with {kind:#04x}");
+        }
+        self.transport.advance_tick();
+    }
+
+    fn now(&self) -> SimTime {
+        SimTime(self.tick * self.tick_secs)
+    }
+
+    /// Same contract as the in-process system: serial fault pre-pass in
+    /// client order, per-connection fan-out over contiguous client
+    /// chunks, delayed responses queued and merged in `(sent_tick,
+    /// client)` order. The barrier froze the server's world, so the
+    /// interleaving of requests across connections cannot change what
+    /// any ping observes.
+    fn ping_all_into(&mut self, clients: &[ClientSpec], out: &mut Vec<Vec<TypeObservation>>) {
+        let _span = self.metrics.ping.start();
+        let faults = self.faults;
+        let fault_rng = &mut self.fault_rng;
+        self.outcomes.clear();
+        self.outcomes.extend(clients.iter().map(|_| {
+            if faults.is_none() {
+                FaultOutcome::Deliver
+            } else {
+                faults.decide(fault_rng)
+            }
+        }));
+        let (mut delivered, mut delayed, mut dropped) = (0u64, 0u64, 0u64);
+        for oc in &self.outcomes {
+            match oc {
+                FaultOutcome::Deliver => delivered += 1,
+                FaultOutcome::Delay(_) => delayed += 1,
+                FaultOutcome::Drop => dropped += 1,
+            }
+        }
+        self.metrics.pings_delivered.add(delivered);
+        self.metrics.pings_delayed.add(delayed);
+        self.metrics.pings_dropped.add(dropped);
+
+        let n = clients.len();
+        out.resize_with(n, Vec::new);
+        out.truncate(n);
+
+        let n_conns = self.conns.len().min(n.max(1));
+        let chunk_size = n.div_ceil(n_conns.max(1)).max(1);
+        let late: Vec<(usize, u64, Vec<TypeObservation>)> = if n_conns <= 1 {
+            ping_chunk(
+                &mut self.conns[0],
+                self.campaign,
+                &self.proj,
+                clients,
+                &self.outcomes,
+                out,
+                0,
+                self.tick_secs,
+            )
+            .expect("remote campaign: ping exchange failed")
+        } else {
+            // One thread per connection, each owning a contiguous chunk
+            // of clients and the matching slice of `out`. Chunks are
+            // client-ordered and so is the concatenation of their
+            // delayed lists.
+            let proj = self.proj;
+            let campaign = self.campaign;
+            let tick_secs = self.tick_secs;
+            let outcomes = &self.outcomes;
+            let mut results: Vec<Vec<(usize, u64, Vec<TypeObservation>)>> = Vec::new();
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                let mut rest = &mut out[..];
+                let mut base = 0usize;
+                for conn in self.conns.iter_mut().take(n_conns) {
+                    let take = chunk_size.min(rest.len());
+                    let (chunk_out, tail) = rest.split_at_mut(take);
+                    rest = tail;
+                    let chunk_clients = &clients[base..base + take];
+                    let chunk_outcomes = &outcomes[base..base + take];
+                    let chunk_base = base;
+                    base += take;
+                    handles.push(scope.spawn(move || {
+                        ping_chunk(
+                            conn,
+                            campaign,
+                            &proj,
+                            chunk_clients,
+                            chunk_outcomes,
+                            chunk_out,
+                            chunk_base,
+                            tick_secs,
+                        )
+                    }));
+                }
+                for h in handles {
+                    results.push(
+                        h.join()
+                            .expect("remote ping thread panicked")
+                            .expect("remote campaign: ping exchange failed"),
+                    );
+                }
+            });
+            results.into_iter().flatten().collect()
+        };
+
+        // Serial post-pass in client order, exactly like the local path.
+        for (client, ticks, payload) in late {
+            self.transport.send_delayed(client, ticks, payload);
+        }
+        for env in self.transport.take_due() {
+            if let Some(slot) = out.get_mut(env.client) {
+                slot.extend(env.payload);
+            }
+        }
+    }
+}

@@ -10,7 +10,9 @@
 use surgescope_api::{ApiService, ProtocolEra};
 use surgescope_city::CityModel;
 use surgescope_core::calibration::placement;
-use surgescope_core::{MeasuredSystem, ObservedCar, TypeObservation, UberSystem};
+use surgescope_core::{
+    response_to_observations, MeasuredSystem, TypeObservation, UberSystem,
+};
 use surgescope_marketplace::{Marketplace, MarketplaceConfig};
 use surgescope_simcore::SimDuration;
 
@@ -32,24 +34,10 @@ fn ping_all_matches_wire_response_conversion() {
         let obs = sys.ping_all(&clients);
         for (c, blocks) in clients.iter().zip(&obs) {
             let resp = ping.ping_client(&snap, c.key, proj.to_latlng(c.position));
-            let converted: Vec<TypeObservation> = resp
-                .statuses
-                .iter()
-                .map(|s| TypeObservation {
-                    car_type: s.car_type,
-                    cars: s
-                        .cars
-                        .iter()
-                        .map(|ci| ObservedCar {
-                            id: ci.id,
-                            position: proj.to_meters(ci.position),
-                            displacement: ci.path.displacement(&proj),
-                        })
-                        .collect(),
-                    ewt_min: s.ewt_min,
-                    surge: s.surge,
-                })
-                .collect();
+            // The honest client-side pipeline — the exact conversion the
+            // remote (socket) measurement client applies to each
+            // `pingClient` response.
+            let converted: Vec<TypeObservation> = response_to_observations(&resp, &proj);
             // Byte-level comparison (via serialization) rather than
             // `PartialEq`: a NaN gap must also match bit-for-bit.
             assert_eq!(

@@ -1,0 +1,107 @@
+//! The serving layer's determinism contract, regression-locked: a
+//! campaign measured **over the wire** (lockstep party of sockets to a
+//! `surgescope-serve` server) produces byte-identical [`CampaignData`] to
+//! the in-process run with the same config — clean and faulted, at any
+//! connection count. The oracle is [`persist::campaign_encoded`], which
+//! encodes floats as raw IEEE-754 bits, so NaN gaps must match too.
+
+use surgescope_city::CityModel;
+use surgescope_core::persist::campaign_encoded;
+use surgescope_core::{CampaignConfig, CampaignRunner};
+use surgescope_serve::{ServeConfig, Server};
+use surgescope_simcore::FaultPlan;
+
+/// Short but non-trivial: 1 simulated hour = 720 ticks = 12 surge
+/// intervals, so interval probes, interval flushes and delayed responses
+/// all fire. The coarse lattice keeps the fleet (and the frame volume)
+/// small.
+fn lockstep_cfg(seed: u64, faults: FaultPlan) -> CampaignConfig {
+    let mut cfg = CampaignConfig::test_default(seed);
+    cfg.hours = 1;
+    cfg.scale = 0.25;
+    cfg.spacing_override_m = Some(500.0);
+    cfg.faults = faults;
+    cfg
+}
+
+fn run_local(cfg: &CampaignConfig) -> Vec<u8> {
+    let mut runner = CampaignRunner::new(CityModel::san_francisco_downtown(), cfg)
+        .expect("local campaign");
+    runner.run_to_end().expect("local run");
+    campaign_encoded(&runner.finish().expect("local finish"))
+}
+
+fn run_remote(addr: &str, cfg: &CampaignConfig, connections: usize) -> Vec<u8> {
+    let mut runner = CampaignRunner::new_remote(
+        CityModel::san_francisco_downtown(),
+        cfg,
+        addr,
+        connections,
+    )
+    .expect("remote campaign");
+    runner.run_to_end().expect("remote run");
+    campaign_encoded(&runner.finish().expect("remote finish"))
+}
+
+#[test]
+fn remote_campaign_matches_local_bytes_clean_and_faulted() {
+    let mut server = Server::bind("127.0.0.1:0", ServeConfig::default()).expect("bind");
+    let addr = server.local_addr().to_string();
+
+    let plans = [
+        ("clean", FaultPlan::none()),
+        // Drops, delays and in-flight responses all cross tick
+        // boundaries under this plan.
+        ("faulted", FaultPlan { drop_chance: 0.05, delay_chance: 0.15, max_delay_secs: 20 }),
+    ];
+    for (label, faults) in plans {
+        let cfg = lockstep_cfg(7_0931, faults);
+        let local = run_local(&cfg);
+        for connections in [1usize, 4] {
+            let remote = run_remote(&addr, &cfg, connections);
+            assert_eq!(
+                local, remote,
+                "{label}: remote campaign over {connections} connection(s) \
+                 diverged from the in-process bytes"
+            );
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn remote_campaign_rejects_store_hooks() {
+    let mut cfg = lockstep_cfg(1, FaultPlan::none());
+    cfg.store.log_path = Some(std::path::PathBuf::from("/tmp/never-written.log"));
+    let err = CampaignRunner::new_remote(
+        CityModel::san_francisco_downtown(),
+        &cfg,
+        "127.0.0.1:1", // never dialed: the hook check comes first
+        1,
+    )
+    .err()
+    .expect("store hooks must be rejected before connecting");
+    assert!(err.to_string().contains("store hooks"), "unexpected error: {err}");
+}
+
+/// The server's own deterministic-section counters (frames, bytes,
+/// campaign bookkeeping) are part of the observability contract: two
+/// fresh servers driven by identical lockstep campaigns must read
+/// byte-identical deterministic snapshots. Wall-clock timers live in the
+/// timing section, which is excluded.
+#[test]
+fn server_deterministic_counters_stable_across_reruns() {
+    let cfg = lockstep_cfg(42, FaultPlan::laggy(0.1, 15));
+    let mut jsons = Vec::new();
+    for _ in 0..2 {
+        let mut server = Server::bind("127.0.0.1:0", ServeConfig::default()).expect("bind");
+        let addr = server.local_addr().to_string();
+        let bytes = run_remote(&addr, &cfg, 2);
+        assert!(!bytes.is_empty());
+        // Shutdown joins the worker threads, so every in-flight counter
+        // increment has landed before the snapshot is read.
+        server.shutdown();
+        jsons.push(server.metrics_snapshot().deterministic_json());
+    }
+    assert_eq!(jsons[0], jsons[1], "server deterministic counters drifted across reruns");
+}

@@ -12,6 +12,11 @@
 //! continuing bit-identically to the uninterrupted run — streams the
 //! completed event log into the disk cache, and seeds the in-process
 //! cache so the listed experiments reuse the finished campaign.
+//!
+//! `--serve ADDR` hosts the simulated marketplace over TCP (lockstep
+//! campaign worlds plus a free-running world for load generation);
+//! `--remote ADDR` points the experiments' campaigns at such a server —
+//! the measured bytes are identical to the in-process run.
 
 use std::path::PathBuf;
 use surgescope_core::{CampaignConfig, CampaignRunner, StoreHooks};
@@ -19,17 +24,23 @@ use surgescope_experiments::{cache, cache::CampaignCache, run_experiment, RunCtx
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--quick] [--quiet] [--seed N] [--jobs N] [--resume CKPT] <id>... | all | list\n\
+        "usage: repro [options] <id>... | all | list\n\
+         \x20      repro --serve ADDR\n\
          \n\
          options:\n\
-         \x20 --quick      shorter campaigns, scaled-down cities\n\
-         \x20 --quiet      suppress [schedule]/[cache] progress chatter\n\
-         \x20 --seed N     root seed for every campaign (default 2015)\n\
-         \x20 --jobs N     simulate distinct campaigns on N worker threads\n\
-         \x20              (default: available parallelism; results are\n\
-         \x20              byte-identical at any value)\n\
-         \x20 --resume P   finish the campaign checkpointed at P first\n\
-         \x20 --metrics P  write the run's metrics snapshot (JSON) to P"
+         \x20 --quick       shorter campaigns, scaled-down cities\n\
+         \x20 --quiet       suppress [schedule]/[cache] progress chatter\n\
+         \x20 --seed N      root seed for every campaign (default 2015)\n\
+         \x20 --jobs N      simulate distinct campaigns on N worker threads\n\
+         \x20               (default: available parallelism; results are\n\
+         \x20               byte-identical at any value)\n\
+         \x20 --resume P    finish the campaign checkpointed at P first\n\
+         \x20 --metrics P   write the run's metrics snapshot (JSON) to P\n\
+         \x20 --serve ADDR  run the marketplace server on ADDR (port 0 picks\n\
+         \x20               an ephemeral port; prints 'listening on <addr>'\n\
+         \x20               and serves until killed)\n\
+         \x20 --remote ADDR measure campaigns over the wire against the\n\
+         \x20               server at ADDR (byte-identical to in-process)"
     );
     std::process::exit(2);
 }
@@ -92,6 +103,34 @@ fn resume_campaign(ckpt: &PathBuf, ctx: &RunCtx, campaigns: &CampaignCache) {
     campaigns.insert(&cfg, data);
 }
 
+/// `--serve ADDR`: host the simulated marketplace over the wire — lockstep
+/// remote campaigns plus a free-running world for load generation — until
+/// the process is killed. Never returns.
+fn serve_forever(addr: &str, seed: u64, quick: bool) -> ! {
+    use std::io::Write as _;
+    use surgescope_serve::{FreeWorldSpec, ServeConfig, Server};
+    let spec = FreeWorldSpec {
+        city: surgescope_city::CityModel::san_francisco_downtown(),
+        scale: if quick { 0.25 } else { 1.0 },
+        seed,
+        era: surgescope_api::ProtocolEra::Apr2015,
+        warmup_hours: 1,
+        tick_ms: None,
+    };
+    let cfg = ServeConfig { free: Some(spec), ..ServeConfig::default() };
+    let server = Server::bind(addr, cfg).unwrap_or_else(|e| {
+        eprintln!("--serve: cannot bind {addr}: {e}");
+        std::process::exit(1);
+    });
+    // The exact bound address on stdout (port 0 resolves here), flushed so
+    // a supervising script can scrape it before any campaign traffic.
+    println!("[serve] listening on {}", server.local_addr());
+    let _ = std::io::stdout().flush();
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
@@ -100,10 +139,24 @@ fn main() {
     let mut jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut resume: Option<PathBuf> = None;
     let mut metrics: Option<PathBuf> = None;
+    let mut serve: Option<String> = None;
+    let mut remote: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--serve" => {
+                serve = Some(it.next().unwrap_or_else(|| {
+                    eprintln!("--serve needs a bind address (e.g. 127.0.0.1:0)");
+                    std::process::exit(2);
+                }))
+            }
+            "--remote" => {
+                remote = Some(it.next().unwrap_or_else(|| {
+                    eprintln!("--remote needs a server address");
+                    std::process::exit(2);
+                }))
+            }
             "--quick" => quick = true,
             "--quiet" => quiet = true,
             "--seed" => {
@@ -153,12 +206,16 @@ fn main() {
             }
         }
     }
+    if let Some(addr) = serve {
+        serve_forever(&addr, seed, quick);
+    }
     if ids.is_empty() && resume.is_none() {
         usage();
     }
     let mut ctx = RunCtx::full(seed);
     ctx.quick = quick;
     ctx.quiet = quiet;
+    ctx.remote = remote;
     let cache = CampaignCache::new();
     if let Some(ckpt) = &resume {
         resume_campaign(ckpt, &ctx, &cache);

@@ -86,6 +86,8 @@ pub struct CampaignCache {
     disk_replays: Counter,
     resumes: Counter,
     store_failures: Counter,
+    remote_runs: Counter,
+    remote_failures: Counter,
     taxi_runs: Counter,
     /// Per-campaign metrics snapshots, captured just before each
     /// simulated campaign finished, keyed by cache key. Replayed and
@@ -104,6 +106,8 @@ impl Default for CampaignCache {
             disk_replays: registry.counter("cache.disk_replays"),
             resumes: registry.counter("cache.resumes"),
             store_failures: registry.counter("cache.store_failures"),
+            remote_runs: registry.counter("cache.remote_runs"),
+            remote_failures: registry.counter("cache.remote_failures"),
             taxi_runs: registry.counter("cache.taxi_runs"),
             registry,
             snapshots: Mutex::new(BTreeMap::new()),
@@ -247,6 +251,44 @@ impl CampaignCache {
         if let Some(c) = self.campaigns.lock().expect("cache lock").get(&key) {
             self.hits.incr();
             return Arc::clone(c);
+        }
+
+        // Remote measurement: the campaign runs against a serve endpoint
+        // over a lockstep party of sockets. Byte-identical to the local
+        // path, so it can share the in-process layer; the disk layers are
+        // skipped (remote campaigns cannot stream the event log). A wire
+        // failure degrades to the in-process path below with a warning —
+        // a dead server must cost the topology, never the run.
+        if let Some(addr) = ctx.remote.clone() {
+            self.misses.incr();
+            self.remote_runs.incr();
+            if !ctx.quiet {
+                eprintln!(
+                    "[cache] running {} campaign ({} h, {:?} era) remotely via {addr}…",
+                    city.label(),
+                    cfg.hours,
+                    cfg.era
+                );
+            }
+            let connections = cfg.parallelism.clamp(1, 4);
+            let fallible = CampaignRunner::new_remote(city.model(), &cfg, &addr, connections)
+                .and_then(|mut r| r.run_to_end().map(|()| r))
+                .and_then(|r| {
+                    let snap = r.metrics_snapshot();
+                    r.finish().map(|data| (data, snap))
+                });
+            match fallible {
+                Ok((data, snap)) => {
+                    self.snapshots.lock().expect("cache lock").insert(key, snap);
+                    let data = Arc::new(data);
+                    self.campaigns.lock().expect("cache lock").insert(key, Arc::clone(&data));
+                    return data;
+                }
+                Err(e) => {
+                    self.remote_failures.incr();
+                    eprintln!("[cache] remote campaign via {addr} failed ({e}); running locally");
+                }
+            }
         }
 
         let dir = cache_dir(ctx);

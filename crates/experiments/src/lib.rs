@@ -34,17 +34,29 @@ pub struct RunCtx {
     /// Suppress progress chatter (`[schedule]`/`[cache]` lines) on
     /// stderr. Warnings and errors still print.
     pub quiet: bool,
+    /// Measure campaigns over the wire against a `surgescope-serve`
+    /// endpoint at this address instead of in-process. Byte-identical
+    /// results (the serving layer's lockstep determinism contract), so
+    /// experiments neither know nor care; the disk cache is bypassed
+    /// because remote campaigns cannot stream the event log.
+    pub remote: Option<String>,
 }
 
 impl RunCtx {
     /// Full-fidelity context (72-hour campaigns, full city scale).
     pub fn full(seed: u64) -> Self {
-        RunCtx { seed, quick: false, out_dir: Some(PathBuf::from("results")), quiet: false }
+        RunCtx {
+            seed,
+            quick: false,
+            out_dir: Some(PathBuf::from("results")),
+            quiet: false,
+            remote: None,
+        }
     }
 
     /// Quick context for tests and smoke runs.
     pub fn quick(seed: u64) -> Self {
-        RunCtx { seed, quick: true, out_dir: None, quiet: false }
+        RunCtx { seed, quick: true, out_dir: None, quiet: false, remote: None }
     }
 
     /// Campaign length in hours.

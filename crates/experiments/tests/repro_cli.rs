@@ -1,0 +1,53 @@
+//! CLI contract of the `repro` binary: the usage text enumerates every
+//! flag, and unknown flags fail fast with that usage on stderr.
+
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+#[test]
+fn unknown_flag_exits_nonzero_with_usage_on_stderr() {
+    let out = repro().arg("--no-such-flag").output().expect("run repro");
+    assert!(!out.status.success(), "unknown flags must exit non-zero");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown flag: --no-such-flag"), "stderr was: {stderr}");
+    assert!(stderr.contains("usage:"), "usage text must follow the error; stderr: {stderr}");
+}
+
+#[test]
+fn no_arguments_prints_usage_and_exits_nonzero() {
+    let out = repro().output().expect("run repro");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn usage_enumerates_every_flag() {
+    let out = repro().output().expect("run repro");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    for flag in
+        ["--quick", "--quiet", "--seed", "--jobs", "--resume", "--metrics", "--serve", "--remote"]
+    {
+        assert!(stderr.contains(flag), "usage text is missing {flag}; stderr: {stderr}");
+    }
+}
+
+#[test]
+fn flags_that_need_values_fail_without_them() {
+    for flag in ["--seed", "--jobs", "--resume", "--metrics", "--serve", "--remote"] {
+        let out = repro().arg(flag).output().expect("run repro");
+        assert!(!out.status.success(), "{flag} without a value must exit non-zero");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("needs"), "{flag}: expected a 'needs …' error, got: {stderr}");
+    }
+}
+
+#[test]
+fn list_prints_experiment_ids() {
+    let out = repro().arg("list").output().expect("run repro");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.lines().any(|l| l.trim() == "fig12"));
+}

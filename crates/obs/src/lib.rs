@@ -139,6 +139,36 @@ impl Histogram {
     pub fn total(&self) -> u64 {
         self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
     }
+
+    /// The `q`-quantile (`0.0..=1.0`) approximated from the bucket
+    /// boundaries: the upper bound of the first bucket whose cumulative
+    /// count covers `q` of the total. Observations in the overflow bucket
+    /// report the last finite bound (the histogram cannot resolve beyond
+    /// it). Returns `None` on an empty histogram or a non-finite `q`.
+    pub fn approx_percentile(&self, q: f64) -> Option<u64> {
+        if !q.is_finite() {
+            return None;
+        }
+        let counts = self.counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation, 1-based; q = 0 means the first.
+        let rank = ((q * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(match self.bounds.get(i) {
+                    Some(&b) => b,
+                    None => *self.bounds.last().expect("histogram has at least one bound"),
+                });
+            }
+        }
+        unreachable!("cumulative count covers the total")
+    }
 }
 
 /// Accumulated wall-clock time: nanosecond sum plus call count.
@@ -442,6 +472,23 @@ mod tests {
         reg2.counter("a.first").add(2);
         reg2.counter("b.second").incr();
         assert_eq!(reg2.snapshot().to_json(), json);
+    }
+
+    #[test]
+    fn histogram_approx_percentile_reads_bucket_bounds() {
+        let h = Histogram::new(&[10, 100, 1_000]);
+        assert_eq!(h.approx_percentile(0.5), None, "empty histogram has no percentile");
+        for v in [5, 7, 50, 60, 70, 80, 500, 600, 700] {
+            h.record(v);
+        }
+        assert_eq!(h.approx_percentile(0.0), Some(10));
+        assert_eq!(h.approx_percentile(0.5), Some(100));
+        assert_eq!(h.approx_percentile(0.99), Some(1_000));
+        assert_eq!(h.approx_percentile(1.0), Some(1_000));
+        // Overflow observations saturate at the last finite bound.
+        h.record(1_000_000);
+        assert_eq!(h.approx_percentile(1.0), Some(1_000));
+        assert_eq!(h.approx_percentile(f64::NAN), None);
     }
 
     #[test]

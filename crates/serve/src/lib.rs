@@ -1,0 +1,21 @@
+//! `surgescope-serve`: the network serving layer.
+//!
+//! The paper's measurement apparatus is 43 emulated phones talking to a
+//! production API over a real network; this crate gives the reproduction
+//! that missing half. A dependency-free std-`TcpListener` thread-pool
+//! server exposes the simulated marketplace over a length-prefixed,
+//! CRC-framed wire protocol ([`wire`]) — `pingClient`, price/time
+//! estimates, a session handshake that keys the per-account rate limiter
+//! by session token, and a **lockstep tick barrier** so a remote campaign
+//! is byte-identical to the in-process one. A free-running mode plus the
+//! [`loadgen`] module cover "serve heavy traffic" benchmarking.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod loadgen;
+pub mod server;
+pub mod wire;
+
+pub use loadgen::{run_load, LoadConfig, LoadReport};
+pub use server::{FreeWorldSpec, ServeConfig, ServeMetrics, Server};

@@ -1,0 +1,808 @@
+//! The TCP server: thread-pool accept loops, session handshake, lockstep
+//! campaign hosting, and the free-running load world.
+//!
+//! ## Threading model
+//!
+//! `workers` threads each run their own accept loop on a shared
+//! non-blocking listener; an accepted connection is served by that worker
+//! until it closes, so the pool size bounds concurrent connections. A
+//! lockstep party of K clients therefore needs `workers > K` (the default
+//! of 8 covers the 4-connection campaigns the tests run plus probes).
+//!
+//! ## Lockstep barrier
+//!
+//! A campaign's marketplace advances **only** at the barrier: every member
+//! of the party sends `REQ_ADVANCE(tick+1)`, the last arrival performs the
+//! tick (recycling the snapshot arena exactly like the in-process
+//! `UberSystem`), and everyone is released with the new tick. Between
+//! barriers the world is frozen, so any interleaving of ping/estimate
+//! requests across connections reads the same snapshot — which is what
+//! makes a remote campaign byte-identical to the in-process one at any
+//! connection count.
+//!
+//! ## Shutdown
+//!
+//! `Server::shutdown` flips a flag; each worker finishes the request it is
+//! executing, then *drains*: it keeps serving frames that arrive within
+//! the configured drain window and closes only from an idle frame
+//! boundary. A request fully written before shutdown is always answered.
+
+use crate::wire;
+use serde::{Deserialize, Serialize, Value};
+use std::collections::HashMap;
+use std::io::{self, Read};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+use surgescope_api::{ApiService, ProtocolEra, WorldSnapshot};
+use surgescope_city::CityModel;
+use surgescope_geo::LatLng;
+use surgescope_marketplace::{Marketplace, MarketplaceConfig, SurgePolicy};
+use surgescope_obs::{Counter, Gauge, MetricsRegistry, Snapshot, Timer};
+use surgescope_simcore::SimDuration;
+
+/// How often blocked reads and accept loops re-check the shutdown flag.
+const POLL: Duration = Duration::from_millis(50);
+
+/// A free-running world for the load mode: pings answered against a
+/// standing marketplace with no barrier, optionally advanced by a ticker
+/// thread.
+#[derive(Clone)]
+pub struct FreeWorldSpec {
+    /// City to host (pre-scale).
+    pub city: CityModel,
+    /// Fleet/demand scale applied to the city.
+    pub scale: f64,
+    /// Marketplace seed.
+    pub seed: u64,
+    /// Protocol era served.
+    pub era: ProtocolEra,
+    /// Simulated hours run before serving (so the fleet is settled).
+    pub warmup_hours: u64,
+    /// Advance the world every this many wall-clock milliseconds;
+    /// `None` freezes it (deterministic load benchmarks).
+    pub tick_ms: Option<u64>,
+}
+
+/// Server tuning knobs. `Default` suits tests and loopback benches.
+#[derive(Clone)]
+pub struct ServeConfig {
+    /// Worker threads (= max concurrent connections).
+    pub workers: usize,
+    /// Largest acceptable frame body, bytes.
+    pub max_frame: usize,
+    /// Mid-frame stall budget: a connection that starts a frame and then
+    /// stalls longer than this is dropped as a slow-loris (write timeouts
+    /// use the same value).
+    pub io_timeout: Duration,
+    /// Post-shutdown drain window: requests arriving within it are still
+    /// answered before the connection closes.
+    pub drain: Duration,
+    /// Optional free-running world for the load mode.
+    pub free: Option<FreeWorldSpec>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 8,
+            max_frame: wire::DEFAULT_MAX_FRAME,
+            io_timeout: Duration::from_secs(10),
+            drain: Duration::from_millis(300),
+            free: None,
+        }
+    }
+}
+
+/// Always-on server telemetry. Everything here lands in the snapshot's
+/// deterministic section except the per-worker busy timers, so two
+/// lockstep runs of the same campaign render byte-identical counter
+/// sections regardless of scheduling.
+pub struct ServeMetrics {
+    /// Connections accepted over the server's lifetime.
+    pub connections_accepted: Counter,
+    /// High-water mark of simultaneously open connections.
+    pub connections_peak: Gauge,
+    /// Complete frames read / written.
+    pub frames_in: Counter,
+    /// Frames written.
+    pub frames_out: Counter,
+    /// Bytes read off / written onto sockets (framing included).
+    pub bytes_in: Counter,
+    /// Bytes written.
+    pub bytes_out: Counter,
+    /// Connections dropped for framing violations: truncated prefix,
+    /// CRC mismatch, oversized length, slow-loris stalls, I/O failures.
+    pub frame_errors: Counter,
+    /// Estimates requests refused over quota and reported on the wire.
+    pub throttled_wire: Counter,
+    /// Lockstep campaigns opened.
+    pub campaigns_opened: Counter,
+    /// Free-mode pings answered.
+    pub free_pings: Counter,
+}
+
+impl ServeMetrics {
+    fn new() -> Self {
+        ServeMetrics {
+            connections_accepted: Counter::new(),
+            connections_peak: Gauge::new(),
+            frames_in: Counter::new(),
+            frames_out: Counter::new(),
+            bytes_in: Counter::new(),
+            bytes_out: Counter::new(),
+            frame_errors: Counter::new(),
+            throttled_wire: Counter::new(),
+            campaigns_opened: Counter::new(),
+            free_pings: Counter::new(),
+        }
+    }
+
+    /// Registers every instrument under stable `serve.*` names.
+    pub fn register(&self, reg: &MetricsRegistry) {
+        reg.adopt_counter("serve.connections_accepted", &self.connections_accepted);
+        reg.adopt_gauge("serve.connections_peak", &self.connections_peak);
+        reg.adopt_counter("serve.frames_in", &self.frames_in);
+        reg.adopt_counter("serve.frames_out", &self.frames_out);
+        reg.adopt_counter("serve.bytes_in", &self.bytes_in);
+        reg.adopt_counter("serve.bytes_out", &self.bytes_out);
+        reg.adopt_counter("serve.frame_errors", &self.frame_errors);
+        reg.adopt_counter("serve.throttled_wire", &self.throttled_wire);
+        reg.adopt_counter("serve.campaigns_opened", &self.campaigns_opened);
+        reg.adopt_counter("serve.free_pings", &self.free_pings);
+    }
+}
+
+/// A marketplace + protocol endpoint with the same snapshot arena the
+/// in-process `UberSystem` uses: one snapshot per tick, shell recycled
+/// across ticks when uniquely owned.
+struct HostWorld {
+    mp: Marketplace,
+    api: ApiService,
+    snap: Option<Arc<WorldSnapshot>>,
+    arena: Option<Arc<WorldSnapshot>>,
+}
+
+impl HostWorld {
+    fn new(mp: Marketplace, api: ApiService) -> Self {
+        HostWorld { mp, api, snap: None, arena: None }
+    }
+
+    /// The cached snapshot for the current tick (captured on first use).
+    fn snapshot(&mut self) -> Arc<WorldSnapshot> {
+        if self.snap.is_none() {
+            let snap = match self.arena.take() {
+                Some(mut arc) => match Arc::get_mut(&mut arc) {
+                    Some(s) => {
+                        s.capture(&self.mp);
+                        arc
+                    }
+                    // A ping handler still holds last tick's snapshot
+                    // (racing its final reply): fall back to a fresh
+                    // capture — contents are identical either way.
+                    None => Arc::new(WorldSnapshot::of(&self.mp)),
+                },
+                None => Arc::new(WorldSnapshot::of(&self.mp)),
+            };
+            self.snap = Some(snap);
+        }
+        Arc::clone(self.snap.as_ref().expect("just populated"))
+    }
+
+    fn advance(&mut self) {
+        if let Some(mut arc) = self.snap.take() {
+            if let Some(s) = Arc::get_mut(&mut arc) {
+                s.release_cars();
+                self.arena = Some(arc);
+            }
+        }
+        self.mp.tick();
+    }
+}
+
+/// One hosted lockstep campaign.
+struct CampaignHost {
+    party: usize,
+    state: Mutex<CampaignState>,
+    barrier: Condvar,
+}
+
+struct CampaignState {
+    /// `None` once finished (the marketplace was consumed for truth).
+    world: Option<HostWorld>,
+    /// Ticks advanced so far.
+    tick: u64,
+    /// Party members that have requested the advance to `tick + 1`.
+    arrivals: usize,
+    /// Connections that have joined (the opener counts as one).
+    joined: usize,
+}
+
+impl CampaignHost {
+    /// The lockstep barrier. The caller's `want` must be exactly
+    /// `tick + 1`; the last arrival performs the world tick and releases
+    /// everyone else.
+    fn advance(&self, want: u64, shutdown: &AtomicBool) -> Result<u64, String> {
+        let mut st = self.state.lock().expect("campaign lock");
+        if st.world.is_none() {
+            return Err("campaign already finished".into());
+        }
+        if want != st.tick + 1 {
+            return Err(format!(
+                "lockstep violation: advance to tick {want} while at {}",
+                st.tick
+            ));
+        }
+        st.arrivals += 1;
+        if st.arrivals == self.party {
+            st.world.as_mut().expect("checked above").advance();
+            st.tick = want;
+            st.arrivals = 0;
+            self.barrier.notify_all();
+            return Ok(st.tick);
+        }
+        while st.tick < want {
+            let (guard, _) = self
+                .barrier
+                .wait_timeout(st, POLL)
+                .expect("campaign lock");
+            st = guard;
+            if shutdown.load(Ordering::Relaxed) && st.tick < want {
+                return Err("server shutting down".into());
+            }
+        }
+        Ok(st.tick)
+    }
+
+    fn join(&self) -> Result<u64, String> {
+        let mut st = self.state.lock().expect("campaign lock");
+        if st.joined >= self.party {
+            return Err(format!("campaign party of {} is full", self.party));
+        }
+        st.joined += 1;
+        Ok(st.tick)
+    }
+}
+
+struct Shared {
+    workers: usize,
+    max_frame: usize,
+    io_timeout: Duration,
+    drain: Duration,
+    shutdown: AtomicBool,
+    next_session: AtomicU64,
+    next_campaign: AtomicU64,
+    active: AtomicUsize,
+    campaigns: Mutex<HashMap<u64, Arc<CampaignHost>>>,
+    free: Option<Mutex<HostWorld>>,
+    metrics: ServeMetrics,
+    registry: MetricsRegistry,
+}
+
+/// The serving endpoint. Dropping the server shuts it down gracefully.
+pub struct Server {
+    addr: std::net::SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port — the bound address
+    /// is reported by [`Server::local_addr`]), warms up the free world if
+    /// one is configured, and starts the worker pool.
+    pub fn bind(addr: &str, cfg: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let free = match &cfg.free {
+            Some(spec) => {
+                let mut city = spec.city.clone();
+                if (spec.scale - 1.0).abs() > 1e-9 {
+                    city.supply = city.supply.scaled(spec.scale);
+                    city.demand = city.demand.scaled(spec.scale);
+                }
+                let mut mp =
+                    Marketplace::new(city, MarketplaceConfig::default(), spec.seed);
+                mp.run_for(SimDuration::hours(spec.warmup_hours));
+                let api = ApiService::new(spec.era, spec.seed ^ 0xB0B5);
+                Some(Mutex::new(HostWorld::new(mp, api)))
+            }
+            None => None,
+        };
+
+        let registry = MetricsRegistry::new();
+        let metrics = ServeMetrics::new();
+        metrics.register(&registry);
+        let shared = Arc::new(Shared {
+            workers: cfg.workers.max(1),
+            max_frame: cfg.max_frame,
+            io_timeout: cfg.io_timeout,
+            drain: cfg.drain,
+            shutdown: AtomicBool::new(false),
+            next_session: AtomicU64::new(1),
+            next_campaign: AtomicU64::new(1),
+            active: AtomicUsize::new(0),
+            campaigns: Mutex::new(HashMap::new()),
+            free,
+            metrics,
+            registry,
+        });
+
+        let mut threads = Vec::new();
+        for i in 0..shared.workers {
+            let shared = Arc::clone(&shared);
+            let listener = listener.try_clone()?;
+            let busy = shared.registry.timer(&format!("serve.worker{i}.busy"));
+            threads.push(std::thread::spawn(move || {
+                accept_loop(&shared, &listener, &busy)
+            }));
+        }
+        if let Some(tick_ms) = cfg.free.as_ref().and_then(|f| f.tick_ms) {
+            let shared = Arc::clone(&shared);
+            threads.push(std::thread::spawn(move || {
+                let period = Duration::from_millis(tick_ms.max(1));
+                while !shared.shutdown.load(Ordering::Relaxed) {
+                    std::thread::sleep(period.min(POLL));
+                    // Coarse pacing is fine: the free world has no
+                    // determinism contract, only liveness.
+                    if let Some(free) = &shared.free {
+                        free.lock().expect("free world lock").advance();
+                    }
+                }
+            }));
+        }
+        Ok(Server { addr, shared, threads })
+    }
+
+    /// The bound address (resolves port-0 bindings).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// The server's telemetry handles.
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.shared.metrics
+    }
+
+    /// A point-in-time reading of every server instrument. Counters land
+    /// in the deterministic section; per-worker busy timers in timing.
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        self.shared.registry.snapshot()
+    }
+
+    /// Graceful shutdown: stop accepting, answer every request already on
+    /// the wire (within the drain window), close all connections, join
+    /// the workers. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(shared: &Shared, listener: &TcpListener, busy: &Timer) {
+    while !shared.shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => serve_conn(shared, stream, busy),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL)
+            }
+            Err(_) => std::thread::sleep(POLL),
+        }
+    }
+}
+
+/// What the poll-reader produced.
+enum Next {
+    Frame(u8, Value, u64),
+    /// Peer closed cleanly at a frame boundary.
+    Closed,
+    /// Shutdown observed at an idle frame boundary, drain window spent.
+    Drained,
+    /// Framing violation (slow-loris stalls included).
+    Bad(String),
+    Io,
+}
+
+/// Reads one frame, polling in `POLL` slices so the shutdown flag is
+/// observed promptly. Idle connections (no frame in progress) wait
+/// indefinitely; once a frame's first byte arrives the whole frame must
+/// complete within `io_timeout` or the connection is a slow-loris.
+fn next_frame(stream: &mut TcpStream, shared: &Shared, drained_by: &mut Option<Instant>) -> Next {
+    let mut prefix = [0u8; 4];
+    let mut got = 0usize;
+    let mut started: Option<Instant> = None;
+    while got < 4 {
+        match stream.read(&mut prefix[got..]) {
+            Ok(0) => {
+                return if got == 0 {
+                    Next::Closed
+                } else {
+                    Next::Bad("truncated length prefix".into())
+                }
+            }
+            Ok(n) => {
+                if started.is_none() {
+                    started = Some(Instant::now());
+                }
+                got += n;
+            }
+            Err(e) if stalled(&e) => {
+                match started {
+                    None => {
+                        // Idle boundary: no request in progress.
+                        if shared.shutdown.load(Ordering::Relaxed) {
+                            let deadline = *drained_by
+                                .get_or_insert_with(|| Instant::now() + shared.drain);
+                            if Instant::now() >= deadline {
+                                return Next::Drained;
+                            }
+                        }
+                    }
+                    Some(t0) => {
+                        if t0.elapsed() > shared.io_timeout {
+                            return Next::Bad(
+                                "slow-loris: stalled inside length prefix".into(),
+                            );
+                        }
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return Next::Io,
+        }
+    }
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len == 0 || len > shared.max_frame {
+        return Next::Bad(format!("frame length {len} outside 1..={}", shared.max_frame));
+    }
+    let deadline = started.expect("frame started") + shared.io_timeout;
+    let mut crc_word = [0u8; 4];
+    if let Err(n) = read_to_deadline(stream, &mut crc_word, deadline, "crc") {
+        return n;
+    }
+    let mut body = vec![0u8; len];
+    if let Err(n) = read_to_deadline(stream, &mut body, deadline, "body") {
+        return n;
+    }
+    if surgescope_store::crc32::crc32(&body) != u32::from_le_bytes(crc_word) {
+        return Next::Bad("crc mismatch".into());
+    }
+    match wire::decode_body(&body) {
+        Ok((kind, value)) => Next::Frame(kind, value, (8 + len) as u64),
+        Err(e) => Next::Bad(e.to_string()),
+    }
+}
+
+fn stalled(e: &io::Error) -> bool {
+    matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
+fn read_to_deadline(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    deadline: Instant,
+    what: &str,
+) -> Result<(), Next> {
+    let mut got = 0;
+    while got < buf.len() {
+        match stream.read(&mut buf[got..]) {
+            Ok(0) => return Err(Next::Bad(format!("stream closed mid-frame ({what})"))),
+            Ok(n) => got += n,
+            Err(e) if stalled(&e) => {
+                if Instant::now() >= deadline {
+                    return Err(Next::Bad(format!("slow-loris: stalled inside {what}")));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return Err(Next::Io),
+        }
+    }
+    Ok(())
+}
+
+/// A response frame plus whether the connection must close after it.
+struct Reply {
+    kind: u8,
+    payload: Value,
+    close: bool,
+}
+
+impl Reply {
+    fn ok(kind: u8, payload: Value) -> Result<Reply, String> {
+        Ok(Reply { kind, payload, close: false })
+    }
+}
+
+fn serve_conn(shared: &Shared, mut stream: TcpStream, busy: &Timer) {
+    shared.metrics.connections_accepted.incr();
+    let active = shared.active.fetch_add(1, Ordering::SeqCst) + 1;
+    shared.metrics.connections_peak.set_max(active as u64);
+    // Accepted sockets must be blocking-with-timeout regardless of the
+    // listener's non-blocking flag (inheritance is platform-dependent).
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL));
+    let _ = stream.set_write_timeout(Some(shared.io_timeout));
+
+    let mut session: Option<u64> = None;
+    let mut drained_by: Option<Instant> = None;
+    loop {
+        match next_frame(&mut stream, shared, &mut drained_by) {
+            Next::Frame(kind, payload, nbytes) => {
+                shared.metrics.frames_in.incr();
+                shared.metrics.bytes_in.add(nbytes);
+                let _span = busy.start();
+                let reply = handle_request(shared, &mut session, kind, &payload);
+                let (reply, close) = match reply {
+                    Ok(r) => {
+                        let close = r.close;
+                        ((r.kind, r.payload), close)
+                    }
+                    // Protocol errors are answered, then the connection
+                    // closes — a confused peer should not keep going.
+                    Err(msg) => ((wire::RESP_ERR, err_value(&msg)), true),
+                };
+                match wire::write_frame(&mut stream, reply.0, &reply.1) {
+                    Ok(n) => {
+                        shared.metrics.frames_out.incr();
+                        shared.metrics.bytes_out.add(n);
+                    }
+                    Err(_) => {
+                        // The peer vanished with a request in flight.
+                        shared.metrics.frame_errors.incr();
+                        break;
+                    }
+                }
+                if close {
+                    break;
+                }
+            }
+            Next::Closed | Next::Drained => break,
+            Next::Bad(_msg) => {
+                shared.metrics.frame_errors.incr();
+                break;
+            }
+            Next::Io => {
+                shared.metrics.frame_errors.incr();
+                break;
+            }
+        }
+    }
+    shared.active.fetch_sub(1, Ordering::SeqCst);
+}
+
+fn err_value(msg: &str) -> Value {
+    Value::Map(vec![("error".into(), msg.to_string().to_value())])
+}
+
+fn latlng_of(v: &Value) -> Result<LatLng, String> {
+    let lat = f64::from_value(v.field("lat").map_err(|e| e.to_string())?)
+        .map_err(|e| e.to_string())?;
+    let lng = f64::from_value(v.field("lng").map_err(|e| e.to_string())?)
+        .map_err(|e| e.to_string())?;
+    // `LatLng::new` treats bad coordinates as a programming error and
+    // panics; here they are untrusted network data, so validate first —
+    // a hostile NaN must cost the sender its connection, not a worker.
+    if !lat.is_finite() || !lng.is_finite() || !(-90.0..=90.0).contains(&lat) {
+        return Err(format!("invalid coordinates ({lat}, {lng})"));
+    }
+    Ok(LatLng::new(lat, lng))
+}
+
+fn field_u64(v: &Value, key: &str) -> Result<u64, String> {
+    u64::from_value(v.field(key).map_err(|e| e.to_string())?).map_err(|e| e.to_string())
+}
+
+fn campaign_of(shared: &Shared, v: &Value) -> Result<Arc<CampaignHost>, String> {
+    let id = field_u64(v, "campaign")?;
+    shared
+        .campaigns
+        .lock()
+        .expect("campaign table lock")
+        .get(&id)
+        .cloned()
+        .ok_or_else(|| format!("unknown campaign {id}"))
+}
+
+fn handle_request(
+    shared: &Shared,
+    session: &mut Option<u64>,
+    kind: u8,
+    v: &Value,
+) -> Result<Reply, String> {
+    if kind == wire::REQ_HELLO {
+        let proto = field_u64(v, "proto")?;
+        if proto != wire::PROTO_VERSION {
+            return Err(format!(
+                "protocol version {proto} unsupported (server speaks {})",
+                wire::PROTO_VERSION
+            ));
+        }
+        let token = shared.next_session.fetch_add(1, Ordering::SeqCst);
+        *session = Some(token);
+        return Reply::ok(
+            wire::RESP_HELLO,
+            Value::Map(vec![("session".into(), token.to_value())]),
+        );
+    }
+    // Everything else requires the handshake: the session token keys the
+    // rate limiter for estimates traffic.
+    let session = session.ok_or_else(|| "handshake required (send HELLO first)".to_string())?;
+
+    match kind {
+        wire::REQ_OPEN => {
+            let city =
+                CityModel::from_value(v.field("city").map_err(|e| e.to_string())?)
+                    .map_err(|e| e.to_string())?;
+            let seed = field_u64(v, "seed")?;
+            let era = ProtocolEra::from_value(v.field("era").map_err(|e| e.to_string())?)
+                .map_err(|e| e.to_string())?;
+            let surge_policy =
+                SurgePolicy::from_value(v.field("surge_policy").map_err(|e| e.to_string())?)
+                    .map_err(|e| e.to_string())?;
+            let party = field_u64(v, "party")?.max(1) as usize;
+            if party >= shared.workers {
+                return Err(format!(
+                    "party of {party} needs more than the server's {} workers",
+                    shared.workers
+                ));
+            }
+            // Exactly the in-process construction: the client ships the
+            // post-scale city, the server derives marketplace and
+            // endpoint from (city, seed, era, policy).
+            let market_cfg = MarketplaceConfig { surge_policy, ..Default::default() };
+            let mp = Marketplace::new(city, market_cfg, seed);
+            let api = ApiService::new(era, seed ^ 0xB0B5);
+            let host = Arc::new(CampaignHost {
+                party,
+                state: Mutex::new(CampaignState {
+                    world: Some(HostWorld::new(mp, api)),
+                    tick: 0,
+                    arrivals: 0,
+                    joined: 1,
+                }),
+                barrier: Condvar::new(),
+            });
+            let id = shared.next_campaign.fetch_add(1, Ordering::SeqCst);
+            shared
+                .campaigns
+                .lock()
+                .expect("campaign table lock")
+                .insert(id, host);
+            shared.metrics.campaigns_opened.incr();
+            Reply::ok(
+                wire::RESP_OPEN,
+                Value::Map(vec![("campaign".into(), id.to_value())]),
+            )
+        }
+        wire::REQ_JOIN => {
+            let host = campaign_of(shared, v)?;
+            let tick = host.join()?;
+            Reply::ok(wire::RESP_OK, Value::Map(vec![("tick".into(), tick.to_value())]))
+        }
+        wire::REQ_ADVANCE => {
+            let host = campaign_of(shared, v)?;
+            let want = field_u64(v, "tick")?;
+            let tick = host.advance(want, &shared.shutdown)?;
+            Reply::ok(wire::RESP_OK, Value::Map(vec![("tick".into(), tick.to_value())]))
+        }
+        wire::REQ_PING => {
+            let host = campaign_of(shared, v)?;
+            let key = field_u64(v, "key")?;
+            let loc = latlng_of(v)?;
+            // Snapshot and ping core are extracted under the lock; the
+            // (comparatively expensive) response renders outside it, so
+            // a party's pings are answered concurrently.
+            let (snap, ping) = {
+                let mut st = host.state.lock().expect("campaign lock");
+                let world =
+                    st.world.as_mut().ok_or("campaign already finished")?;
+                (world.snapshot(), world.api.ping_config())
+            };
+            let resp = ping.ping_client(&snap, key, loc);
+            Reply::ok(wire::RESP_PING, resp.to_value())
+        }
+        wire::REQ_PRICE | wire::REQ_TIME => {
+            let host = campaign_of(shared, v)?;
+            let account = field_u64(v, "account")?;
+            let loc = latlng_of(v)?;
+            let mut st = host.state.lock().expect("campaign lock");
+            let world = st.world.as_mut().ok_or("campaign already finished")?;
+            let snap = world.snapshot();
+            estimates_reply(shared, &mut world.api, &snap, kind, session, account, loc)
+        }
+        wire::REQ_FINISH => {
+            let host = campaign_of(shared, v)?;
+            let world = {
+                let mut st = host.state.lock().expect("campaign lock");
+                st.world.take().ok_or("campaign already finished")?
+            };
+            let id = field_u64(v, "campaign")?;
+            shared
+                .campaigns
+                .lock()
+                .expect("campaign table lock")
+                .remove(&id);
+            let truth = world.mp.into_truth();
+            Reply::ok(
+                wire::RESP_FINISH,
+                Value::Map(vec![("truth".into(), truth.to_value())]),
+            )
+        }
+        wire::REQ_PING_FREE => {
+            let free = shared.free.as_ref().ok_or("no free-running world configured")?;
+            let key = field_u64(v, "key")?;
+            let loc = latlng_of(v)?;
+            let (snap, ping) = {
+                let mut world = free.lock().expect("free world lock");
+                (world.snapshot(), world.api.ping_config())
+            };
+            let resp = ping.ping_client(&snap, key, loc);
+            shared.metrics.free_pings.incr();
+            Reply::ok(wire::RESP_PING, resp.to_value())
+        }
+        wire::REQ_PRICE_FREE | wire::REQ_TIME_FREE => {
+            let free = shared.free.as_ref().ok_or("no free-running world configured")?;
+            let account = field_u64(v, "account")?;
+            let loc = latlng_of(v)?;
+            let mut world = free.lock().expect("free world lock");
+            let snap = world.snapshot();
+            let kind = if kind == wire::REQ_PRICE_FREE { wire::REQ_PRICE } else { wire::REQ_TIME };
+            estimates_reply(shared, &mut world.api, &snap, kind, session, account, loc)
+        }
+        other => Err(format!("unknown request kind {other:#04x}")),
+    }
+}
+
+/// Serves `estimates/price` / `estimates/time`, keying the per-account
+/// rate limiter by the connection's session token (a remote caller picks
+/// its claimed account freely; the session is the server-assigned
+/// identity).
+fn estimates_reply(
+    shared: &Shared,
+    api: &mut ApiService,
+    snap: &WorldSnapshot,
+    kind: u8,
+    session: u64,
+    account: u64,
+    loc: LatLng,
+) -> Result<Reply, String> {
+    let key = surgescope_api::session_key(session, account);
+    let throttled = |e: surgescope_api::RateLimitError| {
+        shared.metrics.throttled_wire.incr();
+        Reply {
+            kind: wire::RESP_THROTTLED,
+            payload: Value::Map(vec![
+                ("account".into(), account.to_value()),
+                ("retry_after_secs".into(), e.retry_after_secs.to_value()),
+            ]),
+            close: false,
+        }
+    };
+    match kind {
+        wire::REQ_PRICE => match api.estimates_price(snap, key, loc) {
+            Ok(prices) => Reply::ok(
+                wire::RESP_PRICE,
+                Value::Map(vec![("estimates".into(), prices.to_value())]),
+            ),
+            Err(e) => Ok(throttled(e)),
+        },
+        _ => match api.estimates_time(snap, key, loc) {
+            Ok(times) => Reply::ok(
+                wire::RESP_TIME,
+                Value::Map(vec![("estimates".into(), times.to_value())]),
+            ),
+            Err(e) => Ok(throttled(e)),
+        },
+    }
+}

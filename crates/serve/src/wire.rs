@@ -1,0 +1,270 @@
+//! The wire protocol: framing, request/response kinds, codec.
+//!
+//! Frames reuse the `store` crate's conventions so one binary grammar
+//! covers disk and network:
+//!
+//! ```text
+//! | len: u32 LE | crc32: u32 LE | body (len bytes) |
+//! body = | kind: u8 | store-codec encoded serde::Value payload |
+//! ```
+//!
+//! `len` covers the body only; the CRC32 is computed over the whole body
+//! (kind byte included), with the same polynomial as the event log. The
+//! payload is a [`serde::Value`] tree through [`surgescope_store::codec`],
+//! so floats cross the network as raw IEEE-754 bit patterns and a remote
+//! campaign's NaN gaps survive byte-exactly.
+//!
+//! Request kinds live in `0x01..=0x7F`, responses in `0x80..=0xFF`. A
+//! connection speaks strictly request→response in order; pipelining is
+//! allowed (the lockstep client writes a whole tick's pings before
+//! reading), the server answers in arrival order.
+
+use serde::Value;
+use std::io::{self, Read, Write};
+use surgescope_store::crc32::crc32;
+use surgescope_store::{decode_value, encode_to_vec};
+
+/// Protocol version carried in the HELLO handshake.
+pub const PROTO_VERSION: u64 = 1;
+
+/// Default upper bound on a frame body. A full pingClient response for a
+/// dense tier set is a few tens of kilobytes; 16 MiB leaves room for the
+/// FINISH ground-truth payload of a multi-day campaign.
+pub const DEFAULT_MAX_FRAME: usize = 1 << 24;
+
+/// Session handshake; must be the first frame on every connection.
+pub const REQ_HELLO: u8 = 0x01;
+/// Open a lockstep campaign (scaled city + seed + era + party size).
+pub const REQ_OPEN: u8 = 0x02;
+/// Join an open campaign's lockstep party.
+pub const REQ_JOIN: u8 = 0x03;
+/// Lockstep barrier: advance the campaign world to the given tick.
+pub const REQ_ADVANCE: u8 = 0x04;
+/// pingClient against a campaign's current tick snapshot.
+pub const REQ_PING: u8 = 0x05;
+/// `estimates/price` against a campaign's current tick snapshot.
+pub const REQ_PRICE: u8 = 0x06;
+/// `estimates/time` against a campaign's current tick snapshot.
+pub const REQ_TIME: u8 = 0x07;
+/// Finalize a campaign and fetch its ground truth.
+pub const REQ_FINISH: u8 = 0x08;
+/// pingClient against the free-running world (load mode; no barrier).
+pub const REQ_PING_FREE: u8 = 0x09;
+/// `estimates/price` against the free-running world.
+pub const REQ_PRICE_FREE: u8 = 0x0A;
+/// `estimates/time` against the free-running world.
+pub const REQ_TIME_FREE: u8 = 0x0B;
+
+/// Generic success (JOIN/ADVANCE), carries the current tick.
+pub const RESP_OK: u8 = 0x80;
+/// HELLO acknowledgement, carries the session token.
+pub const RESP_HELLO: u8 = 0x81;
+/// OPEN acknowledgement, carries the campaign id.
+pub const RESP_OPEN: u8 = 0x82;
+/// A full `PingClientResponse`.
+pub const RESP_PING: u8 = 0x85;
+/// A list of `PriceEstimate`s.
+pub const RESP_PRICE: u8 = 0x86;
+/// A list of `TimeEstimate`s.
+pub const RESP_TIME: u8 = 0x87;
+/// Campaign ground truth.
+pub const RESP_FINISH: u8 = 0x88;
+/// Protocol-level error; the server closes the connection after sending.
+pub const RESP_ERR: u8 = 0xE0;
+/// Rate-limited estimates request (`account`, `retry_after_secs`).
+pub const RESP_THROTTLED: u8 = 0xE1;
+
+/// Everything that can go wrong reading a frame.
+#[derive(Debug)]
+pub enum WireError {
+    /// Clean end of stream at a frame boundary (peer closed).
+    Closed,
+    /// Underlying socket error (including read/write timeouts).
+    Io(io::Error),
+    /// The bytes violate the framing grammar: truncated prefix or body,
+    /// zero/oversized length, CRC mismatch, or undecodable payload.
+    Malformed(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Closed => write!(f, "wire: connection closed"),
+            WireError::Io(e) => write!(f, "wire: io error: {e}"),
+            WireError::Malformed(m) => write!(f, "wire: malformed frame: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+impl WireError {
+    /// Converts into an `io::Error` (client-side convenience).
+    pub fn into_io(self) -> io::Error {
+        match self {
+            WireError::Io(e) => e,
+            WireError::Closed => {
+                io::Error::new(io::ErrorKind::UnexpectedEof, "connection closed")
+            }
+            WireError::Malformed(m) => io::Error::new(io::ErrorKind::InvalidData, m),
+        }
+    }
+}
+
+/// Renders one complete frame (`len | crc | kind | payload`) into bytes.
+pub fn frame_bytes(kind: u8, payload: &Value) -> Vec<u8> {
+    let enc = encode_to_vec(payload);
+    let len = (1 + enc.len()) as u32;
+    let mut out = Vec::with_capacity(8 + 1 + enc.len());
+    out.extend_from_slice(&len.to_le_bytes());
+    // CRC over the body = kind byte followed by the encoded payload.
+    let mut body = Vec::with_capacity(1 + enc.len());
+    body.push(kind);
+    body.extend_from_slice(&enc);
+    out.extend_from_slice(&crc32(&body).to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Validates and decodes a frame body (the bytes after the CRC word).
+pub fn decode_body(body: &[u8]) -> Result<(u8, Value), WireError> {
+    let Some((&kind, payload)) = body.split_first() else {
+        return Err(WireError::Malformed("empty frame body".into()));
+    };
+    let value = decode_value(payload)
+        .map_err(|e| WireError::Malformed(format!("payload codec: {e}")))?;
+    Ok((kind, value))
+}
+
+/// Writes one frame; returns the bytes put on the wire.
+pub fn write_frame(w: &mut impl Write, kind: u8, payload: &Value) -> io::Result<u64> {
+    let bytes = frame_bytes(kind, payload);
+    w.write_all(&bytes)?;
+    w.flush()?;
+    Ok(bytes.len() as u64)
+}
+
+/// Reads exactly `buf.len()` bytes. Distinguishes a clean close before
+/// the first byte (`Closed`) from a stream that dies mid-read
+/// (`Malformed`) — the caller decides whether a clean close at a frame
+/// boundary is an error.
+fn read_exact_or_close(r: &mut impl Read, buf: &mut [u8], what: &str) -> Result<(), WireError> {
+    let mut got = 0;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) if got == 0 => return Err(WireError::Closed),
+            Ok(0) => {
+                return Err(WireError::Malformed(format!(
+                    "truncated {what}: got {got} of {} bytes",
+                    buf.len()
+                )))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+/// Blocking frame read (client side; the server uses its own polling
+/// reader so it can watch the shutdown flag). Returns the decoded kind,
+/// payload, and total bytes consumed.
+pub fn read_frame(
+    r: &mut impl Read,
+    max_frame: usize,
+) -> Result<(u8, Value, u64), WireError> {
+    let mut word = [0u8; 4];
+    read_exact_or_close(r, &mut word, "length prefix")?;
+    let len = u32::from_le_bytes(word) as usize;
+    if len == 0 || len > max_frame {
+        return Err(WireError::Malformed(format!(
+            "frame length {len} outside 1..={max_frame}"
+        )));
+    }
+    let mut crc_word = [0u8; 4];
+    read_exact_or_close(r, &mut crc_word, "crc").map_err(mid_frame)?;
+    let want_crc = u32::from_le_bytes(crc_word);
+    let mut body = vec![0u8; len];
+    read_exact_or_close(r, &mut body, "body").map_err(mid_frame)?;
+    if crc32(&body) != want_crc {
+        return Err(WireError::Malformed("crc mismatch".into()));
+    }
+    let (kind, value) = decode_body(&body)?;
+    Ok((kind, value, (8 + len) as u64))
+}
+
+/// A close after the length prefix is mid-frame, never clean.
+fn mid_frame(e: WireError) -> WireError {
+    match e {
+        WireError::Closed => WireError::Malformed("stream closed mid-frame".into()),
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+
+    #[test]
+    fn frame_roundtrip() {
+        let payload = Value::Map(vec![
+            ("tick".into(), 42u64.to_value()),
+            ("x".into(), f64::NAN.to_value()),
+        ]);
+        let bytes = frame_bytes(REQ_ADVANCE, &payload);
+        let mut cur = io::Cursor::new(bytes.clone());
+        let (kind, back, n) = read_frame(&mut cur, DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(kind, REQ_ADVANCE);
+        assert_eq!(n as usize, bytes.len());
+        assert_eq!(u64::from_value(back.field("tick").unwrap()).unwrap(), 42);
+        // NaN crossed the frame bit-exactly.
+        let x = f64::from_value(back.field("x").unwrap()).unwrap();
+        assert!(x.is_nan());
+    }
+
+    #[test]
+    fn crc_flip_detected() {
+        let mut bytes = frame_bytes(REQ_PING, &Value::Null);
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        let mut cur = io::Cursor::new(bytes);
+        match read_frame(&mut cur, DEFAULT_MAX_FRAME) {
+            Err(WireError::Malformed(m)) => assert!(m.contains("crc")),
+            other => panic!("corrupt frame must fail the CRC: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clean_close_vs_truncated_prefix() {
+        let mut empty = io::Cursor::new(Vec::<u8>::new());
+        assert!(matches!(
+            read_frame(&mut empty, DEFAULT_MAX_FRAME),
+            Err(WireError::Closed)
+        ));
+        let mut partial = io::Cursor::new(vec![0x05, 0x00]);
+        assert!(matches!(
+            read_frame(&mut partial, DEFAULT_MAX_FRAME),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_length_rejected_before_allocation() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 64]);
+        let mut cur = io::Cursor::new(bytes);
+        assert!(matches!(
+            read_frame(&mut cur, 1 << 16),
+            Err(WireError::Malformed(_))
+        ));
+    }
+}

@@ -102,6 +102,44 @@ if (os.cpu_count() or 1) >= 2:
     print(f"jobs=2 scheduler scaling {s2:.2f}x (gate 1.5x)")
 else:
     print(f"jobs=2 scheduler scaling {b['scaling_2j']:.2f}x (single-core host; 1.5x gate skipped)")
+serve = b["serve"]
+assert serve["requests"] > 0 and serve["errors"] == 0, f"serve burst unhealthy: {serve}"
+assert serve["serve.frame_errors"] == 0, f"serve burst raised frame errors: {serve}"
+print(f"serve burst: {serve['serve.requests_per_sec']:.0f} req/s, "
+      f"p99 {serve['serve.p99_us']}us, 0 frame errors")
 EOF
+
+echo "== serve: loopback byte-identity and load smoke =="
+# The serving layer's determinism contract, end to end over real
+# sockets: a faulted campaign measured against `repro --serve` through a
+# 2-connection lockstep party must produce byte-identical encoded
+# CampaignData to the in-process run — a plain `cmp` of the two files.
+# Then a 2-second paced load burst against the same server must serve
+# >0 requests with 0 client-visible errors (serve_load exits non-zero
+# otherwise).
+cargo build --release -p surgescope-bench --bin serve_load --bin remote_campaign
+SERVE_TMP=$(mktemp -d)
+./target/release/repro --serve 127.0.0.1:0 --quick >"$SERVE_TMP/serve.log" 2>&1 &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null; rm -rf "$SCHED_TMP" "$SERVE_TMP"' EXIT
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR=$(sed -n 's/^\[serve\] listening on //p' "$SERVE_TMP/serve.log" | head -1)
+  [ -n "$ADDR" ] && break
+  sleep 0.2
+done
+if [ -z "$ADDR" ]; then
+  echo "serve gate: server never reported its address:" >&2
+  cat "$SERVE_TMP/serve.log" >&2
+  exit 1
+fi
+./target/release/remote_campaign --out "$SERVE_TMP/local.bin" --seed 70931 --faulted
+./target/release/remote_campaign --out "$SERVE_TMP/remote.bin" --seed 70931 --faulted \
+  --remote "$ADDR" --conns 2
+cmp "$SERVE_TMP/local.bin" "$SERVE_TMP/remote.bin"
+echo "remote campaign bytes identical to in-process ($(wc -c <"$SERVE_TMP/local.bin") bytes)"
+./target/release/serve_load --addr "$ADDR" --conns 4 --rps 200 --secs 2
+kill "$SERVE_PID" 2>/dev/null
+wait "$SERVE_PID" 2>/dev/null || true
 
 echo "verify: all gates passed"
