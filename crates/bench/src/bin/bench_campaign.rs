@@ -224,6 +224,94 @@ fn run_serve(conns: usize) -> ServePoint {
     }
 }
 
+/// Resilience layer under chaos: a remote campaign against a loopback
+/// server whose connections are sabotaged by the seeded reference fault
+/// schedule. Records how many reconnects the retry layer absorbed and
+/// the reconnect-recovery latency percentiles (connect + HELLO + RESUME,
+/// read from the `resilience.reconnect_us` timing buckets) — the price
+/// of surviving a flaky wire without losing a byte.
+struct ResiliencePoint {
+    conns: usize,
+    wall_secs: f64,
+    reconnects: u64,
+    retries: u64,
+    breaker_trips: u64,
+    p50_us: Option<u64>,
+    p90_us: Option<u64>,
+    p99_us: Option<u64>,
+}
+
+/// Approximate percentile from a snapshot's `{name}.le_*` / `{name}.inf`
+/// timing buckets: the smallest bucket bound covering quantile `q`
+/// (records above every bound report the top bound).
+fn bucket_percentile(timing: &[(String, u64)], name: &str, q: f64) -> Option<u64> {
+    let prefix = format!("{name}.le_");
+    let mut buckets: Vec<(u64, u64)> = timing
+        .iter()
+        .filter_map(|(k, v)| {
+            k.strip_prefix(&prefix).and_then(|b| b.parse().ok()).map(|b| (b, *v))
+        })
+        .collect();
+    buckets.sort_unstable();
+    let inf = format!("{name}.inf");
+    let overflow = timing.iter().find(|(k, _)| *k == inf).map_or(0, |(_, v)| *v);
+    let total: u64 = buckets.iter().map(|(_, c)| c).sum::<u64>() + overflow;
+    if total == 0 {
+        return None;
+    }
+    let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut cum = 0u64;
+    for (bound, count) in &buckets {
+        cum += count;
+        if cum >= target {
+            return Some(*bound);
+        }
+    }
+    buckets.last().map(|(bound, _)| *bound)
+}
+
+fn run_resilience(conns: usize) -> ResiliencePoint {
+    use surgescope_core::{ChaosSpec, RemoteOptions};
+    use surgescope_serve::{ChaosPlan, ServeConfig, Server};
+    let mut server =
+        Server::bind("127.0.0.1:0", ServeConfig::default()).expect("bind loopback server");
+    let addr = server.local_addr().to_string();
+    // The lockstep gate's campaign shape: small coarse-lattice SF hour.
+    let mut cfg = CampaignConfig::test_default(2026);
+    cfg.hours = 1;
+    cfg.scale = 0.25;
+    cfg.spacing_override_m = Some(500.0);
+    let options = RemoteOptions {
+        chaos: Some(ChaosSpec { seed: 0xBE2C, plan: ChaosPlan::reference() }),
+        ..RemoteOptions::default()
+    };
+    let start = Instant::now();
+    let mut runner = CampaignRunner::new_remote_with(
+        CityModel::san_francisco_downtown(),
+        &cfg,
+        &addr,
+        conns,
+        options,
+    )
+    .expect("chaotic loopback campaign");
+    runner.run_to_end().expect("chaotic loopback campaign");
+    let snap = runner.metrics_snapshot();
+    runner.finish().expect("chaotic loopback campaign");
+    let wall_secs = start.elapsed().as_secs_f64();
+    server.shutdown();
+    let n = |k: &str| snap.value(k).unwrap_or(0);
+    ResiliencePoint {
+        conns,
+        wall_secs,
+        reconnects: n("resilience.reconnects"),
+        retries: n("resilience.retries"),
+        breaker_trips: n("resilience.breaker_trips"),
+        p50_us: bucket_percentile(&snap.timing, "resilience.reconnect_us", 0.50),
+        p90_us: bucket_percentile(&snap.timing, "resilience.reconnect_us", 0.90),
+        p99_us: bucket_percentile(&snap.timing, "resilience.reconnect_us", 0.99),
+    }
+}
+
 fn main() {
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     // Warmup: one short untimed campaign so the timed runs measure the
@@ -247,6 +335,8 @@ fn main() {
     let sched = [run_scheduler(1), run_scheduler(2), run_scheduler(4)];
     // Serving layer: one 2-second unpaced burst against a loopback server.
     let serve = run_serve(4.min(threads.max(1)));
+    // Resilience layer: the same loopback wiring with chaos injected.
+    let resil = run_resilience(2);
 
     let mut runs = String::new();
     for (i, p) in points.iter().enumerate() {
@@ -286,9 +376,23 @@ fn main() {
          \"requests\": {sv_reqs},\n    \"errors\": {sv_errs},\n    \
          \"serve.requests_per_sec\": {sv_rps:.1},\n    \"serve.p50_us\": {sv_p50},\n    \
          \"serve.p90_us\": {sv_p90},\n    \"serve.p99_us\": {sv_p99},\n    \
-         \"serve.frame_errors\": {sv_fe}\n  }}\n}}\n",
+         \"serve.frame_errors\": {sv_fe}\n  }},\n  \"resilience\": {{\n    \
+         \"conns\": {rs_conns},\n    \"wall_secs\": {rs_wall:.3},\n    \
+         \"resilience.reconnects\": {rs_rec},\n    \"resilience.retries\": {rs_ret},\n    \
+         \"resilience.breaker_trips\": {rs_bt},\n    \
+         \"resilience.reconnect_p50_us\": {rs_p50},\n    \
+         \"resilience.reconnect_p90_us\": {rs_p90},\n    \
+         \"resilience.reconnect_p99_us\": {rs_p99}\n  }}\n}}\n",
         s2 = scaling_2j,
         s4 = scaling_4j,
+        rs_conns = resil.conns,
+        rs_wall = resil.wall_secs,
+        rs_rec = resil.reconnects,
+        rs_ret = resil.retries,
+        rs_bt = resil.breaker_trips,
+        rs_p50 = resil.p50_us.map_or("null".into(), |v| v.to_string()),
+        rs_p90 = resil.p90_us.map_or("null".into(), |v| v.to_string()),
+        rs_p99 = resil.p99_us.map_or("null".into(), |v| v.to_string()),
         sv_conns = serve.conns,
         sv_wall = serve.wall_secs,
         sv_reqs = serve.requests,
@@ -346,5 +450,17 @@ fn main() {
         serve.p99_us,
         serve.errors,
         serve.frame_errors,
+    );
+    eprintln!(
+        "resilience[{} conns, chaos]: {:.2}s wall; {} reconnects, {} retries, {} breaker trips; \
+         reconnect p50 {:?}us, p90 {:?}us, p99 {:?}us",
+        resil.conns,
+        resil.wall_secs,
+        resil.reconnects,
+        resil.retries,
+        resil.breaker_trips,
+        resil.p50_us,
+        resil.p90_us,
+        resil.p99_us,
     );
 }

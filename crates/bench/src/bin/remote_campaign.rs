@@ -18,13 +18,15 @@
 use std::path::PathBuf;
 use surgescope_city::CityModel;
 use surgescope_core::persist::campaign_encoded;
-use surgescope_core::{CampaignConfig, CampaignRunner};
+use surgescope_core::{CampaignConfig, CampaignRunner, ChaosSpec, RemoteOptions};
+use surgescope_serve::ChaosPlan;
 use surgescope_simcore::FaultPlan;
 
 fn usage() -> ! {
     eprintln!(
         "usage: remote_campaign --out PATH [--seed N] [--hours N]\n\
-         \x20                      [--remote ADDR [--conns K]] [--faulted]\n\
+         \x20                      [--remote ADDR [--conns K] [--chaos SEED]]\n\
+         \x20                      [--faulted]\n\
          \n\
          options:\n\
          \x20 --out P       write the encoded CampaignData bytes to P (required)\n\
@@ -33,6 +35,10 @@ fn usage() -> ! {
          \x20 --remote A    measure over the wire against the server at A\n\
          \x20               (default: in-process)\n\
          \x20 --conns K     lockstep connections for --remote (default 2)\n\
+         \x20 --chaos SEED  sabotage the remote connections with the seeded\n\
+         \x20               reference fault schedule (resets, truncations,\n\
+         \x20               stalls); the retry layer must still produce\n\
+         \x20               byte-identical output (requires --remote)\n\
          \x20 --faulted     apply the reference fault plan (5% drops,\n\
          \x20               15% delays up to 20s)"
     );
@@ -59,6 +65,7 @@ fn main() {
     let mut hours = 1u64;
     let mut remote: Option<String> = None;
     let mut conns = 2usize;
+    let mut chaos: Option<u64> = None;
     let mut faulted = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -68,6 +75,7 @@ fn main() {
             "--hours" => hours = parsed(&mut it, "--hours"),
             "--remote" => remote = Some(value_of(&mut it, "--remote")),
             "--conns" => conns = parsed(&mut it, "--conns"),
+            "--chaos" => chaos = Some(parsed(&mut it, "--chaos")),
             "--faulted" => faulted = true,
             other => {
                 eprintln!("unknown flag: {other}");
@@ -77,6 +85,10 @@ fn main() {
     }
     let Some(out) = out else {
         eprintln!("--out is required");
+        usage();
+    };
+    if chaos.is_some() && remote.is_none() {
+        eprintln!("--chaos only makes sense with --remote (there is no wire to sabotage)");
         usage();
     };
 
@@ -94,7 +106,13 @@ fn main() {
     let city = CityModel::san_francisco_downtown();
     let mode = remote.as_deref().map_or("in-process".to_string(), |a| format!("remote via {a}"));
     let mut runner = match &remote {
-        Some(addr) => CampaignRunner::new_remote(city, &cfg, addr, conns),
+        Some(addr) => {
+            let options = RemoteOptions {
+                chaos: chaos.map(|seed| ChaosSpec { seed, plan: ChaosPlan::reference() }),
+                ..RemoteOptions::default()
+            };
+            CampaignRunner::new_remote_with(city, &cfg, addr, conns, options)
+        }
         None => CampaignRunner::new(city, &cfg),
     }
     .unwrap_or_else(|e| {
@@ -103,6 +121,22 @@ fn main() {
     });
     let data = runner
         .run_to_end()
+        .map(|()| {
+            if chaos.is_some() {
+                let snap = runner.metrics_snapshot();
+                let n = |k: &str| snap.value(k).unwrap_or(0);
+                eprintln!(
+                    "remote_campaign[chaos]: {} resets, {} truncations, {} stalls injected; \
+                     {} reconnects, {} retries, {} breaker trips",
+                    n("resilience.chaos_resets"),
+                    n("resilience.chaos_truncations"),
+                    n("resilience.chaos_stalls"),
+                    n("resilience.reconnects"),
+                    n("resilience.retries"),
+                    n("resilience.breaker_trips"),
+                );
+            }
+        })
         .and_then(|()| runner.finish())
         .unwrap_or_else(|e| {
             eprintln!("remote_campaign: {mode} campaign failed: {e}");

@@ -24,7 +24,7 @@ use crate::calibration::placement;
 use crate::estimate::{EstimatorConfig, SupplyDemandEstimator};
 use crate::observe::{latest_of_type, ClientSpec, TypeObservation};
 use crate::persist;
-use crate::remote::{RemoteMeasuredSystem, RemoteWorldSpec};
+use crate::remote::{RemoteMeasuredSystem, RemoteOptions, RemoteWorldSpec};
 use crate::systems::{MeasuredSystem, TaxiSystem, UberSystem};
 use crate::transitions::TransitionTracker;
 use serde::{Deserialize, Serialize, Value};
@@ -349,6 +349,18 @@ impl SystemBackend {
         }
     }
 
+    /// The remote circuit breaker, if it tripped: the wire retry budget
+    /// ran out mid-campaign and no further progress is possible. Local
+    /// backends never fault. The runner checks this after every phase so
+    /// a dead connection aborts the campaign with an error instead of
+    /// silently recording garbage.
+    fn remote_fault(&self) -> Option<std::io::Error> {
+        match self {
+            SystemBackend::Local(_) => None,
+            SystemBackend::Remote(r) => r.fault(),
+        }
+    }
+
     /// The in-process system, when there is one. Checkpoint/resume needs
     /// direct marketplace access and is local-only by construction
     /// ([`CampaignRunner::new_remote`] rejects store hooks).
@@ -513,10 +525,26 @@ impl CampaignRunner {
     /// Store hooks are rejected: the event log and checkpoints
     /// serialize marketplace internals this process does not hold.
     pub fn new_remote(
+        city: CityModel,
+        cfg: &CampaignConfig,
+        addr: &str,
+        connections: usize,
+    ) -> Result<Self, StoreError> {
+        Self::new_remote_with(city, cfg, addr, connections, RemoteOptions::default())
+    }
+
+    /// [`CampaignRunner::new_remote`] with explicit transport options:
+    /// retry/reconnect policy and optional deterministic chaos injection
+    /// (see [`RemoteOptions`]). When the retry budget runs
+    /// out mid-campaign the circuit breaker trips and the next
+    /// [`CampaignRunner::tick`] returns an `Io` error whose message names
+    /// the breaker — callers with a local fallback key off that.
+    pub fn new_remote_with(
         mut city: CityModel,
         cfg: &CampaignConfig,
         addr: &str,
         connections: usize,
+        options: RemoteOptions,
     ) -> Result<Self, StoreError> {
         if cfg.store.log_path.is_some() || cfg.store.checkpoint_path.is_some() {
             return Err(StoreError::Schema(
@@ -533,8 +561,9 @@ impl CampaignRunner {
             era: cfg.era,
             surge_policy: cfg.surge_policy,
         };
-        let remote = RemoteMeasuredSystem::connect(addr, &spec, cfg.faults, connections)
-            .map_err(StoreError::Io)?;
+        let remote =
+            RemoteMeasuredSystem::connect_with(addr, &spec, cfg.faults, connections, options)
+                .map_err(StoreError::Io)?;
         Self::fresh(city, cfg, SystemBackend::Remote(remote))
     }
 
@@ -605,6 +634,13 @@ impl CampaignRunner {
         self.metrics.registry.snapshot()
     }
 
+    fn check_remote_fault(&self) -> Result<(), StoreError> {
+        match self.sys.remote_fault() {
+            Some(e) => Err(StoreError::Io(e)),
+            None => Ok(()),
+        }
+    }
+
     /// Total ticks this campaign will run.
     pub fn ticks_total(&self) -> usize {
         self.ticks_total
@@ -634,8 +670,14 @@ impl CampaignRunner {
     /// Runs one 5-second tick: advance the world, ping every client,
     /// stream the observations into the estimators, and append this
     /// tick's record to the event log (if one is open).
+    ///
+    /// On a remote backend every phase is followed by a circuit-breaker
+    /// check: a wire failure that survived the retry budget surfaces
+    /// here as `StoreError::Io` instead of a panic, before any partial
+    /// observations are consumed.
     pub fn tick(&mut self) -> Result<(), StoreError> {
         self.sys.advance_tick();
+        self.check_remote_fault()?;
         let now = self.sys.now();
         // The tick advanced the world from `state_t` to `now`; the
         // observations describe the state at `state_t`. Stamping them
@@ -644,6 +686,10 @@ impl CampaignRunner {
         let state_t = now.saturating_sub(surgescope_simcore::SimDuration::secs(5));
         let mut obs = std::mem::take(&mut self.obs);
         self.sys.ping_all_into(&self.clients, &mut obs);
+        if let Some(e) = self.sys.remote_fault() {
+            self.obs = obs;
+            return Err(StoreError::Io(e));
+        }
         for (i, blocks) in obs.iter().enumerate() {
             self.estimator.observe(state_t, blocks);
             // Every delivered UberX block contributes car sightings —
@@ -729,6 +775,9 @@ impl CampaignRunner {
             }
             self.probe_limited_logged = limited_logged;
             self.probe_pending = Some(this_interval);
+            // A probe that exhausted its retry budget reported a silent
+            // gap; surface the tripped breaker before the gap is kept.
+            self.check_remote_fault()?;
         }
 
         // Interval boundary: close the transition tally with the

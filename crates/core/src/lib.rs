@@ -45,5 +45,5 @@ pub use campaign::{Campaign, CampaignConfig, CampaignData, CampaignRunner, Store
 pub use observe::{
     response_to_observations, ClientSpec, ObservedCar, PingObservation, TypeObservation,
 };
-pub use remote::{RemoteMeasuredSystem, RemoteWorldSpec};
+pub use remote::{ChaosSpec, RemoteMeasuredSystem, RemoteOptions, RemoteWorldSpec, RetryPolicy};
 pub use systems::{MeasuredSystem, SystemMetrics, TaxiSystem, UberSystem};

@@ -16,21 +16,40 @@
 //! response is fetched at its send tick (the barrier guarantees the
 //! server still holds the send-time snapshot) and parked in the same
 //! [`Transport`] queue until its delivery tick.
+//!
+//! ## Resilience
+//!
+//! No wire failure panics. Every mid-campaign operation runs under a
+//! [`RetryPolicy`]: on error the connection is torn down, the client
+//! sleeps a capped-exponential-backoff delay (jitter drawn from a seeded
+//! [`SimRng`] stream, so retry *schedules* are deterministic in tests),
+//! reconnects, re-attaches to the campaign with the `RESUME` verb, and
+//! re-sends the failed operation. Re-sends are safe because every verb is
+//! idempotent against the barrier-frozen world: pings and probes are pure
+//! reads, `ADVANCE` to the current tick acks immediately, and `FINISH`
+//! returns a cached truth. Once the per-op retry budget is exhausted a
+//! circuit breaker trips: the system marks itself broken, the runner's
+//! next fault check aborts the campaign with an `io::Error`, and the
+//! caller (the experiments cache) falls back to local execution — counted
+//! in `resilience.breaker_trips`, never silent. An optional [`ChaosSpec`]
+//! wires a [`ChaosStream`] fault schedule under the whole stack for the
+//! chaos byte-identity gates.
 
 use crate::observe::{response_to_observations, ClientSpec, TypeObservation};
 use crate::systems::{MeasuredSystem, SystemMetrics};
 use serde::{Deserialize, Serialize, Value};
-use std::io::{self, Write};
+use std::io::{self, Read, Write};
 use std::net::TcpStream;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use surgescope_api::{PingClientResponse, PriceEstimate, RateLimitError, TimeEstimate};
 use surgescope_city::CityModel;
 use surgescope_geo::{LatLng, LocalProjection};
 use surgescope_marketplace::GroundTruth;
-use surgescope_obs::MetricsRegistry;
+use surgescope_obs::{Counter, Histogram, MetricsRegistry};
+use surgescope_serve::chaos::{ChaosCounters, ChaosPlan, ChaosStream};
 use surgescope_serve::wire;
 use surgescope_simcore::{
-    ticks_late, FaultOutcome, FaultPlan, SimRng, SimTime, Transport,
+    ticks_late, Backoff, FaultOutcome, FaultPlan, SimRng, SimTime, Transport,
 };
 
 /// Parameters a remote campaign ships to the server when opening its
@@ -49,14 +68,95 @@ pub struct RemoteWorldSpec<'a> {
     pub surge_policy: surgescope_marketplace::SurgePolicy,
 }
 
+/// How hard the remote client fights for a flaky connection before the
+/// circuit breaker trips and the campaign falls back to local execution.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Reconnect attempts per failed operation; 0 means the first wire
+    /// failure trips the breaker immediately.
+    pub max_retries: u32,
+    /// Per-operation socket deadline (connect, read and write timeouts).
+    /// A hung server costs at most this long per attempt, never forever.
+    pub op_timeout: Duration,
+    /// First backoff ceiling; doubles per attempt.
+    pub backoff_base: Duration,
+    /// Upper bound the exponential backoff saturates at.
+    pub backoff_cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 4,
+            op_timeout: Duration::from_secs(30),
+            backoff_base: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(2),
+        }
+    }
+}
+
+/// A seeded client-side transport fault schedule (see
+/// [`surgescope_serve::chaos`]). Independent of the campaign seed so
+/// chaos can vary without touching the measured world.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosSpec {
+    /// Seed of the fault schedule streams (split per connection and
+    /// per reconnect incarnation).
+    pub seed: u64,
+    /// Per-op fault probabilities.
+    pub plan: ChaosPlan,
+}
+
+/// Everything tunable about a remote campaign's transport behavior.
+#[derive(Debug, Clone, Default)]
+pub struct RemoteOptions {
+    /// Retry/reconnect/breaker policy.
+    pub policy: RetryPolicy,
+    /// Optional deterministic chaos injection under the whole stack.
+    pub chaos: Option<ChaosSpec>,
+}
+
+/// Client-side resilience telemetry. Counters are pure functions of the
+/// (seeded) fault schedule, so they live in the deterministic snapshot
+/// section; reconnect *latency* is wall clock and renders in timing.
+struct ResilienceMetrics {
+    /// Operation re-attempts after a wire failure.
+    retries: Counter,
+    /// Connections successfully re-established.
+    reconnects: Counter,
+    /// `RESUME` handshakes completed.
+    resumes: Counter,
+    /// Retry budgets exhausted (the campaign aborts and falls back).
+    breaker_trips: Counter,
+    /// Reconnect recovery latency (connect + HELLO + RESUME), µs.
+    reconnect_us: Histogram,
+}
+
+/// Reconnect-latency buckets, µs: loopback reconnects land around 100 µs
+/// – 1 ms; the tail covers a WAN with backoff sleeps folded in.
+const RECONNECT_US_BOUNDS: &[u64] =
+    &[100, 500, 1_000, 5_000, 10_000, 50_000, 100_000, 500_000, 1_000_000];
+
+impl ResilienceMetrics {
+    fn new() -> Self {
+        ResilienceMetrics {
+            retries: Counter::new(),
+            reconnects: Counter::new(),
+            resumes: Counter::new(),
+            breaker_trips: Counter::new(),
+            reconnect_us: Histogram::new(RECONNECT_US_BOUNDS),
+        }
+    }
+}
+
 /// One blocking request/response exchange on a connection.
-fn rpc(stream: &mut TcpStream, kind: u8, payload: &Value) -> io::Result<(u8, Value)> {
+fn rpc<S: Read + Write>(stream: &mut S, kind: u8, payload: &Value) -> io::Result<(u8, Value)> {
     wire::write_frame(stream, kind, payload)?;
     read_reply(stream)
 }
 
 /// Reads one response frame, surfacing server-side `RESP_ERR` as an error.
-fn read_reply(stream: &mut TcpStream) -> io::Result<(u8, Value)> {
+fn read_reply<S: Read>(stream: &mut S) -> io::Result<(u8, Value)> {
     let (kind, value, _) =
         wire::read_frame(stream, wire::DEFAULT_MAX_FRAME).map_err(|e| e.into_io())?;
     if kind == wire::RESP_ERR {
@@ -70,29 +170,150 @@ fn read_reply(stream: &mut TcpStream) -> io::Result<(u8, Value)> {
     Ok((kind, value))
 }
 
-fn connect_one(addr: &str) -> io::Result<TcpStream> {
-    let mut stream = TcpStream::connect(addr)?;
+/// Raw TCP connect with every deadline bounded by `op_timeout`.
+fn connect_raw(addr: &str, op_timeout: Duration) -> io::Result<TcpStream> {
+    use std::net::ToSocketAddrs;
+    let sa = addr.to_socket_addrs()?.next().ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidInput, format!("cannot resolve {addr}"))
+    })?;
+    let stream = TcpStream::connect_timeout(&sa, op_timeout)?;
     stream.set_nodelay(true)?;
-    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(60)))?;
+    stream.set_read_timeout(Some(op_timeout))?;
+    stream.set_write_timeout(Some(op_timeout))?;
+    Ok(stream)
+}
+
+fn hello<S: Read + Write>(stream: &mut S) -> io::Result<()> {
     let hello = Value::Map(vec![("proto".into(), wire::PROTO_VERSION.to_value())]);
-    let (kind, _) = rpc(&mut stream, wire::REQ_HELLO, &hello)?;
+    let (kind, _) = rpc(stream, wire::REQ_HELLO, &hello)?;
     if kind != wire::RESP_HELLO {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             format!("handshake answered with {kind:#04x}"),
         ));
     }
-    Ok(stream)
+    Ok(())
+}
+
+/// One party connection plus its per-connection deterministic streams.
+struct Conn {
+    stream: ChaosStream<TcpStream>,
+    /// Party slot (stable across reconnects; seeds the chaos stream).
+    index: usize,
+    /// Bumped per reconnect so each incarnation draws a fresh fault
+    /// schedule instead of replaying the one that just killed it.
+    incarnation: u64,
+    /// Backoff jitter stream — per connection, so the threaded ping
+    /// fan-out retries without sharing RNG state.
+    jitter: SimRng,
+}
+
+/// The shared context a retry loop needs to re-establish a connection.
+/// Borrows only immutable/`Sync` state, so ping threads each retrying
+/// their own [`Conn`] can share one.
+struct RetryCtx<'a> {
+    addr: &'a str,
+    campaign: u64,
+    policy: &'a RetryPolicy,
+    chaos: Option<&'a ChaosSpec>,
+    chaos_counters: &'a ChaosCounters,
+    res: &'a ResilienceMetrics,
+}
+
+/// Wraps a fresh socket in the (per-connection, per-incarnation) chaos
+/// schedule, or a passthrough when chaos is off.
+fn wrap_stream(
+    stream: TcpStream,
+    chaos: Option<&ChaosSpec>,
+    counters: &ChaosCounters,
+    index: usize,
+    incarnation: u64,
+) -> ChaosStream<TcpStream> {
+    match chaos {
+        Some(spec) => {
+            let rng = SimRng::seed_from_u64(spec.seed)
+                .split("chaos")
+                .split_index("conn", index as u64)
+                .split_index("incarnation", incarnation);
+            ChaosStream::with_plan(stream, spec.plan, rng, counters.clone())
+        }
+        None => ChaosStream::passthrough(stream),
+    }
+}
+
+/// Tears down and re-establishes one party connection: connect, HELLO,
+/// RESUME (re-attach to the campaign without consuming a party slot),
+/// then arm the chaos schedule of the new incarnation.
+fn reconnect(conn: &mut Conn, ctx: &RetryCtx<'_>) -> io::Result<()> {
+    let t0 = Instant::now();
+    let raw = connect_raw(ctx.addr, ctx.policy.op_timeout)?;
+    let inc = conn.incarnation + 1;
+    let mut stream = wrap_stream(raw, ctx.chaos, ctx.chaos_counters, conn.index, inc);
+    hello(&mut stream)?;
+    let v = Value::Map(vec![("campaign".into(), ctx.campaign.to_value())]);
+    let (kind, _) = rpc(&mut stream, wire::REQ_RESUME, &v)?;
+    if kind != wire::RESP_OK {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("RESUME answered with {kind:#04x}"),
+        ));
+    }
+    stream.arm();
+    conn.stream = stream;
+    conn.incarnation = inc;
+    ctx.res.resumes.incr();
+    ctx.res.reconnects.incr();
+    ctx.res.reconnect_us.record(t0.elapsed().as_micros() as u64);
+    Ok(())
+}
+
+/// Runs `op` against `conn`, reconnecting and re-sending on failure until
+/// it succeeds or the retry budget is spent — at which point the returned
+/// error is the circuit breaker tripping. Failed *reconnects* burn budget
+/// too, so a dead server cannot loop forever. `op` must be safe to
+/// re-send blind (every campaign verb is; see the module docs).
+fn with_retry<T>(
+    conn: &mut Conn,
+    ctx: &RetryCtx<'_>,
+    mut op: impl FnMut(&mut Conn) -> io::Result<T>,
+) -> io::Result<T> {
+    let mut backoff = Backoff::new(ctx.policy.backoff_base, ctx.policy.backoff_cap);
+    let mut attempts = 0u32;
+    let mut last;
+    loop {
+        match op(conn) {
+            Ok(v) => return Ok(v),
+            Err(e) => last = e,
+        }
+        loop {
+            if attempts >= ctx.policy.max_retries {
+                return Err(io::Error::new(
+                    io::ErrorKind::Other,
+                    format!(
+                        "circuit breaker open: retry budget of {} exhausted (last: {last})",
+                        ctx.policy.max_retries
+                    ),
+                ));
+            }
+            attempts += 1;
+            ctx.res.retries.incr();
+            std::thread::sleep(backoff.next_delay(&mut conn.jitter));
+            match reconnect(conn, ctx) {
+                Ok(()) => break,
+                Err(e) => last = e,
+            }
+        }
+    }
 }
 
 /// A measurement fleet whose pings travel over real sockets to a
 /// `surgescope-serve` lockstep campaign. See the module docs for the
-/// determinism contract.
+/// determinism and resilience contracts.
 pub struct RemoteMeasuredSystem {
+    addr: String,
     /// Party connections; `conns[0]` opened the campaign and carries the
     /// probe traffic. Clients are fanned out over all of them.
-    conns: Vec<TcpStream>,
+    conns: Vec<Conn>,
     campaign: u64,
     tick: u64,
     tick_secs: u64,
@@ -102,21 +323,57 @@ pub struct RemoteMeasuredSystem {
     transport: Transport<Vec<TypeObservation>>,
     outcomes: Vec<FaultOutcome>,
     metrics: SystemMetrics,
+    policy: RetryPolicy,
+    chaos: Option<ChaosSpec>,
+    chaos_counters: ChaosCounters,
+    res: ResilienceMetrics,
+    /// Breaker state: the message of the failure that exhausted a retry
+    /// budget. Once set, every wire op is a no-op and
+    /// [`RemoteMeasuredSystem::fault`] reports the campaign as dead.
+    broken: Option<String>,
 }
 
 impl RemoteMeasuredSystem {
     /// Connects a lockstep party of `connections` sockets to `addr` and
-    /// opens a campaign world there. Fault injection (if any) runs
-    /// client-side with the same seeding as the in-process system.
+    /// opens a campaign world there, with default transport options.
     pub fn connect(
         addr: &str,
         spec: &RemoteWorldSpec<'_>,
         faults: FaultPlan,
         connections: usize,
     ) -> io::Result<Self> {
+        Self::connect_with(addr, spec, faults, connections, RemoteOptions::default())
+    }
+
+    /// [`RemoteMeasuredSystem::connect`] with explicit retry policy and
+    /// optional chaos injection. The initial handshakes (HELLO, OPEN,
+    /// JOIN) run clean — chaos arms once the party is up — and an
+    /// initial connect failure surfaces immediately (the caller's local
+    /// fallback is cheaper than a campaign that never existed).
+    pub fn connect_with(
+        addr: &str,
+        spec: &RemoteWorldSpec<'_>,
+        faults: FaultPlan,
+        connections: usize,
+        options: RemoteOptions,
+    ) -> io::Result<Self> {
         let connections = connections.max(1);
+        let mut policy = options.policy;
+        policy.op_timeout = policy.op_timeout.max(Duration::from_millis(10));
+        let chaos = options.chaos;
+        let chaos_counters = ChaosCounters::new();
+        let jitter_root = SimRng::seed_from_u64(spec.seed).split("remote-retry");
+
+        let mk_conn = |index: usize, stream: TcpStream| Conn {
+            stream: wrap_stream(stream, chaos.as_ref(), &chaos_counters, index, 0),
+            index,
+            incarnation: 0,
+            jitter: jitter_root.split_index("conn", index as u64),
+        };
+
         let mut conns = Vec::with_capacity(connections);
-        conns.push(connect_one(addr)?);
+        let mut first = mk_conn(0, connect_raw(addr, policy.op_timeout)?);
+        hello(&mut first.stream)?;
 
         let open = Value::Map(vec![
             ("city".into(), spec.city.to_value()),
@@ -125,30 +382,36 @@ impl RemoteMeasuredSystem {
             ("surge_policy".into(), spec.surge_policy.to_value()),
             ("party".into(), (connections as u64).to_value()),
         ]);
-        let (kind, v) = rpc(&mut conns[0], wire::REQ_OPEN, &open)?;
+        let (kind, v) = rpc(&mut first.stream, wire::REQ_OPEN, &open)?;
         if kind != wire::RESP_OPEN {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("OPEN answered with {kind:#04x}"),
             ));
         }
-        let campaign = u64::from_value(v.field("campaign").map_err(invalid)?)
-            .map_err(invalid)?;
+        let campaign =
+            u64::from_value(v.field("campaign").map_err(invalid)?).map_err(invalid)?;
+        conns.push(first);
 
         let join = Value::Map(vec![("campaign".into(), campaign.to_value())]);
-        for _ in 1..connections {
-            let mut stream = connect_one(addr)?;
-            let (kind, _) = rpc(&mut stream, wire::REQ_JOIN, &join)?;
+        for index in 1..connections {
+            let mut conn = mk_conn(index, connect_raw(addr, policy.op_timeout)?);
+            hello(&mut conn.stream)?;
+            let (kind, _) = rpc(&mut conn.stream, wire::REQ_JOIN, &join)?;
             if kind != wire::RESP_OK {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
                     format!("JOIN answered with {kind:#04x}"),
                 ));
             }
-            conns.push(stream);
+            conns.push(conn);
+        }
+        for conn in &mut conns {
+            conn.stream.arm();
         }
 
         Ok(RemoteMeasuredSystem {
+            addr: addr.to_string(),
             conns,
             campaign,
             tick: 0,
@@ -159,6 +422,11 @@ impl RemoteMeasuredSystem {
             transport: Transport::new(),
             outcomes: Vec::new(),
             metrics: SystemMetrics::default(),
+            policy,
+            chaos,
+            chaos_counters,
+            res: ResilienceMetrics::new(),
+            broken: None,
         })
     }
 
@@ -172,35 +440,52 @@ impl RemoteMeasuredSystem {
         self.transport.in_flight()
     }
 
+    /// The tripped circuit breaker, if any: the campaign can no longer
+    /// make wire progress and must abort (the runner checks this after
+    /// every phase). `io::Error` is not `Clone`, so the stored message is
+    /// re-wrapped per call.
+    pub fn fault(&self) -> Option<io::Error> {
+        self.broken
+            .as_ref()
+            .map(|m| io::Error::new(io::ErrorKind::Other, m.clone()))
+    }
+
+    fn trip(&mut self, e: &io::Error) {
+        if self.broken.is_none() {
+            self.res.breaker_trips.incr();
+            self.broken = Some(e.to_string());
+        }
+    }
+
     /// Registers the client-side instruments (ping fault outcomes,
-    /// transport queue, phase timers). Server-side counters live in the
-    /// server's own registry.
+    /// transport queue, phase timers, resilience counters). Server-side
+    /// counters live in the server's own registry.
     pub fn register_metrics(&self, reg: &MetricsRegistry) {
         reg.adopt_counter("pings.delivered", &self.metrics.pings_delivered);
         reg.adopt_counter("pings.delayed", &self.metrics.pings_delayed);
         reg.adopt_counter("pings.dropped", &self.metrics.pings_dropped);
         reg.adopt_timer("phase.ping", &self.metrics.ping);
         self.transport.metrics().register(reg);
+        reg.adopt_counter("resilience.retries", &self.res.retries);
+        reg.adopt_counter("resilience.reconnects", &self.res.reconnects);
+        reg.adopt_counter("resilience.resumes", &self.res.resumes);
+        reg.adopt_counter("resilience.breaker_trips", &self.res.breaker_trips);
+        reg.adopt_timing_histogram("resilience.reconnect_us", &self.res.reconnect_us);
+        self.chaos_counters.register(reg);
     }
 
     /// `estimates/price` probe on the campaign's current tick snapshot.
     /// A server-side throttle comes back as the same [`RateLimitError`]
-    /// the in-process limiter raises. Panics on transport failure, like
-    /// every mid-campaign wire operation.
+    /// the in-process limiter raises; a wire failure retries under the
+    /// policy and, if the budget runs out, trips the breaker (the probe
+    /// then reports nothing — the runner's fault check aborts before the
+    /// gap is ever consumed).
     pub fn probe_price(
         &mut self,
         account: u64,
         loc: LatLng,
     ) -> Result<Vec<PriceEstimate>, RateLimitError> {
-        let v = Value::Map(vec![
-            ("campaign".into(), self.campaign.to_value()),
-            ("account".into(), account.to_value()),
-            ("lat".into(), loc.lat.to_value()),
-            ("lng".into(), loc.lng.to_value()),
-        ]);
-        let (kind, v) = rpc(&mut self.conns[0], wire::REQ_PRICE, &v)
-            .expect("remote campaign: price probe failed");
-        decode_estimates(kind, &v, wire::RESP_PRICE, account)
+        self.probe(account, loc, wire::REQ_PRICE, wire::RESP_PRICE)
     }
 
     /// `estimates/time` probe; see [`RemoteMeasuredSystem::probe_price`].
@@ -209,28 +494,72 @@ impl RemoteMeasuredSystem {
         account: u64,
         loc: LatLng,
     ) -> Result<Vec<TimeEstimate>, RateLimitError> {
-        let v = Value::Map(vec![
+        self.probe(account, loc, wire::REQ_TIME, wire::RESP_TIME)
+    }
+
+    fn probe<T: Deserialize>(
+        &mut self,
+        account: u64,
+        loc: LatLng,
+        req: u8,
+        resp: u8,
+    ) -> Result<Vec<T>, RateLimitError> {
+        if self.broken.is_some() {
+            return Ok(Vec::new());
+        }
+        let payload = Value::Map(vec![
             ("campaign".into(), self.campaign.to_value()),
             ("account".into(), account.to_value()),
             ("lat".into(), loc.lat.to_value()),
             ("lng".into(), loc.lng.to_value()),
         ]);
-        let (kind, v) = rpc(&mut self.conns[0], wire::REQ_TIME, &v)
-            .expect("remote campaign: time probe failed");
-        decode_estimates(kind, &v, wire::RESP_TIME, account)
+        let ctx = RetryCtx {
+            addr: &self.addr,
+            campaign: self.campaign,
+            policy: &self.policy,
+            chaos: self.chaos.as_ref(),
+            chaos_counters: &self.chaos_counters,
+            res: &self.res,
+        };
+        let r = with_retry(&mut self.conns[0], &ctx, |c| {
+            let (kind, v) = rpc(&mut c.stream, req, &payload)?;
+            decode_estimates::<T>(kind, &v, resp, account)
+        });
+        match r {
+            Ok(inner) => inner,
+            Err(e) => {
+                self.trip(&e);
+                Ok(Vec::new())
+            }
+        }
     }
 
     /// Finalizes the remote campaign and fetches the marketplace ground
-    /// truth the server accumulated.
+    /// truth the server accumulated. Idempotent server-side (the truth is
+    /// cached), so a FINISH cut off mid-reply retries safely.
     pub fn finish(mut self) -> io::Result<GroundTruth> {
-        let v = Value::Map(vec![("campaign".into(), self.campaign.to_value())]);
-        let (kind, v) = rpc(&mut self.conns[0], wire::REQ_FINISH, &v)?;
-        if kind != wire::RESP_FINISH {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("FINISH answered with {kind:#04x}"),
-            ));
+        if let Some(e) = self.fault() {
+            return Err(e);
         }
+        let payload = Value::Map(vec![("campaign".into(), self.campaign.to_value())]);
+        let ctx = RetryCtx {
+            addr: &self.addr,
+            campaign: self.campaign,
+            policy: &self.policy,
+            chaos: self.chaos.as_ref(),
+            chaos_counters: &self.chaos_counters,
+            res: &self.res,
+        };
+        let v = with_retry(&mut self.conns[0], &ctx, |c| {
+            let (kind, v) = rpc(&mut c.stream, wire::REQ_FINISH, &payload)?;
+            if kind != wire::RESP_FINISH {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("FINISH answered with {kind:#04x}"),
+                ));
+            }
+            Ok(v)
+        })?;
         GroundTruth::from_value(v.field("truth").map_err(invalid)?).map_err(invalid)
     }
 }
@@ -239,31 +568,42 @@ fn invalid(e: impl std::fmt::Display) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, e.to_string())
 }
 
+/// Decodes an estimates reply. The outer `Result` is a wire/protocol
+/// failure (routable through the retry policy); the inner one is the
+/// in-protocol throttle answer.
 fn decode_estimates<T: Deserialize>(
     kind: u8,
     v: &Value,
     want: u8,
     account: u64,
-) -> Result<Vec<T>, RateLimitError> {
+) -> io::Result<Result<Vec<T>, RateLimitError>> {
     if kind == wire::RESP_THROTTLED {
         let retry = v
             .field("retry_after_secs")
             .ok()
             .and_then(|r| u64::from_value(r).ok())
             .unwrap_or(0);
-        return Err(RateLimitError { account, retry_after_secs: retry });
+        return Ok(Err(RateLimitError { account, retry_after_secs: retry }));
     }
-    assert_eq!(kind, want, "estimates probe answered with {kind:#04x}");
-    Ok(Vec::<T>::from_value(v.field("estimates").expect("estimates payload"))
-        .expect("estimates decode"))
+    if kind != want {
+        return Err(invalid(format!("estimates probe answered with {kind:#04x}")));
+    }
+    let est = Vec::<T>::from_value(v.field("estimates").map_err(invalid)?)
+        .map_err(invalid)?;
+    Ok(Ok(est))
 }
 
 /// Sends one chunk's pings down one connection (pipelined: all requests
 /// written, then all responses read in order) and routes each response by
 /// its fault outcome. Returns the delayed payloads in client order.
+///
+/// Safe to re-run wholesale after a reconnect: every `out` slot is
+/// overwritten (or cleared) per attempt, the `delayed` list is rebuilt
+/// from scratch, and the barrier-frozen snapshot answers byte-identically
+/// however often it is asked.
 #[allow(clippy::too_many_arguments)]
 fn ping_chunk(
-    stream: &mut TcpStream,
+    stream: &mut ChaosStream<TcpStream>,
     campaign: u64,
     proj: &LocalProjection,
     clients: &[ClientSpec],
@@ -272,7 +612,6 @@ fn ping_chunk(
     base: usize,
     tick_secs: u64,
 ) -> io::Result<Vec<(usize, u64, Vec<TypeObservation>)>> {
-    let mut sent = 0usize;
     for (c, oc) in clients.iter().zip(outcomes) {
         if *oc == FaultOutcome::Drop {
             continue;
@@ -285,10 +624,8 @@ fn ping_chunk(
             ("lng".into(), loc.lng.to_value()),
         ]);
         stream.write_all(&wire::frame_bytes(wire::REQ_PING, &v))?;
-        sent += 1;
     }
     stream.flush()?;
-    let _ = sent;
 
     let mut delayed = Vec::new();
     for (i, (slot, oc)) in out.iter_mut().zip(outcomes).enumerate() {
@@ -321,22 +658,68 @@ fn ping_chunk(
 impl MeasuredSystem for RemoteMeasuredSystem {
     /// Hits the lockstep barrier: every connection requests the advance
     /// (all writes first — the server releases nobody until the whole
-    /// party arrives), then all acknowledgements are read back.
+    /// party arrives), then all acknowledgements are read back. Each
+    /// phase retries per connection; a read-phase reconnect re-sends the
+    /// ADVANCE, which the server acks idempotently if the barrier already
+    /// completed. A retry budget running out trips the breaker instead of
+    /// panicking — the runner's fault check aborts the campaign.
     fn advance_tick(&mut self) {
+        if self.broken.is_some() {
+            return;
+        }
         self.tick += 1;
         let v = Value::Map(vec![
             ("campaign".into(), self.campaign.to_value()),
             ("tick".into(), self.tick.to_value()),
         ]);
         let frame = wire::frame_bytes(wire::REQ_ADVANCE, &v);
-        for conn in &mut self.conns {
-            conn.write_all(&frame).expect("remote campaign: ADVANCE send failed");
-            conn.flush().expect("remote campaign: ADVANCE flush failed");
-        }
-        for conn in &mut self.conns {
-            let (kind, _) =
-                read_reply(conn).expect("remote campaign: ADVANCE barrier failed");
-            assert_eq!(kind, wire::RESP_OK, "ADVANCE answered with {kind:#04x}");
+        let err = 'wire: {
+            let ctx = RetryCtx {
+                addr: &self.addr,
+                campaign: self.campaign,
+                policy: &self.policy,
+                chaos: self.chaos.as_ref(),
+                chaos_counters: &self.chaos_counters,
+                res: &self.res,
+            };
+            // Phase 1: put every party member's ADVANCE on the wire. A
+            // reconnect mid-phase re-sends on the fresh socket; nobody
+            // blocks, because no response is awaited yet.
+            for conn in &mut self.conns {
+                let sent = with_retry(conn, &ctx, |c| {
+                    c.stream.write_all(&frame)?;
+                    c.stream.flush()
+                });
+                if let Err(e) = sent {
+                    break 'wire Some(e);
+                }
+            }
+            // Phase 2: collect the acks. On a retry the connection is
+            // fresh (no request pending), so the op re-sends the
+            // ADVANCE first — idempotent against the completed barrier.
+            for conn in &mut self.conns {
+                let mut resend = false;
+                let acked = with_retry(conn, &ctx, |c| {
+                    if resend {
+                        c.stream.write_all(&frame)?;
+                        c.stream.flush()?;
+                    }
+                    resend = true;
+                    let (kind, _) = read_reply(&mut c.stream)?;
+                    if kind != wire::RESP_OK {
+                        return Err(invalid(format!("ADVANCE answered with {kind:#04x}")));
+                    }
+                    Ok(())
+                });
+                if let Err(e) = acked {
+                    break 'wire Some(e);
+                }
+            }
+            None
+        };
+        if let Some(e) = err {
+            self.trip(&e);
+            return;
         }
         self.transport.advance_tick();
     }
@@ -350,8 +733,12 @@ impl MeasuredSystem for RemoteMeasuredSystem {
     /// chunks, delayed responses queued and merged in `(sent_tick,
     /// client)` order. The barrier froze the server's world, so the
     /// interleaving of requests across connections cannot change what
-    /// any ping observes.
+    /// any ping observes — which is also why a whole chunk can be
+    /// re-sent blind after a reconnect.
     fn ping_all_into(&mut self, clients: &[ClientSpec], out: &mut Vec<Vec<TypeObservation>>) {
+        if self.broken.is_some() {
+            return;
+        }
         let _span = self.metrics.ping.start();
         let faults = self.faults;
         let fault_rng = &mut self.fault_rng;
@@ -381,28 +768,41 @@ impl MeasuredSystem for RemoteMeasuredSystem {
 
         let n_conns = self.conns.len().min(n.max(1));
         let chunk_size = n.div_ceil(n_conns.max(1)).max(1);
-        let late: Vec<(usize, u64, Vec<TypeObservation>)> = if n_conns <= 1 {
-            ping_chunk(
-                &mut self.conns[0],
-                self.campaign,
-                &self.proj,
-                clients,
-                &self.outcomes,
-                out,
-                0,
-                self.tick_secs,
-            )
-            .expect("remote campaign: ping exchange failed")
+        let ctx = RetryCtx {
+            addr: &self.addr,
+            campaign: self.campaign,
+            policy: &self.policy,
+            chaos: self.chaos.as_ref(),
+            chaos_counters: &self.chaos_counters,
+            res: &self.res,
+        };
+        let proj = self.proj;
+        let campaign = self.campaign;
+        let tick_secs = self.tick_secs;
+        let outcomes = &self.outcomes;
+        let late: io::Result<Vec<(usize, u64, Vec<TypeObservation>)>> = if n_conns <= 1 {
+            with_retry(&mut self.conns[0], &ctx, |c| {
+                ping_chunk(
+                    &mut c.stream,
+                    campaign,
+                    &proj,
+                    clients,
+                    outcomes,
+                    out,
+                    0,
+                    tick_secs,
+                )
+            })
         } else {
             // One thread per connection, each owning a contiguous chunk
-            // of clients and the matching slice of `out`. Chunks are
+            // of clients, the matching slice of `out`, and its own retry
+            // loop (per-connection jitter streams keep the schedules
+            // deterministic under the fan-out). Chunks are
             // client-ordered and so is the concatenation of their
             // delayed lists.
-            let proj = self.proj;
-            let campaign = self.campaign;
-            let tick_secs = self.tick_secs;
-            let outcomes = &self.outcomes;
-            let mut results: Vec<Vec<(usize, u64, Vec<TypeObservation>)>> = Vec::new();
+            let ctx = &ctx;
+            let mut results: Vec<io::Result<Vec<(usize, u64, Vec<TypeObservation>)>>> =
+                Vec::new();
             std::thread::scope(|scope| {
                 let mut handles = Vec::new();
                 let mut rest = &mut out[..];
@@ -416,27 +816,40 @@ impl MeasuredSystem for RemoteMeasuredSystem {
                     let chunk_base = base;
                     base += take;
                     handles.push(scope.spawn(move || {
-                        ping_chunk(
-                            conn,
-                            campaign,
-                            &proj,
-                            chunk_clients,
-                            chunk_outcomes,
-                            chunk_out,
-                            chunk_base,
-                            tick_secs,
-                        )
+                        with_retry(conn, ctx, |c| {
+                            ping_chunk(
+                                &mut c.stream,
+                                campaign,
+                                &proj,
+                                chunk_clients,
+                                chunk_outcomes,
+                                chunk_out,
+                                chunk_base,
+                                tick_secs,
+                            )
+                        })
                     }));
                 }
                 for h in handles {
-                    results.push(
-                        h.join()
-                            .expect("remote ping thread panicked")
-                            .expect("remote campaign: ping exchange failed"),
-                    );
+                    results.push(h.join().unwrap_or_else(|_| {
+                        Err(io::Error::new(
+                            io::ErrorKind::Other,
+                            "remote ping thread panicked",
+                        ))
+                    }));
                 }
             });
-            results.into_iter().flatten().collect()
+            results.into_iter().collect::<io::Result<Vec<_>>>().map(|chunks| {
+                chunks.into_iter().flatten().collect()
+            })
+        };
+
+        let late = match late {
+            Ok(late) => late,
+            Err(e) => {
+                self.trip(&e);
+                return;
+            }
         };
 
         // Serial post-pass in client order, exactly like the local path.

@@ -40,7 +40,13 @@ fn usage() -> ! {
          \x20               an ephemeral port; prints 'listening on <addr>'\n\
          \x20               and serves until killed)\n\
          \x20 --remote ADDR measure campaigns over the wire against the\n\
-         \x20               server at ADDR (byte-identical to in-process)"
+         \x20               server at ADDR (byte-identical to in-process)\n\
+         \x20 --remote-retries N    wire retry budget per remote operation\n\
+         \x20               (default 4; 0 trips the circuit breaker on the\n\
+         \x20               first failure and falls back to local execution)\n\
+         \x20 --remote-op-timeout SECS  per-operation socket deadline for\n\
+         \x20               remote campaigns (default 30; bounds how long a\n\
+         \x20               hung server can stall any single operation)"
     );
     std::process::exit(2);
 }
@@ -141,6 +147,8 @@ fn main() {
     let mut metrics: Option<PathBuf> = None;
     let mut serve: Option<String> = None;
     let mut remote: Option<String> = None;
+    let mut remote_retries: Option<u32> = None;
+    let mut remote_op_timeout: Option<u64> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -156,6 +164,25 @@ fn main() {
                     eprintln!("--remote needs a server address");
                     std::process::exit(2);
                 }))
+            }
+            "--remote-retries" => {
+                remote_retries = Some(
+                    it.next().and_then(|s| s.parse::<u32>().ok()).unwrap_or_else(|| {
+                        eprintln!("--remote-retries needs a non-negative integer");
+                        std::process::exit(2);
+                    }),
+                )
+            }
+            "--remote-op-timeout" => {
+                remote_op_timeout = Some(
+                    it.next()
+                        .and_then(|s| s.parse::<u64>().ok())
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| {
+                            eprintln!("--remote-op-timeout needs a positive number of seconds");
+                            std::process::exit(2);
+                        }),
+                )
             }
             "--quick" => quick = true,
             "--quiet" => quiet = true,
@@ -216,6 +243,8 @@ fn main() {
     ctx.quick = quick;
     ctx.quiet = quiet;
     ctx.remote = remote;
+    ctx.remote_retries = remote_retries;
+    ctx.remote_op_timeout = remote_op_timeout;
     let cache = CampaignCache::new();
     if let Some(ckpt) = &resume {
         resume_campaign(ckpt, &ctx, &cache);

@@ -18,13 +18,16 @@
 use crate::RunCtx;
 use std::collections::{BTreeMap, HashMap};
 use std::path::PathBuf;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
 use surgescope_api::ProtocolEra;
 use surgescope_obs::{Counter, MetricsRegistry, Snapshot};
 use surgescope_city::CityModel;
 use surgescope_core::estimate::{EstimatorConfig, SupplyDemandEstimator};
 use surgescope_core::persist::replay_campaign;
-use surgescope_core::{Campaign, CampaignConfig, CampaignData, CampaignRunner, StoreHooks};
+use surgescope_core::{
+    Campaign, CampaignConfig, CampaignData, CampaignRunner, RemoteOptions, StoreHooks,
+};
 use surgescope_taxi::{TaxiGroundTruth, TaxiTrace, TraceGenerator};
 
 /// Which study city.
@@ -34,6 +37,15 @@ pub enum City {
     Manhattan,
     /// Downtown San Francisco.
     SanFrancisco,
+}
+
+/// Locks a mutex, recovering from poisoning: a panic in one prefetch
+/// worker (already isolated and reported by the scheduler) must not
+/// cascade `PoisonError` panics into every other experiment that shares
+/// the cache. The guarded maps are always left structurally consistent —
+/// each critical section is a single insert or lookup.
+fn lock_ok<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 impl City {
@@ -88,6 +100,10 @@ pub struct CampaignCache {
     store_failures: Counter,
     remote_runs: Counter,
     remote_failures: Counter,
+    /// Remote campaigns whose wire retry budget ran out (the client's
+    /// circuit breaker tripped) before the local fallback kicked in.
+    /// A strict subset of `remote_failures`.
+    breaker_trips: Counter,
     taxi_runs: Counter,
     /// Per-campaign metrics snapshots, captured just before each
     /// simulated campaign finished, keyed by cache key. Replayed and
@@ -108,6 +124,7 @@ impl Default for CampaignCache {
             store_failures: registry.counter("cache.store_failures"),
             remote_runs: registry.counter("cache.remote_runs"),
             remote_failures: registry.counter("cache.remote_failures"),
+            breaker_trips: registry.counter("resilience.breaker_trips"),
             taxi_runs: registry.counter("cache.taxi_runs"),
             registry,
             snapshots: Mutex::new(BTreeMap::new()),
@@ -170,7 +187,7 @@ impl CampaignCache {
         let mut s = String::from("{\"run\":");
         s.push_str(&self.registry.snapshot().to_json());
         s.push_str(",\"campaigns\":{");
-        let snaps = self.snapshots.lock().expect("cache lock");
+        let snaps = lock_ok(&self.snapshots);
         for (i, (key, snap)) in snaps.iter().enumerate() {
             if i > 0 {
                 s.push(',');
@@ -189,7 +206,7 @@ impl CampaignCache {
         let mut s = String::from("{\"run\":");
         s.push_str(&self.registry.snapshot().deterministic_json());
         s.push_str(",\"campaigns\":{");
-        let snaps = self.snapshots.lock().expect("cache lock");
+        let snaps = lock_ok(&self.snapshots);
         for (i, (key, snap)) in snaps.iter().enumerate() {
             if i > 0 {
                 s.push(',');
@@ -224,7 +241,7 @@ impl CampaignCache {
     pub fn insert(&self, cfg: &CampaignConfig, data: CampaignData) -> Arc<CampaignData> {
         let key = cache_key(&data.city.name, cfg);
         let rc = Arc::new(data);
-        self.campaigns.lock().expect("cache lock").insert(key, Arc::clone(&rc));
+        lock_ok(&self.campaigns).insert(key, Arc::clone(&rc));
         rc
     }
 
@@ -248,7 +265,7 @@ impl CampaignCache {
     ) -> Arc<CampaignData> {
         cfg.store = StoreHooks::none();
         let key = cache_key(&city.model().name, &cfg);
-        if let Some(c) = self.campaigns.lock().expect("cache lock").get(&key) {
+        if let Some(c) = lock_ok(&self.campaigns).get(&key) {
             self.hits.incr();
             return Arc::clone(c);
         }
@@ -271,21 +288,40 @@ impl CampaignCache {
                 );
             }
             let connections = cfg.parallelism.clamp(1, 4);
-            let fallible = CampaignRunner::new_remote(city.model(), &cfg, &addr, connections)
-                .and_then(|mut r| r.run_to_end().map(|()| r))
-                .and_then(|r| {
-                    let snap = r.metrics_snapshot();
-                    r.finish().map(|data| (data, snap))
-                });
+            let mut options = RemoteOptions::default();
+            if let Some(n) = ctx.remote_retries {
+                options.policy.max_retries = n;
+            }
+            if let Some(secs) = ctx.remote_op_timeout {
+                options.policy.op_timeout = Duration::from_secs(secs.max(1));
+            }
+            let fallible = CampaignRunner::new_remote_with(
+                city.model(),
+                &cfg,
+                &addr,
+                connections,
+                options,
+            )
+            .and_then(|mut r| r.run_to_end().map(|()| r))
+            .and_then(|r| {
+                let snap = r.metrics_snapshot();
+                r.finish().map(|data| (data, snap))
+            });
             match fallible {
                 Ok((data, snap)) => {
-                    self.snapshots.lock().expect("cache lock").insert(key, snap);
+                    lock_ok(&self.snapshots).insert(key, snap);
                     let data = Arc::new(data);
-                    self.campaigns.lock().expect("cache lock").insert(key, Arc::clone(&data));
+                    lock_ok(&self.campaigns).insert(key, Arc::clone(&data));
                     return data;
                 }
                 Err(e) => {
                     self.remote_failures.incr();
+                    // The client names the breaker in the error it
+                    // surfaces when a retry budget runs out; anything
+                    // else is a setup/handshake failure.
+                    if e.to_string().contains("circuit breaker") {
+                        self.breaker_trips.incr();
+                    }
                     eprintln!("[cache] remote campaign via {addr} failed ({e}); running locally");
                 }
             }
@@ -337,13 +373,13 @@ impl CampaignCache {
         self.misses.incr();
         let (data, snapshot) = self.run_campaign(city, &cfg, ctx.quiet);
         if let Some(snap) = snapshot {
-            self.snapshots.lock().expect("cache lock").insert(key, snap);
+            lock_ok(&self.snapshots).insert(key, snap);
         }
         if let Some(cp) = &cfg.store.checkpoint_path {
             let _ = std::fs::remove_file(cp);
         }
         let data = Arc::new(data);
-        self.campaigns.lock().expect("cache lock").insert(key, Arc::clone(&data));
+        lock_ok(&self.campaigns).insert(key, Arc::clone(&data));
         data
     }
 
@@ -426,7 +462,7 @@ impl CampaignCache {
 
     /// The §3.5 taxi validation (Manhattan), building it on first use.
     pub fn taxi(&self, ctx: &RunCtx) -> Arc<TaxiValidation> {
-        if let Some(t) = self.taxi.lock().expect("cache lock").as_ref() {
+        if let Some(t) = lock_ok(&self.taxi).as_ref() {
             return Arc::clone(t);
         }
         self.taxi_runs.incr();
@@ -456,7 +492,7 @@ impl CampaignCache {
             est_cfg,
         );
         let v = Arc::new(TaxiValidation { estimator, truth, trace });
-        *self.taxi.lock().expect("cache lock") = Some(Arc::clone(&v));
+        *lock_ok(&self.taxi) = Some(Arc::clone(&v));
         v
     }
 }

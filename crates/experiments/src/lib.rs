@@ -40,6 +40,15 @@ pub struct RunCtx {
     /// experiments neither know nor care; the disk cache is bypassed
     /// because remote campaigns cannot stream the event log.
     pub remote: Option<String>,
+    /// Remote wire retry budget per operation (`--remote-retries`);
+    /// `None` uses the client default. 0 means the first wire failure
+    /// trips the circuit breaker and the campaign falls back to local
+    /// execution (counted in `resilience.breaker_trips`, never silent).
+    pub remote_retries: Option<u32>,
+    /// Remote per-operation socket deadline in seconds
+    /// (`--remote-op-timeout`); `None` uses the client default. Bounds
+    /// how long a hung server can stall any single wire operation.
+    pub remote_op_timeout: Option<u64>,
 }
 
 impl RunCtx {
@@ -51,12 +60,22 @@ impl RunCtx {
             out_dir: Some(PathBuf::from("results")),
             quiet: false,
             remote: None,
+            remote_retries: None,
+            remote_op_timeout: None,
         }
     }
 
     /// Quick context for tests and smoke runs.
     pub fn quick(seed: u64) -> Self {
-        RunCtx { seed, quick: true, out_dir: None, quiet: false, remote: None }
+        RunCtx {
+            seed,
+            quick: true,
+            out_dir: None,
+            quiet: false,
+            remote: None,
+            remote_retries: None,
+            remote_op_timeout: None,
+        }
     }
 
     /// Campaign length in hours.

@@ -24,10 +24,14 @@
 use crate::cache::{self, CampaignCache, City};
 use crate::RunCtx;
 use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use surgescope_api::ProtocolEra;
 use surgescope_core::CampaignConfig;
 use surgescope_obs::Timer;
+
+/// Panicking attempts a prefetch task gets before it is quarantined.
+const QUARANTINE_ATTEMPTS: usize = 2;
 
 /// One unit of prefetch work.
 pub enum Prefetch {
@@ -108,6 +112,20 @@ pub fn needs(id: &str, ctx: &RunCtx) -> Vec<Prefetch> {
         // spacing-swept mini-campaigns inline (not cache-shaped).
         _ => Vec::new(),
     }
+}
+
+/// Runs `f` with panic isolation: up to `attempts` tries, each unwind
+/// caught (the default panic hook still prints the message and
+/// backtrace). Returns whether any attempt completed. The cache the
+/// closures touch recovers from lock poisoning ([`cache`] uses
+/// poison-tolerant locks), so a caught panic leaves it usable.
+pub(crate) fn run_quarantined(attempts: usize, f: impl Fn()) -> bool {
+    for _ in 0..attempts.max(1) {
+        if catch_unwind(AssertUnwindSafe(&f)).is_ok() {
+            return true;
+        }
+    }
+    false
 }
 
 fn run_task(t: &Prefetch, ctx: &RunCtx, cache: &CampaignCache) {
@@ -205,11 +223,28 @@ pub fn prefetch(ids: &[String], ctx: &RunCtx, cache: &CampaignCache, jobs: usize
             eprintln!("[schedule]   {:>2}. {} (~{} ticks)", i + 1, describe(t), cost_ticks(t, ctx) as u64);
         }
     }
+    // Panic isolation: a task that panics (a poisoned experiment config,
+    // a bug in one campaign's path) is retried once and then
+    // quarantined with an explicit report — the worker moves on and
+    // every other campaign still completes. Quarantine count is a pure
+    // function of the inputs (0 in healthy runs), so the counter lives
+    // in the deterministic section.
+    let quarantined = reg.counter("resilience.quarantined");
+    let run_isolated = |t: &Prefetch| {
+        if !run_quarantined(QUARANTINE_ATTEMPTS, || run_task(t, ctx, cache)) {
+            quarantined.incr();
+            eprintln!(
+                "[schedule] quarantined {} after {QUARANTINE_ATTEMPTS} panicking attempts; \
+                 dependent experiments will rebuild it inline or fail individually",
+                describe(t)
+            );
+        }
+    };
     if jobs <= 1 {
         let busy = reg.timer("schedule.worker00.busy");
         let _span = busy.start();
         for t in &tasks {
-            run_task(t, ctx, cache);
+            run_isolated(t);
         }
         return n;
     }
@@ -224,7 +259,7 @@ pub fn prefetch(ids: &[String], ctx: &RunCtx, cache: &CampaignCache, jobs: usize
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(t) = tasks.get(i) else { break };
-                    run_task(t, ctx, cache);
+                    run_isolated(t);
                 }
             });
         }
@@ -240,4 +275,42 @@ pub fn order_longest_first(tasks: &mut [Prefetch], ctx: &RunCtx) {
             .expect("task costs are finite")
             .then_with(|| tie_key(a).cmp(&tie_key(b)))
     });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn quarantine_gives_up_after_the_attempt_budget() {
+        let tries = AtomicUsize::new(0);
+        let ok = run_quarantined(2, || {
+            tries.fetch_add(1, Ordering::Relaxed);
+            panic!("always broken");
+        });
+        assert!(!ok, "a task that always panics must be quarantined");
+        assert_eq!(tries.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn a_flaky_task_that_recovers_is_not_quarantined() {
+        let tries = AtomicUsize::new(0);
+        let ok = run_quarantined(2, || {
+            if tries.fetch_add(1, Ordering::Relaxed) == 0 {
+                panic!("first attempt dies");
+            }
+        });
+        assert!(ok, "the second attempt succeeded");
+        assert_eq!(tries.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn a_clean_task_runs_exactly_once() {
+        let tries = AtomicUsize::new(0);
+        assert!(run_quarantined(3, || {
+            tries.fetch_add(1, Ordering::Relaxed);
+        }));
+        assert_eq!(tries.load(Ordering::Relaxed), 1);
+    }
 }

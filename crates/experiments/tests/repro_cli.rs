@@ -27,20 +27,53 @@ fn no_arguments_prints_usage_and_exits_nonzero() {
 fn usage_enumerates_every_flag() {
     let out = repro().output().expect("run repro");
     let stderr = String::from_utf8_lossy(&out.stderr);
-    for flag in
-        ["--quick", "--quiet", "--seed", "--jobs", "--resume", "--metrics", "--serve", "--remote"]
-    {
+    for flag in [
+        "--quick",
+        "--quiet",
+        "--seed",
+        "--jobs",
+        "--resume",
+        "--metrics",
+        "--serve",
+        "--remote",
+        "--remote-retries",
+        "--remote-op-timeout",
+    ] {
         assert!(stderr.contains(flag), "usage text is missing {flag}; stderr: {stderr}");
     }
 }
 
 #[test]
 fn flags_that_need_values_fail_without_them() {
-    for flag in ["--seed", "--jobs", "--resume", "--metrics", "--serve", "--remote"] {
+    for flag in [
+        "--seed",
+        "--jobs",
+        "--resume",
+        "--metrics",
+        "--serve",
+        "--remote",
+        "--remote-retries",
+        "--remote-op-timeout",
+    ] {
         let out = repro().arg(flag).output().expect("run repro");
         assert!(!out.status.success(), "{flag} without a value must exit non-zero");
         let stderr = String::from_utf8_lossy(&out.stderr);
         assert!(stderr.contains("needs"), "{flag}: expected a 'needs …' error, got: {stderr}");
+    }
+}
+
+#[test]
+fn remote_flag_values_are_validated() {
+    for (flag, bad) in [
+        ("--remote-retries", "-1"),
+        ("--remote-retries", "lots"),
+        ("--remote-op-timeout", "0"),
+        ("--remote-op-timeout", "soon"),
+    ] {
+        let out = repro().args([flag, bad]).output().expect("run repro");
+        assert!(!out.status.success(), "{flag} {bad} must be rejected");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("needs"), "{flag} {bad}: expected a 'needs …' error, got: {stderr}");
     }
 }
 

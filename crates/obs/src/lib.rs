@@ -241,6 +241,10 @@ enum Instrument {
     Counter(Counter),
     Gauge(Gauge),
     Histogram(Histogram),
+    /// A histogram whose observations are wall-clock measurements
+    /// (latencies): buckets render into the timing section, outside the
+    /// determinism contract.
+    TimingHistogram(Histogram),
     Timer(Timer),
 }
 
@@ -290,6 +294,18 @@ impl MetricsRegistry {
         h
     }
 
+    /// Creates and registers a histogram whose *observations* are wall
+    /// clock (latencies). Same cells and recording path as
+    /// [`MetricsRegistry::histogram`], but the buckets render into the
+    /// snapshot's **timing** section: latency distributions are not a
+    /// pure function of the simulated work and must not enter the
+    /// determinism contract.
+    pub fn timing_histogram(&self, name: &str, bounds: &'static [u64]) -> Histogram {
+        let h = Histogram::new(bounds);
+        self.adopt_timing_histogram(name, &h);
+        h
+    }
+
     /// Creates and registers a timer (timing section).
     pub fn timer(&self, name: &str) -> Timer {
         let t = Timer::new();
@@ -310,6 +326,12 @@ impl MetricsRegistry {
     /// Registers an existing histogram under `name`.
     pub fn adopt_histogram(&self, name: &str, h: &Histogram) {
         self.insert(name, Instrument::Histogram(h.clone()));
+    }
+
+    /// Registers an existing histogram under `name` in the **timing**
+    /// section (see [`MetricsRegistry::timing_histogram`]).
+    pub fn adopt_timing_histogram(&self, name: &str, h: &Histogram) {
+        self.insert(name, Instrument::TimingHistogram(h.clone()));
     }
 
     /// Registers an existing timer under `name`.
@@ -335,6 +357,13 @@ impl MetricsRegistry {
                     }
                     deterministic
                         .push((format!("{name}.inf"), counts[h.bounds().len()]));
+                }
+                Instrument::TimingHistogram(h) => {
+                    let counts = h.counts();
+                    for (i, &b) in h.bounds().iter().enumerate() {
+                        timing.push((format!("{name}.le_{b}"), counts[i]));
+                    }
+                    timing.push((format!("{name}.inf"), counts[h.bounds().len()]));
                 }
                 Instrument::Timer(t) => {
                     timing.push((format!("{name}.ns"), t.total_ns()));
@@ -489,6 +518,21 @@ mod tests {
         h.record(1_000_000);
         assert_eq!(h.approx_percentile(1.0), Some(1_000));
         assert_eq!(h.approx_percentile(f64::NAN), None);
+    }
+
+    #[test]
+    fn timing_histogram_renders_outside_the_contract() {
+        let reg = MetricsRegistry::new();
+        let h = reg.timing_histogram("lat.us", &[10, 100]);
+        for v in [5, 50, 500] {
+            h.record(v);
+        }
+        let snap = reg.snapshot();
+        assert!(snap.deterministic.is_empty(), "latency leaked into the contract");
+        let timing: Vec<&str> = snap.timing.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(timing, ["lat.us.inf", "lat.us.le_10", "lat.us.le_100"]);
+        assert!(snap.timing.iter().all(|(_, v)| *v == 1));
+        assert_eq!(h.approx_percentile(0.5), Some(100));
     }
 
     #[test]

@@ -13,9 +13,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod loadgen;
 pub mod server;
 pub mod wire;
 
+pub use chaos::{ChaosCounters, ChaosPlan, ChaosStream};
 pub use loadgen::{run_load, LoadConfig, LoadReport};
 pub use server::{FreeWorldSpec, ServeConfig, ServeMetrics, Server};

@@ -79,6 +79,15 @@ pub struct ServeConfig {
     /// Post-shutdown drain window: requests arriving within it are still
     /// answered before the connection closes.
     pub drain: Duration,
+    /// Orphan expiry: a campaign that sees no request for this long is
+    /// expired by the janitor — its slot is reclaimed and any party
+    /// member still parked at the barrier is released with an error.
+    /// Generous by default: an active lockstep campaign touches its
+    /// slot many times per tick.
+    pub campaign_idle_timeout: Duration,
+    /// Enables the test-only `REQ_CRASH` verb (panics a worker while it
+    /// holds the campaign lock). Never enable outside tests.
+    pub allow_crash: bool,
     /// Optional free-running world for the load mode.
     pub free: Option<FreeWorldSpec>,
 }
@@ -90,6 +99,8 @@ impl Default for ServeConfig {
             max_frame: wire::DEFAULT_MAX_FRAME,
             io_timeout: Duration::from_secs(10),
             drain: Duration::from_millis(300),
+            campaign_idle_timeout: Duration::from_secs(600),
+            allow_crash: false,
             free: None,
         }
     }
@@ -121,6 +132,16 @@ pub struct ServeMetrics {
     pub campaigns_opened: Counter,
     /// Free-mode pings answered.
     pub free_pings: Counter,
+    /// Request handlers that panicked. The worker survives (the panic is
+    /// caught at the dispatch boundary), the confused connection gets a
+    /// `RESP_ERR` and closes, and any lock the handler held is recovered
+    /// from poisoning by its next user.
+    pub worker_panics: Counter,
+    /// `RESUME` handshakes served (dropped party connections that
+    /// re-attached to their campaign).
+    pub resumes: Counter,
+    /// Orphaned campaign slots reclaimed by the janitor.
+    pub campaigns_expired: Counter,
 }
 
 impl ServeMetrics {
@@ -136,6 +157,9 @@ impl ServeMetrics {
             throttled_wire: Counter::new(),
             campaigns_opened: Counter::new(),
             free_pings: Counter::new(),
+            worker_panics: Counter::new(),
+            resumes: Counter::new(),
+            campaigns_expired: Counter::new(),
         }
     }
 
@@ -151,6 +175,9 @@ impl ServeMetrics {
         reg.adopt_counter("serve.throttled_wire", &self.throttled_wire);
         reg.adopt_counter("serve.campaigns_opened", &self.campaigns_opened);
         reg.adopt_counter("serve.free_pings", &self.free_pings);
+        reg.adopt_counter("serve.worker_panics", &self.worker_panics);
+        reg.adopt_counter("serve.resumes", &self.resumes);
+        reg.adopt_counter("serve.campaigns_expired", &self.campaigns_expired);
     }
 }
 
@@ -201,32 +228,60 @@ impl HostWorld {
     }
 }
 
+/// Locks a mutex, recovering from poisoning. A panicking handler must
+/// not wedge every sibling session sharing the lock: our critical
+/// sections either mutate nothing (the test crash verb) or complete
+/// their state transition before anything can panic, so the inner value
+/// is still coherent and the conservative default (propagate the panic
+/// to every later user) is exactly wrong for a server.
+fn lock_ok<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// One hosted lockstep campaign.
 struct CampaignHost {
     party: usize,
     state: Mutex<CampaignState>,
     barrier: Condvar,
+    /// Milliseconds since the server's epoch of the last request that
+    /// touched this campaign; the janitor expires slots that go quiet.
+    last_activity: AtomicU64,
 }
 
 struct CampaignState {
     /// `None` once finished (the marketplace was consumed for truth).
     world: Option<HostWorld>,
+    /// Ground truth computed by the first FINISH, kept so a client whose
+    /// connection died mid-FINISH can reconnect and re-ask (idempotent).
+    truth: Option<Value>,
     /// Ticks advanced so far.
     tick: u64,
     /// Party members that have requested the advance to `tick + 1`.
     arrivals: usize,
     /// Connections that have joined (the opener counts as one).
     joined: usize,
+    /// Reclaimed by the janitor; barrier waiters bail out with an error.
+    expired: bool,
 }
 
 impl CampaignHost {
-    /// The lockstep barrier. The caller's `want` must be exactly
-    /// `tick + 1`; the last arrival performs the world tick and releases
-    /// everyone else.
+    /// The lockstep barrier. The caller's `want` must be `tick + 1`; the
+    /// last arrival performs the world tick and releases everyone else.
+    /// `want == tick` answers OK immediately: the barrier counts
+    /// *arrivals*, not identities, so a connection that died after its
+    /// ADVANCE was counted (or after the barrier completed but before
+    /// the ack arrived) reconnects and re-sends the same request
+    /// harmlessly.
     fn advance(&self, want: u64, shutdown: &AtomicBool) -> Result<u64, String> {
-        let mut st = self.state.lock().expect("campaign lock");
+        let mut st = lock_ok(&self.state);
+        if st.expired {
+            return Err("campaign expired (idle too long)".into());
+        }
         if st.world.is_none() {
             return Err("campaign already finished".into());
+        }
+        if want == st.tick {
+            return Ok(st.tick);
         }
         if want != st.tick + 1 {
             return Err(format!(
@@ -235,7 +290,7 @@ impl CampaignHost {
             ));
         }
         st.arrivals += 1;
-        if st.arrivals == self.party {
+        if st.arrivals >= self.party {
             st.world.as_mut().expect("checked above").advance();
             st.tick = want;
             st.arrivals = 0;
@@ -246,8 +301,11 @@ impl CampaignHost {
             let (guard, _) = self
                 .barrier
                 .wait_timeout(st, POLL)
-                .expect("campaign lock");
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             st = guard;
+            if st.expired {
+                return Err("campaign expired (idle too long)".into());
+            }
             if shutdown.load(Ordering::Relaxed) && st.tick < want {
                 return Err("server shutting down".into());
             }
@@ -256,11 +314,21 @@ impl CampaignHost {
     }
 
     fn join(&self) -> Result<u64, String> {
-        let mut st = self.state.lock().expect("campaign lock");
+        let mut st = lock_ok(&self.state);
         if st.joined >= self.party {
             return Err(format!("campaign party of {} is full", self.party));
         }
         st.joined += 1;
+        Ok(st.tick)
+    }
+
+    /// Current tick for a RESUME handshake: unlike `join`, consumes no
+    /// party slot — the resumed connection replaces a dead one.
+    fn resume(&self) -> Result<u64, String> {
+        let st = lock_ok(&self.state);
+        if st.expired {
+            return Err("campaign expired (idle too long)".into());
+        }
         Ok(st.tick)
     }
 }
@@ -270,6 +338,10 @@ struct Shared {
     max_frame: usize,
     io_timeout: Duration,
     drain: Duration,
+    idle_timeout: Duration,
+    allow_crash: bool,
+    /// Reference instant for campaign activity stamps.
+    epoch: Instant,
     shutdown: AtomicBool,
     next_session: AtomicU64,
     next_campaign: AtomicU64,
@@ -278,6 +350,37 @@ struct Shared {
     free: Option<Mutex<HostWorld>>,
     metrics: ServeMetrics,
     registry: MetricsRegistry,
+}
+
+impl Shared {
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    /// Expires campaigns whose last request is older than the idle
+    /// timeout: marks them so barrier waiters bail out, wakes those
+    /// waiters, and drops the slot from the table.
+    fn expire_orphans(&self) {
+        let now = self.now_ms();
+        let idle_ms = self.idle_timeout.as_millis() as u64;
+        let mut expired = Vec::new();
+        {
+            let mut campaigns = lock_ok(&self.campaigns);
+            campaigns.retain(|id, host| {
+                let stale = now.saturating_sub(host.last_activity.load(Ordering::Relaxed))
+                    > idle_ms;
+                if stale {
+                    expired.push((*id, Arc::clone(host)));
+                }
+                !stale
+            });
+        }
+        for (_, host) in &expired {
+            lock_ok(&host.state).expired = true;
+            host.barrier.notify_all();
+            self.metrics.campaigns_expired.incr();
+        }
+    }
 }
 
 /// The serving endpoint. Dropping the server shuts it down gracefully.
@@ -320,6 +423,9 @@ impl Server {
             max_frame: cfg.max_frame,
             io_timeout: cfg.io_timeout,
             drain: cfg.drain,
+            idle_timeout: cfg.campaign_idle_timeout.max(POLL),
+            allow_crash: cfg.allow_crash,
+            epoch: Instant::now(),
             shutdown: AtomicBool::new(false),
             next_session: AtomicU64::new(1),
             next_campaign: AtomicU64::new(1),
@@ -348,7 +454,23 @@ impl Server {
                     // Coarse pacing is fine: the free world has no
                     // determinism contract, only liveness.
                     if let Some(free) = &shared.free {
-                        free.lock().expect("free world lock").advance();
+                        lock_ok(free).advance();
+                    }
+                }
+            }));
+        }
+        // Janitor: reclaims campaign slots whose clients never returned
+        // (crashed mid-campaign, or never re-fetched a FINISH result).
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(std::thread::spawn(move || {
+                let mut last_sweep = Instant::now();
+                while !shared.shutdown.load(Ordering::Relaxed) {
+                    std::thread::sleep(POLL);
+                    let cadence = (shared.idle_timeout / 4).max(POLL);
+                    if last_sweep.elapsed() >= cadence {
+                        shared.expire_orphans();
+                        last_sweep = Instant::now();
                     }
                 }
             }));
@@ -542,7 +664,17 @@ fn serve_conn(shared: &Shared, mut stream: TcpStream, busy: &Timer) {
                 shared.metrics.frames_in.incr();
                 shared.metrics.bytes_in.add(nbytes);
                 let _span = busy.start();
-                let reply = handle_request(shared, &mut session, kind, &payload);
+                // Handlers run behind a panic boundary: a panicking
+                // request must cost its own connection, never the worker
+                // thread (sibling sessions recover any lock it poisoned
+                // via `lock_ok`).
+                let reply = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    handle_request(shared, &mut session, kind, &payload)
+                }))
+                .unwrap_or_else(|_| {
+                    shared.metrics.worker_panics.incr();
+                    Err("internal error: request handler panicked".into())
+                });
                 let (reply, close) = match reply {
                     Ok(r) => {
                         let close = r.close;
@@ -605,13 +737,12 @@ fn field_u64(v: &Value, key: &str) -> Result<u64, String> {
 
 fn campaign_of(shared: &Shared, v: &Value) -> Result<Arc<CampaignHost>, String> {
     let id = field_u64(v, "campaign")?;
-    shared
-        .campaigns
-        .lock()
-        .expect("campaign table lock")
+    let host = lock_ok(&shared.campaigns)
         .get(&id)
         .cloned()
-        .ok_or_else(|| format!("unknown campaign {id}"))
+        .ok_or_else(|| format!("unknown campaign {id}"))?;
+    host.last_activity.store(shared.now_ms(), Ordering::Relaxed);
+    Ok(host)
 }
 
 fn handle_request(
@@ -667,18 +798,17 @@ fn handle_request(
                 party,
                 state: Mutex::new(CampaignState {
                     world: Some(HostWorld::new(mp, api)),
+                    truth: None,
                     tick: 0,
                     arrivals: 0,
                     joined: 1,
+                    expired: false,
                 }),
                 barrier: Condvar::new(),
+                last_activity: AtomicU64::new(shared.now_ms()),
             });
             let id = shared.next_campaign.fetch_add(1, Ordering::SeqCst);
-            shared
-                .campaigns
-                .lock()
-                .expect("campaign table lock")
-                .insert(id, host);
+            lock_ok(&shared.campaigns).insert(id, host);
             shared.metrics.campaigns_opened.incr();
             Reply::ok(
                 wire::RESP_OPEN,
@@ -689,6 +819,22 @@ fn handle_request(
             let host = campaign_of(shared, v)?;
             let tick = host.join()?;
             Reply::ok(wire::RESP_OK, Value::Map(vec![("tick".into(), tick.to_value())]))
+        }
+        wire::REQ_RESUME => {
+            let host = campaign_of(shared, v)?;
+            let tick = host.resume()?;
+            shared.metrics.resumes.incr();
+            Reply::ok(wire::RESP_OK, Value::Map(vec![("tick".into(), tick.to_value())]))
+        }
+        wire::REQ_CRASH => {
+            if !shared.allow_crash {
+                return Err("crash verb disabled (ServeConfig::allow_crash)".into());
+            }
+            let host = campaign_of(shared, v)?;
+            // Deliberately panic while holding the campaign lock so the
+            // poisoning-recovery path has a deterministic trigger.
+            let _st = host.state.lock();
+            panic!("injected crash (REQ_CRASH test verb)");
         }
         wire::REQ_ADVANCE => {
             let host = campaign_of(shared, v)?;
@@ -704,7 +850,7 @@ fn handle_request(
             // (comparatively expensive) response renders outside it, so
             // a party's pings are answered concurrently.
             let (snap, ping) = {
-                let mut st = host.state.lock().expect("campaign lock");
+                let mut st = lock_ok(&host.state);
                 let world =
                     st.world.as_mut().ok_or("campaign already finished")?;
                 (world.snapshot(), world.api.ping_config())
@@ -716,27 +862,26 @@ fn handle_request(
             let host = campaign_of(shared, v)?;
             let account = field_u64(v, "account")?;
             let loc = latlng_of(v)?;
-            let mut st = host.state.lock().expect("campaign lock");
+            let mut st = lock_ok(&host.state);
             let world = st.world.as_mut().ok_or("campaign already finished")?;
             let snap = world.snapshot();
             estimates_reply(shared, &mut world.api, &snap, kind, session, account, loc)
         }
         wire::REQ_FINISH => {
             let host = campaign_of(shared, v)?;
-            let world = {
-                let mut st = host.state.lock().expect("campaign lock");
-                st.world.take().ok_or("campaign already finished")?
-            };
-            let id = field_u64(v, "campaign")?;
-            shared
-                .campaigns
-                .lock()
-                .expect("campaign table lock")
-                .remove(&id);
-            let truth = world.mp.into_truth();
+            // Idempotent: the first FINISH consumes the marketplace and
+            // caches the truth; the slot stays in the table (the janitor
+            // reclaims it once idle) so a client whose connection died
+            // between request and reply can reconnect and re-ask.
+            let mut st = lock_ok(&host.state);
+            if st.truth.is_none() {
+                let world = st.world.take().ok_or("campaign already finished")?;
+                st.truth = Some(world.mp.into_truth().to_value());
+            }
+            let truth = st.truth.clone().expect("just populated");
             Reply::ok(
                 wire::RESP_FINISH,
-                Value::Map(vec![("truth".into(), truth.to_value())]),
+                Value::Map(vec![("truth".into(), truth)]),
             )
         }
         wire::REQ_PING_FREE => {
@@ -744,7 +889,7 @@ fn handle_request(
             let key = field_u64(v, "key")?;
             let loc = latlng_of(v)?;
             let (snap, ping) = {
-                let mut world = free.lock().expect("free world lock");
+                let mut world = lock_ok(free);
                 (world.snapshot(), world.api.ping_config())
             };
             let resp = ping.ping_client(&snap, key, loc);
@@ -755,7 +900,7 @@ fn handle_request(
             let free = shared.free.as_ref().ok_or("no free-running world configured")?;
             let account = field_u64(v, "account")?;
             let loc = latlng_of(v)?;
-            let mut world = free.lock().expect("free world lock");
+            let mut world = lock_ok(free);
             let snap = world.snapshot();
             let kind = if kind == wire::REQ_PRICE_FREE { wire::REQ_PRICE } else { wire::REQ_TIME };
             estimates_reply(shared, &mut world.api, &snap, kind, session, account, loc)

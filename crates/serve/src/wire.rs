@@ -54,6 +54,17 @@ pub const REQ_PING_FREE: u8 = 0x09;
 pub const REQ_PRICE_FREE: u8 = 0x0A;
 /// `estimates/time` against the free-running world.
 pub const REQ_TIME_FREE: u8 = 0x0B;
+/// Re-attach a (fresh) connection to an open campaign after a drop:
+/// validates the campaign and answers `RESP_OK` with its current tick
+/// without consuming a party slot. The lockstep barrier counts
+/// *arrivals*, not identities, so a resumed connection simply re-sends
+/// the op that was in flight when its predecessor died.
+pub const REQ_RESUME: u8 = 0x0C;
+/// Test-only (gated by `ServeConfig::allow_crash`): panic the serving
+/// worker while it holds the campaign lock, deliberately poisoning it.
+/// Exists so the lock-poisoning recovery path has a deterministic
+/// trigger; disabled servers answer `RESP_ERR`.
+pub const REQ_CRASH: u8 = 0x0D;
 
 /// Generic success (JOIN/ADVANCE), carries the current tick.
 pub const RESP_OK: u8 = 0x80;

@@ -1,0 +1,94 @@
+//! Capped exponential backoff with deterministic jitter.
+//!
+//! Retry pacing for the remote measurement client. The *schedule* —
+//! which delays a given retry sequence sleeps — is a pure function of a
+//! seeded [`SimRng`] stream, so tests exercising reconnect behavior see
+//! the same sequence every run; only the wall-clock sleeping itself is
+//! nondeterministic, and wall time never feeds back into campaign
+//! output.
+//!
+//! The policy is "full jitter": attempt `k` draws uniformly from
+//! `0..=min(cap, base * 2^k)`. Full jitter decorrelates a party of
+//! connections retrying against the same recovering server, which is
+//! exactly the thundering-herd topology a lockstep campaign produces.
+
+use crate::rng::SimRng;
+use std::time::Duration;
+
+/// A capped exponential backoff schedule. Construct once per retry
+/// sequence; each [`Backoff::next_delay`] call advances the exponent.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base_ms: u64,
+    cap_ms: u64,
+    attempt: u32,
+}
+
+impl Backoff {
+    /// A schedule growing from `base` up to `cap` per attempt. A zero
+    /// `base` is clamped to 1 ms so the exponential has somewhere to go;
+    /// `cap` is clamped up to `base`.
+    pub fn new(base: Duration, cap: Duration) -> Self {
+        let base_ms = (base.as_millis() as u64).max(1);
+        Backoff { base_ms, cap_ms: (cap.as_millis() as u64).max(base_ms), attempt: 0 }
+    }
+
+    /// The ceiling the next draw is taken under (diagnostic/testing).
+    pub fn current_cap(&self) -> Duration {
+        Duration::from_millis(self.ceiling_ms())
+    }
+
+    fn ceiling_ms(&self) -> u64 {
+        self.base_ms
+            .saturating_mul(1u64.checked_shl(self.attempt).unwrap_or(u64::MAX))
+            .min(self.cap_ms)
+    }
+
+    /// Draws the next delay (full jitter: uniform in `0..=ceiling`) and
+    /// advances the exponent. Deterministic given the `rng` stream.
+    pub fn next_delay(&mut self, rng: &mut SimRng) -> Duration {
+        let ceiling = self.ceiling_ms();
+        self.attempt = self.attempt.saturating_add(1);
+        Duration::from_millis(rng.range_u64(0, ceiling + 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schedule(seed: u64, n: usize) -> Vec<u64> {
+        let mut rng = SimRng::seed_from_u64(seed).split("backoff-test");
+        let mut b = Backoff::new(Duration::from_millis(10), Duration::from_millis(80));
+        (0..n).map(|_| b.next_delay(&mut rng).as_millis() as u64).collect()
+    }
+
+    #[test]
+    fn schedule_is_deterministic_per_seed() {
+        assert_eq!(schedule(7, 8), schedule(7, 8));
+        // Another seed draws another schedule (overwhelmingly likely for
+        // 8 draws over growing ranges; pinned here for these two seeds).
+        assert_ne!(schedule(7, 8), schedule(8, 8));
+    }
+
+    #[test]
+    fn delays_stay_under_the_growing_cap() {
+        let mut rng = SimRng::seed_from_u64(3).split("backoff-test");
+        let mut b = Backoff::new(Duration::from_millis(10), Duration::from_millis(80));
+        let caps = [10u64, 20, 40, 80, 80, 80];
+        for want_cap in caps {
+            assert_eq!(b.current_cap().as_millis() as u64, want_cap);
+            let d = b.next_delay(&mut rng).as_millis() as u64;
+            assert!(d <= want_cap, "delay {d} ms above cap {want_cap} ms");
+        }
+    }
+
+    #[test]
+    fn zero_base_and_huge_attempt_counts_are_safe() {
+        let mut rng = SimRng::seed_from_u64(1).split("backoff-test");
+        let mut b = Backoff::new(Duration::ZERO, Duration::from_millis(5));
+        for _ in 0..100 {
+            assert!(b.next_delay(&mut rng) <= Duration::from_millis(5));
+        }
+    }
+}

@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backoff;
 mod diurnal;
 mod events;
 mod fasthash;
@@ -35,6 +36,7 @@ mod rng;
 mod time;
 mod transport;
 
+pub use backoff::Backoff;
 pub use diurnal::DiurnalCurve;
 pub use events::{EventQueue, ScheduledEvent};
 pub use fasthash::{FastHashMap, FastHashSet, FxHasher};

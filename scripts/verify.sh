@@ -139,6 +139,17 @@ fi
 cmp "$SERVE_TMP/local.bin" "$SERVE_TMP/remote.bin"
 echo "remote campaign bytes identical to in-process ($(wc -c <"$SERVE_TMP/local.bin") bytes)"
 ./target/release/serve_load --addr "$ADDR" --conns 4 --rps 200 --secs 2
+
+echo "== serve: chaos byte-identity (resilience gate) =="
+# Same campaign, same server, but every connection sabotaged by the
+# seeded reference chaos schedule: connection resets, truncated frames,
+# write stalls. The retry/RESUME layer must absorb every fault — the
+# binary reports the injected/reconnect counts — and the encoded bytes
+# must still match the in-process run exactly.
+./target/release/remote_campaign --out "$SERVE_TMP/chaos.bin" --seed 70931 --faulted \
+  --remote "$ADDR" --conns 2 --chaos 3133
+cmp "$SERVE_TMP/local.bin" "$SERVE_TMP/chaos.bin"
+echo "chaotic remote campaign bytes identical to in-process"
 kill "$SERVE_PID" 2>/dev/null
 wait "$SERVE_PID" 2>/dev/null || true
 
